@@ -1,0 +1,200 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section. Each experiment prints an aligned table
+// to stdout; figures backed by per-query series additionally write CSV
+// files when -out is given.
+//
+// Usage:
+//
+//	experiments -exp all                     # everything, default scale
+//	experiments -exp fig7                    # one experiment
+//	experiments -exp table2 -skyn 10000000   # paper-ish scale
+//	experiments -exp fig9 -out results/      # write per-query CSVs
+//	experiments -exp all -verify             # cross-check every answer
+//
+// Experiments: fig7, fig8, fig9, fig10, table2, tables345, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|table2|tables345|all")
+		skyN      = flag.Int("skyn", 0, "SkyServer column size (default from config)")
+		synthN    = flag.Int("n", 0, "synthetic column size")
+		largeN    = flag.Int("largen", 0, "large-block column size (the paper's 10^9 stand-in)")
+		queries   = flag.Int("queries", 0, "queries per workload")
+		budget    = flag.Float64("budget", 0, "adaptive budget as fraction of scan cost (default 0.2)")
+		seed      = flag.Int64("seed", 0, "data/workload seed (default 42)")
+		verify    = flag.Bool("verify", false, "verify every answer against a full scan")
+		calibrate = flag.Bool("calibrate", false, "calibrate cost-model constants on this machine")
+		outDir    = flag.String("out", "", "directory for per-query CSV series")
+		csvMode   = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *skyN > 0 {
+		cfg.SkyN = *skyN
+	}
+	if *synthN > 0 {
+		cfg.SynthN = *synthN
+	}
+	if *largeN > 0 {
+		cfg.LargeN = *largeN
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Verify = *verify
+	cfg.Calibrate = *calibrate
+
+	if err := run(*exp, cfg, *outDir, *csvMode); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config, outDir string, csvMode bool) error {
+	emit := func(t *harness.Table) {
+		if csvMode {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	writeCSVs := func(csvs map[string]string) error {
+		if outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for name, content := range csvs {
+			if err := os.WriteFile(filepath.Join(outDir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(outDir, name))
+		}
+		return nil
+	}
+	timed := func(name string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig7") {
+		ran = true
+		if err := timed("fig7", func() error {
+			t, err := experiments.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig8") {
+		ran = true
+		if err := timed("fig8", func() error {
+			t, csvs, err := experiments.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return writeCSVs(csvs)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig9") {
+		ran = true
+		if err := timed("fig9", func() error {
+			t, csvs, err := experiments.Fig9(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return writeCSVs(csvs)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig10") {
+		ran = true
+		if err := timed("fig10", func() error {
+			t, csvs, err := experiments.Fig10(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return writeCSVs(csvs)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		ran = true
+		if err := timed("table2", func() error {
+			t, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("tables345") || exp == "table3" || exp == "table4" || exp == "table5" {
+		ran = true
+		if err := timed("tables345", func() error {
+			t3, t4, t5, err := experiments.Tables345(cfg)
+			if err != nil {
+				return err
+			}
+			switch exp {
+			case "table3":
+				emit(t3)
+			case "table4":
+				emit(t4)
+			case "table5":
+				emit(t5)
+			default:
+				emit(t3)
+				emit(t4)
+				emit(t5)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package progidx
+
+import "sync"
+
+// Synchronized serializes access to an Index so multiple goroutines can
+// share it. Progressive and adaptive indexes reorganize themselves on
+// every Query call, so the underlying types are deliberately not safe
+// for concurrent use (DESIGN.md); this wrapper provides the coarse
+// exclusive lock that matches the paper's single-session execution
+// model. For read-mostly workloads after convergence a finer scheme is
+// possible, but a converged query costs microseconds, so contention on
+// one mutex is rarely the bottleneck.
+type Synchronized struct {
+	mu    sync.Mutex
+	inner Index
+}
+
+// Synchronize wraps idx. The inner index must not be used directly
+// afterwards.
+func Synchronize(idx Index) *Synchronized {
+	return &Synchronized{inner: idx}
+}
+
+// Name implements Index.
+func (s *Synchronized) Name() string { return s.inner.Name() }
+
+// Query implements Index, holding the lock across the answer and the
+// indexing work it triggers.
+func (s *Synchronized) Query(lo, hi int64) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Query(lo, hi)
+}
+
+// Converged implements Index.
+func (s *Synchronized) Converged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Converged()
+}
+
+// Stats returns the progressive per-query stats when the wrapped index
+// is a ProgressiveIndex.
+func (s *Synchronized) Stats() (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.inner.(ProgressiveIndex); ok {
+		return p.LastStats(), true
+	}
+	return Stats{}, false
+}
+
+var _ Index = (*Synchronized)(nil)

@@ -1,0 +1,61 @@
+package progidx
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/data"
+)
+
+func TestSynchronizedConcurrentQueriesExact(t *testing.T) {
+	vals := data.Uniform(20_000, 1)
+	for _, s := range []Strategy{StrategyRadixMSD, StrategyStandardCracking} {
+		idx := Synchronize(MustNew(vals, Options{Strategy: s, Delta: 0.2}))
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for q := 0; q < 100; q++ {
+					lo := rng.Int63n(20_000)
+					hi := lo + rng.Int63n(4_000)
+					got := idx.Query(lo, hi)
+					want := column.SumRangeBranching(vals, lo, hi)
+					if got != want {
+						select {
+						case errs <- idx.Name():
+						default:
+						}
+						return
+					}
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		close(errs)
+		if name, bad := <-errs; bad {
+			t.Fatalf("%s returned a wrong answer under concurrency", name)
+		}
+	}
+}
+
+func TestSynchronizedStats(t *testing.T) {
+	vals := data.Uniform(5000, 2)
+	prog := Synchronize(MustNew(vals, Options{Strategy: StrategyQuicksort, Delta: 0.5}))
+	prog.Query(0, 100)
+	if st, ok := prog.Stats(); !ok || st.Phase != PhaseCreation {
+		t.Fatalf("Stats() = %+v, %v", st, ok)
+	}
+	base := Synchronize(MustNew(vals, Options{Strategy: StrategyFullScan}))
+	base.Query(0, 100)
+	if _, ok := base.Stats(); ok {
+		t.Fatal("FullScan should not report progressive stats")
+	}
+	if base.Name() != "FS" || base.Converged() {
+		t.Fatal("wrapper must delegate Name/Converged")
+	}
+}

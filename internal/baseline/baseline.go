@@ -1,0 +1,75 @@
+// Package baseline implements the two reference points of the paper's
+// evaluation: the Full Scan (FS), which never builds any index, and the
+// Full Index (FI), which builds a complete B+-tree on the first query.
+// Together they bracket every progressive and adaptive technique: FS
+// has the cheapest possible first query and the worst cumulative time,
+// FI the opposite.
+package baseline
+
+import (
+	"slices"
+
+	"repro/internal/btree"
+	"repro/internal/column"
+)
+
+// FullScan answers every query with a predicated scan of the base
+// column. Maximally robust (cost never varies), never converges.
+type FullScan struct {
+	col *column.Column
+}
+
+// NewFullScan builds the FS baseline over col.
+func NewFullScan(col *column.Column) *FullScan { return &FullScan{col: col} }
+
+// Name implements the harness index interface.
+func (f *FullScan) Name() string { return "FS" }
+
+// Converged reports false: a scan never builds an index.
+func (f *FullScan) Converged() bool { return false }
+
+// Query scans the whole column with the predicated kernel.
+func (f *FullScan) Query(lo, hi int64) column.Result {
+	return f.col.Sum(lo, hi)
+}
+
+// FullIndex sorts a copy of the column and bulk-loads a B+-tree on the
+// first query, then answers everything from the tree. Its first query
+// is ~50x a scan (Table 2) but its cumulative time is the floor.
+type FullIndex struct {
+	col    *column.Column
+	tree   *btree.Tree
+	fanout int
+}
+
+// NewFullIndex builds the FI baseline over col with the given B+-tree
+// fanout (values < 2 fall back to 64, the repository default).
+func NewFullIndex(col *column.Column, fanout int) *FullIndex {
+	if fanout < 2 {
+		fanout = 64
+	}
+	return &FullIndex{col: col, fanout: fanout}
+}
+
+// Name implements the harness index interface.
+func (f *FullIndex) Name() string { return "FI" }
+
+// Converged reports whether the tree has been built (true from the
+// first query on).
+func (f *FullIndex) Converged() bool { return f.tree != nil }
+
+// Query builds the index if needed, then answers from the B+-tree.
+func (f *FullIndex) Query(lo, hi int64) column.Result {
+	if f.tree == nil {
+		sorted := make([]int64, f.col.Len())
+		copy(sorted, f.col.Values())
+		slices.Sort(sorted)
+		t, err := btree.Build(sorted, f.fanout)
+		if err != nil {
+			// fanout is validated in the constructor; unreachable.
+			panic(err)
+		}
+		f.tree = t
+	}
+	return f.tree.SumRange(lo, hi)
+}

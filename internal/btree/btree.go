@@ -1,0 +1,186 @@
+// Package btree implements the bulk-loaded B+-tree that every
+// progressive index converges to (consolidation phase, Section 3) and
+// that the Full Index baseline builds on its first query.
+//
+// The tree is static: it is built over an already fully sorted array by
+// copying every β-th key to a parent level, repeatedly, until a level
+// fits in one node — exactly the construction the paper describes
+// ("we copy every β element of our sorted array to a parent level").
+// The sorted array itself is the leaf level, so the tree needs only
+// N_copy = Σ n/β^i extra key slots.
+//
+// Builder exposes that construction incrementally: Step(k) performs at
+// most k element copies, which is how the consolidation phase spreads
+// the build over many queries under a per-query budget.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/column"
+)
+
+// Tree is an immutable bulk-loaded B+-tree over a sorted array.
+type Tree struct {
+	fanout int
+	// levels[0] is the sorted leaf array (not owned; shared with the
+	// index that built it). levels[i+1][j] == levels[i][j*fanout].
+	levels [][]int64
+}
+
+// Fanout returns β.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Len returns the number of keys at the leaf level.
+func (t *Tree) Len() int { return len(t.levels[0]) }
+
+// Height returns the number of levels including the leaf array.
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Build constructs the tree in one shot (Full Index baseline).
+func Build(sorted []int64, fanout int) (*Tree, error) {
+	b, err := NewBuilder(sorted, fanout)
+	if err != nil {
+		return nil, err
+	}
+	for !b.Done() {
+		b.Step(1 << 20)
+	}
+	return b.Tree(), nil
+}
+
+// LowerBound returns the first leaf position p with leaf[p] >= v,
+// descending from the top level so that each binary search touches only
+// one node worth of keys.
+//
+// Invariant while descending with position pos at level lvl+1:
+// keys[pos-1] < v (if pos > 0) and keys[pos] >= v (if pos < len). Since
+// level lvl+1 key j equals level lvl position j*fanout, the answer at
+// level lvl lies in ((pos-1)*fanout, pos*fanout], a window of at most
+// fanout positions.
+func (t *Tree) LowerBound(v int64) int {
+	top := len(t.levels) - 1
+	pos := column.LowerBound(t.levels[top], v)
+	for lvl := top - 1; lvl >= 0; lvl-- {
+		below := t.levels[lvl]
+		left := 0
+		if pos > 0 {
+			left = (pos-1)*t.fanout + 1
+		}
+		right := len(below)
+		if pos < len(t.levels[lvl+1]) {
+			if r := pos * t.fanout; r < right {
+				right = r // below[right] == keys[pos] >= v, so answer <= right
+			}
+		}
+		pos = left + column.LowerBound(below[left:right], v)
+	}
+	return pos
+}
+
+// UpperBound returns the first leaf position p with leaf[p] > v.
+func (t *Tree) UpperBound(v int64) int {
+	if v == int64(column.MaxMagnitude) {
+		return t.Len()
+	}
+	return t.LowerBound(v + 1)
+}
+
+// SumRange answers the inclusive range aggregate using the tree to find
+// the matching leaf run, then summing it.
+func (t *Tree) SumRange(lo, hi int64) column.Result {
+	i := t.LowerBound(lo)
+	j := t.UpperBound(hi)
+	var sum int64
+	leaf := t.levels[0]
+	for _, v := range leaf[i:j] {
+		sum += v
+	}
+	return column.Result{Sum: sum, Count: int64(j - i)}
+}
+
+// Builder constructs a Tree incrementally under a copy budget.
+type Builder struct {
+	fanout int
+	levels [][]int64
+	// cur is the level currently being filled (index into levels of
+	// the source level is cur-1), next the position within it.
+	cur     int
+	nextDst int
+	done    bool
+}
+
+// NewBuilder prepares an incremental build over sorted. The slice must
+// already be fully sorted; Builder verifies the precondition lazily in
+// debug helpers but not on the hot path (the progressive indexes only
+// reach consolidation after their own refinement has finished, which
+// tests assert separately).
+func NewBuilder(sorted []int64, fanout int) (*Builder, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("btree: fanout must be >= 2, got %d", fanout)
+	}
+	b := &Builder{fanout: fanout, levels: [][]int64{sorted}, cur: 1}
+	if len(sorted)/fanout == 0 {
+		b.done = true // single-node tree: the leaf level is everything
+		return b, nil
+	}
+	b.levels = append(b.levels, make([]int64, 0, len(sorted)/fanout))
+	return b, nil
+}
+
+// TotalCopies returns how many element copies the whole build needs.
+func (b *Builder) TotalCopies() int {
+	return ConsolidateCopies(len(b.levels[0]), b.fanout)
+}
+
+// ConsolidateCopies mirrors costmodel.ConsolidateCopies; duplicated
+// here (3 lines) to avoid an import cycle between btree and costmodel.
+func ConsolidateCopies(n, fanout int) int {
+	total := 0
+	for level := n / fanout; level > 0; level /= fanout {
+		total += level
+	}
+	return total
+}
+
+// Done reports whether the tree is complete.
+func (b *Builder) Done() bool { return b.done }
+
+// Step performs at most budget element copies and returns how many it
+// actually performed. When the top level shrinks to at most fanout
+// keys, the build is complete.
+func (b *Builder) Step(budget int) int {
+	if b.done || budget <= 0 {
+		return 0
+	}
+	copies := 0
+	for copies < budget {
+		src := b.levels[b.cur-1]
+		dst := b.levels[b.cur]
+		want := len(src) / b.fanout
+		for len(dst) < want && copies < budget {
+			dst = append(dst, src[len(dst)*b.fanout])
+			copies++
+		}
+		b.levels[b.cur] = dst
+		if len(dst) < want {
+			return copies // budget exhausted mid-level
+		}
+		// Level complete: either finish or open the next level.
+		if want/b.fanout == 0 {
+			b.done = true
+			return copies
+		}
+		b.levels = append(b.levels, make([]int64, 0, want/b.fanout))
+		b.cur++
+	}
+	return copies
+}
+
+// Tree returns the finished tree, or nil if the build is incomplete.
+func (b *Builder) Tree() *Tree {
+	if !b.done {
+		return nil
+	}
+	return &Tree{fanout: b.fanout, levels: b.levels}
+}

@@ -1,0 +1,175 @@
+// Package column provides the base-table substrate used by every index
+// in this repository: a single fixed-size column of 64-bit integers
+// with zone statistics (min/max) and branch-free scan kernels.
+//
+// The paper's workload is SELECT SUM(R.A) FROM R WHERE R.A BETWEEN v1
+// AND v2, i.e. an inclusive range aggregate over one attribute, so the
+// column stores values only. All kernels use predication (Ross, 2002;
+// Boncz et al., 2005) as the paper prescribes in Section 3: query cost
+// must not depend on selectivity, otherwise neither the robustness
+// numbers (Table 5) nor the cost models hold.
+package column
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Result is the answer to an aggregate range query. Count is carried
+// alongside Sum because several tests and the harness use it to verify
+// selectivity without a second pass.
+type Result struct {
+	Sum   int64
+	Count int64
+}
+
+// Add accumulates another partial result into r.
+func (r *Result) Add(o Result) {
+	r.Sum += o.Sum
+	r.Count += o.Count
+}
+
+// Column is an immutable in-memory column of int64 values with zone
+// statistics. Immutability mirrors the paper's setting: the data is
+// loaded once and then queried; updates are future work (Section 6).
+type Column struct {
+	values []int64
+	min    int64
+	max    int64
+}
+
+// ErrEmpty is returned when constructing a column with no rows.
+var ErrEmpty = errors.New("column: empty input")
+
+// MaxMagnitude bounds the absolute value of any element so that the
+// branch-free comparison kernels (which rely on subtraction not
+// overflowing) are safe. 2^62 leaves one bit of slack for v-lo.
+const MaxMagnitude = int64(1) << 62
+
+// New builds a column from values, computing min/max zone statistics in
+// one pass. The slice is retained, not copied; callers hand over
+// ownership, as a storage engine would after loading.
+func New(values []int64) (*Column, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	mn, mx := values[0], values[0]
+	for _, v := range values {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn < -MaxMagnitude || mx > MaxMagnitude {
+		return nil, fmt.Errorf("column: values outside ±2^62 are not supported (min=%d max=%d)", mn, mx)
+	}
+	return &Column{values: values, min: mn, max: mx}, nil
+}
+
+// MustNew is New for statically known-good inputs (tests, examples).
+func MustNew(values []int64) *Column {
+	c, err := New(values)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.values) }
+
+// Min returns the smallest value in the column (zone statistic).
+func (c *Column) Min() int64 { return c.min }
+
+// Max returns the largest value in the column (zone statistic).
+func (c *Column) Max() int64 { return c.max }
+
+// Values exposes the backing slice. Callers must treat it as
+// read-only; indexes copy out of it, never mutate it.
+func (c *Column) Values() []int64 { return c.values }
+
+// Slice returns the sub-slice [from, to) of the backing array.
+func (c *Column) Slice(from, to int) []int64 { return c.values[from:to] }
+
+// Sum answers the inclusive range aggregate over the whole column with
+// the predicated kernel.
+func (c *Column) Sum(lo, hi int64) Result {
+	return SumRange(c.values, lo, hi)
+}
+
+// SumRange computes SUM and COUNT of values v with lo <= v <= hi using
+// a branch-free kernel: per element it derives 0/1 masks from the sign
+// bits of (v-lo) and (hi-v) and accumulates sum += v & -match. This is
+// the Go rendering of the predication technique the paper relies on for
+// robust, selectivity-independent scan cost.
+func SumRange(values []int64, lo, hi int64) Result {
+	var sum, count int64
+	for _, v := range values {
+		ge := ^((v - lo) >> 63) & 1 // 1 iff v >= lo
+		le := ^((hi - v) >> 63) & 1 // 1 iff v <= hi
+		m := ge & le
+		sum += v & -m
+		count += m
+	}
+	return Result{Sum: sum, Count: count}
+}
+
+// SumRangeBranching is the naive branching kernel. It exists for the
+// kernel ablation benchmark (DESIGN.md section 5) and as a correctness
+// oracle for SumRange in property tests; index code never calls it.
+func SumRangeBranching(values []int64, lo, hi int64) Result {
+	var sum, count int64
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			sum += v
+			count++
+		}
+	}
+	return Result{Sum: sum, Count: count}
+}
+
+// SumSorted computes the inclusive range aggregate over a fully sorted
+// slice using binary search to find the matching run, then a straight
+// sum over it. Used for converged index regions, where the matching
+// elements are contiguous.
+func SumSorted(sorted []int64, lo, hi int64) Result {
+	i := lowerBound(sorted, lo)
+	j := upperBound(sorted, hi)
+	var sum int64
+	for _, v := range sorted[i:j] {
+		sum += v
+	}
+	return Result{Sum: sum, Count: int64(j - i)}
+}
+
+// lowerBound returns the first index i with sorted[i] >= v.
+func lowerBound(sorted []int64, v int64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i with sorted[i] > v.
+func upperBound(sorted []int64, v int64) int {
+	if v == math.MaxInt64 {
+		return len(sorted)
+	}
+	return lowerBound(sorted, v+1)
+}
+
+// LowerBound exposes lowerBound for other packages (B+-tree tests,
+// harness verification).
+func LowerBound(sorted []int64, v int64) int { return lowerBound(sorted, v) }
+
+// UpperBound exposes upperBound.
+func UpperBound(sorted []int64, v int64) int { return upperBound(sorted, v) }

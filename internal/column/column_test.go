@@ -1,0 +1,147 @@
+package column
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); err != ErrEmpty {
+		t.Fatalf("New(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := New([]int64{}); err != ErrEmpty {
+		t.Fatalf("New([]) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNewRejectsHugeMagnitudes(t *testing.T) {
+	if _, err := New([]int64{MaxMagnitude + 1}); err == nil {
+		t.Fatal("New accepted value > 2^62")
+	}
+	if _, err := New([]int64{-MaxMagnitude - 1}); err == nil {
+		t.Fatal("New accepted value < -2^62")
+	}
+	if _, err := New([]int64{MaxMagnitude, -MaxMagnitude}); err != nil {
+		t.Fatalf("New rejected boundary values: %v", err)
+	}
+}
+
+func TestZoneStats(t *testing.T) {
+	c := MustNew([]int64{5, -3, 12, 0, 12, -3})
+	if c.Min() != -3 || c.Max() != 12 {
+		t.Fatalf("min/max = %d/%d, want -3/12", c.Min(), c.Max())
+	}
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", c.Len())
+	}
+}
+
+func TestSumRangeBasic(t *testing.T) {
+	vals := []int64{1, 6, 3, 14, 13, 2, 8, 19, 7, 12, 11, 4, 16, 9}
+	cases := []struct {
+		lo, hi   int64
+		sum, cnt int64
+	}{
+		{1, 19, 125, 14}, // everything
+		{5, 5, 0, 0},     // empty match
+		{6, 6, 6, 1},     // point query
+		{4, 9, 6 + 8 + 7 + 4 + 9, 5},
+		{20, 30, 0, 0}, // above domain
+		{-5, 0, 0, 0},  // below domain
+		{13, 19, 14 + 13 + 19 + 16, 4},
+	}
+	for _, tc := range cases {
+		got := SumRange(vals, tc.lo, tc.hi)
+		if got.Sum != tc.sum || got.Count != tc.cnt {
+			t.Errorf("SumRange(%d,%d) = %+v, want sum=%d count=%d", tc.lo, tc.hi, got, tc.sum, tc.cnt)
+		}
+	}
+}
+
+func TestSumRangeInclusiveBounds(t *testing.T) {
+	vals := []int64{10, 20, 30}
+	r := SumRange(vals, 10, 30)
+	if r.Sum != 60 || r.Count != 3 {
+		t.Fatalf("bounds must be inclusive on both ends, got %+v", r)
+	}
+	r = SumRange(vals, 11, 29)
+	if r.Sum != 20 || r.Count != 1 {
+		t.Fatalf("exclusive interior got %+v", r)
+	}
+}
+
+func TestSumRangeNegativeValues(t *testing.T) {
+	vals := []int64{-10, -5, 0, 5, 10}
+	r := SumRange(vals, -7, 6)
+	if r.Sum != 0 || r.Count != 3 { // -5 + 0 + 5
+		t.Fatalf("got %+v, want sum=0 count=3", r)
+	}
+}
+
+// Property: the predicated kernel agrees with the branching oracle for
+// arbitrary data and bounds within the supported magnitude.
+func TestSumRangePredicationMatchesBranching(t *testing.T) {
+	f := func(raw []int64, a, b int64) bool {
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = v % MaxMagnitude
+		}
+		lo, hi := a%MaxMagnitude, b%MaxMagnitude
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return SumRange(vals, lo, hi) == SumRangeBranching(vals, lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SumSorted agrees with the predicated kernel on sorted data.
+func TestSumSortedMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		vals := make([]int64, n)
+		v := int64(-250)
+		for i := range vals {
+			v += int64(rng.Intn(5)) // sorted, with duplicates
+			vals[i] = v
+		}
+		lo := int64(rng.Intn(600)) - 300
+		hi := lo + int64(rng.Intn(200))
+		got := SumSorted(vals, lo, hi)
+		want := SumRange(vals, lo, hi)
+		if got != want {
+			t.Fatalf("trial %d: SumSorted(%d,%d) = %+v, want %+v", trial, lo, hi, got, want)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	sorted := []int64{1, 3, 3, 3, 7, 9}
+	if got := LowerBound(sorted, 3); got != 1 {
+		t.Errorf("LowerBound(3) = %d, want 1", got)
+	}
+	if got := UpperBound(sorted, 3); got != 4 {
+		t.Errorf("UpperBound(3) = %d, want 4", got)
+	}
+	if got := LowerBound(sorted, 0); got != 0 {
+		t.Errorf("LowerBound(0) = %d, want 0", got)
+	}
+	if got := UpperBound(sorted, 10); got != 6 {
+		t.Errorf("UpperBound(10) = %d, want 6", got)
+	}
+	if got := LowerBound(sorted, 4); got != 4 {
+		t.Errorf("LowerBound(4) = %d, want 4", got)
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	r := Result{Sum: 5, Count: 2}
+	r.Add(Result{Sum: -3, Count: 1})
+	if r.Sum != 2 || r.Count != 3 {
+		t.Fatalf("Add got %+v", r)
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/blocks"
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// bstate is the lifecycle of one equi-height bucket.
+type bstate uint8
+
+const (
+	bPending  bstate = iota // elements still in the block list
+	bCopying                // draining into the final array around a pivot
+	bRefining               // progressive quicksort over the final region
+	bDone                   // region sorted
+)
+
+// bbucket is one equi-height bucket and its merge state.
+type bbucket struct {
+	lo, hi int64 // inclusive value bounds (from the separators)
+	list   *blocks.List
+	cur    blocks.Cursor
+	state  bstate
+
+	regStart, regEnd int // region in the final array
+	top, bottom      int // pivot-copy cursors (bCopying)
+	pivot            int64
+	tree             *qtree // per-bucket quicksort (bRefining)
+}
+
+// Bucketsort is Progressive Bucketsort (equi-height), Section 3.3.
+//
+// Creation: like Radixsort (MSD) but the bucket for an element is found
+// by binary search over value-based separators that evenly divide the
+// data, so buckets stay balanced under skew. The separators come from a
+// deterministic evenly-spaced sample taken on the first query.
+//
+// Refinement: buckets are merged in order into the final sorted array,
+// each sorted by its own Progressive Quicksort; at most one quicksort
+// is active at a time.
+//
+// Consolidation: a B+-tree is built progressively over the final array.
+type Bucketsort struct {
+	cfg   Config
+	model *costmodel.Model
+	col   *column.Column
+	n     int
+
+	phase  Phase
+	budget budgeter
+	last   Stats
+
+	bucketCount int
+	sep         []int64 // bucketCount-1 separators
+	bks         []*bbucket
+	copied      int
+
+	final  []int64
+	active int // index of the bucket currently being merged
+
+	cons *consolidator
+}
+
+// sampleSize is the number of evenly spaced elements used to derive the
+// equi-height separators on the first query.
+const sampleSize = 4096
+
+// NewBucketsort builds a Progressive Bucketsort index over col.
+func NewBucketsort(col *column.Column, cfg Config) *Bucketsort {
+	cfg = cfg.normalize()
+	m := costmodel.New(cfg.Params)
+	b := &Bucketsort{
+		cfg:         cfg,
+		model:       m,
+		col:         col,
+		n:           col.Len(),
+		bucketCount: 1 << cfg.RadixBits,
+	}
+	b.budget = newBudgeter(cfg, m.ScanTime(b.n))
+	return b
+}
+
+// initBuckets derives the separators from an evenly spaced sample and
+// allocates the buckets. Called lazily on the first query ("obtained
+// in the scan to answer the first query").
+func (b *Bucketsort) initBuckets() {
+	vals := b.col.Values()
+	k := sampleSize
+	if k > b.n {
+		k = b.n
+	}
+	sample := make([]int64, k)
+	step := float64(b.n) / float64(k)
+	for i := 0; i < k; i++ {
+		sample[i] = vals[int(float64(i)*step)]
+	}
+	slices.Sort(sample)
+	b.sep = make([]int64, 0, b.bucketCount-1)
+	for i := 1; i < b.bucketCount; i++ {
+		b.sep = append(b.sep, sample[i*k/b.bucketCount])
+	}
+	b.bks = make([]*bbucket, b.bucketCount)
+	for i := range b.bks {
+		lo, hi := b.col.Min(), b.col.Max()
+		if i > 0 {
+			lo = b.sep[i-1]
+		}
+		if i < len(b.sep) {
+			hi = b.sep[i] - 1
+		}
+		b.bks[i] = &bbucket{lo: lo, hi: hi, list: blocks.NewList(b.cfg.BlockSize)}
+	}
+}
+
+// bucketIndexOf returns the bucket for v: the number of separators <= v.
+func (b *Bucketsort) bucketIndexOf(v int64) int {
+	return column.UpperBound(b.sep, v)
+}
+
+// bucketRange returns the bucket indices overlapping [lo, hi].
+func (b *Bucketsort) bucketRange(lo, hi int64) (int, int) {
+	return b.bucketIndexOf(lo), b.bucketIndexOf(hi)
+}
+
+// Name implements Index.
+func (b *Bucketsort) Name() string { return "PB" }
+
+// Phase implements Index.
+func (b *Bucketsort) Phase() Phase { return b.phase }
+
+// Converged implements Index.
+func (b *Bucketsort) Converged() bool { return b.phase == PhaseDone }
+
+// LastStats implements Index.
+func (b *Bucketsort) LastStats() Stats { return b.last }
+
+// Query implements Index.
+func (b *Bucketsort) Query(lo, hi int64) column.Result {
+	if b.bks == nil {
+		b.initBuckets()
+	}
+	startPhase := b.phase
+	base, alpha := b.predictBase(lo, hi)
+	planned := b.budget.plan(base, b.unitFull())
+
+	var res column.Result
+	consumed := 0.0
+	deltaOverride := -1.0
+	if b.phase == PhaseCreation {
+		// Scan pre-insert buckets, insert δ·N elements while summing
+		// them, then scan the remaining tail (Section 3.3; the bucket
+		// choice costs an extra log2(b) per element).
+		bucketUnit := b.model.EquiHeightBucketTime(1, b.cfg.BlockSize, b.bucketCount)
+		marginal := bucketUnit - b.model.ScanTime(1)
+		perUnitPlan := bucketUnit
+		if b.budget.mode == AdaptiveTime {
+			perUnitPlan = marginal
+		}
+		units := int(planned / perUnitPlan)
+		if units < 1 {
+			units = 1
+		}
+		iLo, iHi := b.bucketRange(lo, hi)
+		for i := iLo; i <= iHi; i++ {
+			res.Add(b.bks[i].list.SumRange(lo, hi))
+		}
+		seg, did := b.createStepSum(units, lo, hi)
+		res.Add(seg)
+		res.Add(column.SumRange(b.col.Slice(b.copied, b.n), lo, hi))
+		consumed = float64(did) * marginal
+		deltaOverride = float64(did) / float64(b.n)
+		if b.copied == b.n {
+			b.startRefinement()
+			if spill := planned - float64(did)*perUnitPlan; spill > 0 {
+				consumed += b.work(spill)
+			}
+		}
+	} else {
+		res = b.answer(lo, hi)
+		consumed = b.work(planned)
+	}
+
+	unit := b.unitFullFor(startPhase)
+	delta := 0.0
+	if unit > 0 {
+		delta = consumed / unit
+	}
+	if deltaOverride >= 0 {
+		delta = deltaOverride
+	}
+	b.last = Stats{
+		Phase:       startPhase,
+		Delta:       delta,
+		WorkSeconds: consumed,
+		BaseSeconds: base,
+		Predicted:   base + consumed,
+		AlphaElems:  alpha,
+	}
+	return res
+}
+
+func (b *Bucketsort) unitFull() float64 { return b.unitFullFor(b.phase) }
+
+func (b *Bucketsort) unitFullFor(p Phase) float64 {
+	switch p {
+	case PhaseCreation:
+		// δ = t_budget / (log2(b)·t_bucket), Section 3.3.
+		return b.model.EquiHeightBucketTime(b.n, b.cfg.BlockSize, b.bucketCount)
+	case PhaseRefinement:
+		// "the cost model for this phase is equivalent to the cost
+		// model of Progressive Quicksort."
+		return b.model.SwapTime(b.n)
+	case PhaseConsolidation:
+		if b.cons != nil {
+			return b.model.ConsolidateTime(b.cons.total)
+		}
+		return b.model.ConsolidateTime(costmodel.ConsolidateCopies(b.n, b.cfg.Fanout))
+	default:
+		return 0
+	}
+}
+
+func (b *Bucketsort) predictBase(lo, hi int64) (float64, int) {
+	switch b.phase {
+	case PhaseCreation:
+		alpha := 0
+		iLo, iHi := b.bucketRange(lo, hi)
+		for i := iLo; i <= iHi; i++ {
+			alpha += b.bks[i].list.Count()
+		}
+		return b.model.ScanTime(b.n-b.copied) +
+			b.model.BucketScanTime(alpha, b.cfg.BlockSize), alpha
+	case PhaseRefinement:
+		inBuckets, inArray := 0, 0
+		iLo, iHi := b.bucketRange(lo, hi)
+		for i := iLo; i <= iHi; i++ {
+			bk := b.bks[i]
+			switch bk.state {
+			case bPending:
+				inBuckets += bk.list.Count()
+			case bCopying:
+				inBuckets += bk.cur.Remaining(bk.list)
+				inArray += (bk.top - bk.regStart) + (bk.regEnd - 1 - bk.bottom)
+			case bRefining:
+				inArray += bk.tree.alphaElems(bk.tree.root, lo, hi)
+			case bDone:
+				arr := b.final[bk.regStart:bk.regEnd]
+				inArray += column.UpperBound(arr, hi) - column.LowerBound(arr, lo)
+			}
+		}
+		return b.model.TreeLookupTime(7) + // log2(64)+1 levels of bucket lookup
+			b.model.BucketScanTime(inBuckets, b.cfg.BlockSize) +
+			b.model.ScanTime(inArray), inBuckets + inArray
+	case PhaseConsolidation, PhaseDone:
+		alpha := b.cons.matched(lo, hi)
+		return b.model.BinarySearchTime(b.n) + b.model.ScanTime(alpha), alpha
+	default:
+		return 0, 0
+	}
+}
+
+func (b *Bucketsort) answer(lo, hi int64) column.Result {
+	switch b.phase {
+	case PhaseCreation:
+		var res column.Result
+		iLo, iHi := b.bucketRange(lo, hi)
+		for i := iLo; i <= iHi; i++ {
+			res.Add(b.bks[i].list.SumRange(lo, hi))
+		}
+		res.Add(column.SumRange(b.col.Slice(b.copied, b.n), lo, hi))
+		return res
+	case PhaseRefinement:
+		var res column.Result
+		iLo, iHi := b.bucketRange(lo, hi)
+		for i := iLo; i <= iHi; i++ {
+			res.Add(b.queryBucket(b.bks[i], lo, hi))
+		}
+		return res
+	default:
+		return b.cons.answer(lo, hi)
+	}
+}
+
+func (b *Bucketsort) queryBucket(bk *bbucket, lo, hi int64) column.Result {
+	switch bk.state {
+	case bPending:
+		return bk.list.SumRange(lo, hi)
+	case bCopying:
+		// Copied parts sit at the two ends of the region; the rest is
+		// still in the block list.
+		res := column.SumRange(b.final[bk.regStart:bk.top], lo, hi)
+		res.Add(column.SumRange(b.final[bk.bottom+1:bk.regEnd], lo, hi))
+		res.Add(bk.cur.SumRangeRemaining(bk.list, lo, hi))
+		return res
+	case bRefining:
+		return bk.tree.query(bk.tree.root, lo, hi)
+	default: // bDone
+		return column.SumSorted(b.final[bk.regStart:bk.regEnd], lo, hi)
+	}
+}
+
+func (b *Bucketsort) work(sec float64) float64 {
+	consumed := 0.0
+	for sec-consumed > workEpsilon && b.phase != PhaseDone {
+		remaining := sec - consumed
+		switch b.phase {
+		case PhaseCreation:
+			// Creation work is interleaved with answering in Query.
+			return consumed
+		case PhaseRefinement:
+			did := b.refineStep(remaining)
+			consumed += did
+			if b.active >= len(b.bks) {
+				b.startConsolidation()
+				continue
+			}
+			if did == 0 {
+				return consumed
+			}
+		case PhaseConsolidation:
+			did := b.cons.step(remaining)
+			consumed += did
+			if b.cons.finished() {
+				b.phase = PhaseDone
+			}
+			if did == 0 {
+				return consumed
+			}
+		}
+	}
+	return consumed
+}
+
+// createStepSum inserts up to units elements into their buckets (binary
+// search over the separators per element) while accumulating the
+// predicated sum of the segment for the in-flight query.
+func (b *Bucketsort) createStepSum(units int, lo, hi int64) (column.Result, int) {
+	end := b.copied + units
+	if end > b.n {
+		end = b.n
+	}
+	vals := b.col.Values()
+	var sum, count int64
+	for i := b.copied; i < end; i++ {
+		v := vals[i]
+		b.bks[b.bucketIndexOf(v)].list.Append(v)
+		ge := ^((v - lo) >> 63) & 1
+		le := ^((hi - v) >> 63) & 1
+		m := ge & le
+		sum += v & -m
+		count += m
+	}
+	did := end - b.copied
+	b.copied = end
+	return column.Result{Sum: sum, Count: count}, did
+}
+
+// startRefinement fixes the final-array regions from the (now final)
+// bucket counts.
+func (b *Bucketsort) startRefinement() {
+	b.final = make([]int64, b.n)
+	off := 0
+	for _, bk := range b.bks {
+		bk.regStart = off
+		off += bk.list.Count()
+		bk.regEnd = off
+		bk.top = bk.regStart
+		bk.bottom = bk.regEnd - 1
+		bk.pivot = midpoint(bk.lo, bk.hi)
+	}
+	b.active = 0
+	b.phase = PhaseRefinement
+}
+
+// refineStep advances the merge of the active bucket, spending up to
+// sec seconds of modeled work; returns the seconds consumed.
+func (b *Bucketsort) refineStep(sec float64) float64 {
+	consumed := 0.0
+	for sec-consumed > workEpsilon && b.active < len(b.bks) {
+		bk := b.bks[b.active]
+		switch bk.state {
+		case bPending:
+			if bk.list.Count() == 0 {
+				bk.state = bDone
+				b.active++
+				continue
+			}
+			bk.state = bCopying
+		case bCopying:
+			perUnit := b.model.PivotTime(1)
+			units := int((sec - consumed) / perUnit)
+			if units <= 0 {
+				units = 1
+			}
+			did := 0
+			for did < units {
+				v, ok := bk.cur.Next(bk.list)
+				if !ok {
+					break
+				}
+				// Predication-style frontier write (same kernel as the
+				// quicksort creation phase).
+				b.final[bk.top] = v
+				b.final[bk.bottom] = v
+				if v <= bk.pivot {
+					bk.top++
+				} else {
+					bk.bottom--
+				}
+				did++
+			}
+			consumed += float64(did) * perUnit
+			if bk.cur.Remaining(bk.list) == 0 {
+				bk.list = nil
+				b.seedBucketTree(bk)
+			}
+		case bRefining:
+			perUnit := b.model.SwapTime(1)
+			units := int((sec - consumed) / perUnit)
+			if units <= 0 {
+				units = 1
+			}
+			left := bk.tree.refine(bk.tree.root, units, 1)
+			consumed += float64(units-left) * perUnit
+			if bk.tree.sorted() {
+				bk.tree = nil
+				bk.state = bDone
+				b.active++
+			}
+		case bDone:
+			b.active++
+		}
+	}
+	return consumed
+}
+
+// seedBucketTree turns a fully copied bucket region into a per-bucket
+// quicksort tree, already partitioned around the bucket pivot.
+func (b *Bucketsort) seedBucketTree(bk *bbucket) {
+	root := newQNode(bk.regStart, bk.regEnd, bk.lo, bk.hi)
+	root.pivot = bk.pivot
+	root.left = newQNode(bk.regStart, bk.top, bk.lo, bk.pivot)
+	root.right = newQNode(bk.top, bk.regEnd, bk.pivot+1, bk.hi)
+	root.state = qSplit
+	bk.tree = newQTree(b.final, b.cfg.L1Elements, root)
+	bk.tree.promote(root)
+	bk.state = bRefining
+	if bk.tree.sorted() {
+		bk.tree = nil
+		bk.state = bDone
+		b.active++
+	}
+}
+
+func (b *Bucketsort) startConsolidation() {
+	b.cons = newConsolidator(b.final, b.cfg.Fanout, b.model)
+	b.phase = PhaseConsolidation
+	if b.cons.finished() {
+		b.phase = PhaseDone
+	}
+}
+
+var _ Index = (*Bucketsort)(nil)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// CalibrateParams measures the Table 1 cost-model constants by timing
+// this package's *own* kernels — the predicated range scan, the
+// quicksort creation copy, the pivot-tree refinement and the radix
+// bucket append — on the running machine, the way the paper's
+// implementation measures its operations at startup.
+//
+// This matters: generic memory loops (costmodel.Calibrate) systematically
+// underestimate the kernels' per-element cost (mask arithmetic, branch
+// misprediction, bounds checks), which makes the adaptive budget do
+// several times more real work than intended and breaks the constant
+// per-query cost that Figure 9 demonstrates. The constants returned
+// here keep measured and predicted cost aligned because they were
+// produced by the same code paths the indexes execute.
+//
+// Runs in a few hundred milliseconds; the result should be cached by
+// the caller for the lifetime of the process.
+func CalibrateParams() costmodel.Params {
+	const (
+		n     = 1 << 19
+		gamma = 512
+		sb    = 1024
+	)
+	rng := rand.New(rand.NewSource(0x5eed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(n)
+	}
+	col := column.MustNew(vals)
+
+	// ω from the predicated scan kernel.
+	scanPerElem := bestOf(3, nil, func() {
+		calSink = column.SumRange(vals, int64(n)/4, int64(3*n)/4).Sum
+	}) / n
+
+	// κ from the creation kernel (copy + frontier writes + in-flight
+	// predicated sum), run against a fresh Quicksort each rep.
+	var q *Quicksort
+	pivotPerElem := bestOf(3, func() {
+		q = NewQuicksort(col, Config{Mode: FixedDelta, Delta: 1})
+	}, func() {
+		seg, _ := q.createStepSum(n, int64(n)/4, int64(3*n)/4)
+		calSink = seg.Sum
+	}) / n
+
+	// σ from the pivot-tree refinement run to completion; the charge
+	// units are exactly the ones workNode bills (visits plus n·log n
+	// per outright node sort), so σ is self-consistent by construction.
+	var tree *qtree
+	var visits float64
+	sigma := bestOf(2, func() {
+		arr := make([]int64, n)
+		copy(arr, vals)
+		tree = newQTree(arr, 4096, newQNode(0, n, 0, int64(n)))
+		visits = 0
+	}, func() {
+		for !tree.sorted() {
+			left := tree.refine(tree.root, 1<<20, 1)
+			visits += float64(1<<20 - left)
+		}
+	}) / visits
+
+	// Bucket append cost from the radix creation kernel; the excess
+	// over the quicksort copy becomes τ (per block of sb elements).
+	var r *RadixMSD
+	bucketPerElem := bestOf(3, func() {
+		r = NewRadixMSD(col, Config{Mode: FixedDelta, Delta: 1, BlockSize: sb})
+	}, func() {
+		seg, _ := r.createStepSum(n, int64(n)/4, int64(3*n)/4)
+		calSink = seg.Sum
+	}) / n
+
+	// φ from a dependent pointer-chase over a large array.
+	big := make([]int64, 1<<21)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	phi := bestOf(3, nil, func() {
+		var s int64
+		idx := 0
+		steps := len(big) / gamma
+		for i := 0; i < steps; i++ {
+			idx = (idx + 7919*gamma + int(s&1)) % len(big)
+			s += big[idx]
+		}
+		calSink = s
+	}) / (1 << 21 / gamma)
+
+	omega := scanPerElem * gamma
+	kappa := (pivotPerElem - scanPerElem) * gamma
+	if kappa <= 0 {
+		kappa = omega / 2
+	}
+	tau := (bucketPerElem - pivotPerElem) * sb
+	if tau <= 0 {
+		tau = 1e-9
+	}
+	p := costmodel.Params{
+		OmegaReadPage:  omega,
+		KappaWritePage: kappa,
+		PhiRandomPage:  phi,
+		Gamma:          gamma,
+		SigmaSwap:      sigma,
+		TauAlloc:       tau,
+	}
+	if p.Validate() != nil {
+		return costmodel.Default()
+	}
+	return p
+}
+
+// bestOf times fn reps times (after an untimed setup and a GC) and
+// returns the fastest run in seconds.
+func bestOf(reps int, setup, fn func()) float64 {
+	best := math.MaxFloat64
+	for i := 0; i < reps; i++ {
+		if setup != nil {
+			setup()
+		}
+		runtime.GC()
+		start := time.Now()
+		fn()
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = 1e-9
+	}
+	return best
+}
+
+// calSink defeats dead-code elimination in calibration loops.
+var calSink int64

@@ -1,0 +1,316 @@
+// Package core implements the paper's primary contribution: the four
+// progressive indexing algorithms of Section 3 — Progressive Quicksort,
+// Progressive Radixsort (MSD), Progressive Bucketsort (equi-height) and
+// Progressive Radixsort (LSD) — together with the indexing-budget
+// controller that drives them.
+//
+// Every algorithm progresses through the three canonical phases:
+//
+//	creation      — copy another δ·N elements of the base column into
+//	                the index skeleton per query;
+//	refinement    — order the skeleton progressively (in-place pivoting,
+//	                recursive radix partitioning, or LSD passes);
+//	consolidation — build a B+-tree over the sorted result.
+//
+// Queries are inclusive range aggregates (BETWEEN lo AND hi). Each
+// Query call both answers the query from the current index state and
+// performs a budget-bounded amount of indexing work; work left over
+// when a phase completes spills into the next phase within the same
+// query, so phase transitions do not waste budget.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// Phase identifies where an index is in its lifecycle.
+type Phase int
+
+// Lifecycle phases, in order.
+const (
+	PhaseCreation Phase = iota
+	PhaseRefinement
+	PhaseConsolidation
+	PhaseDone
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCreation:
+		return "creation"
+	case PhaseRefinement:
+		return "refinement"
+	case PhaseConsolidation:
+		return "consolidation"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// BudgetMode selects how the per-query indexing budget is derived.
+type BudgetMode int
+
+const (
+	// FixedDelta indexes a fixed fraction δ of the data per query
+	// (the knob swept in Figure 7).
+	FixedDelta BudgetMode = iota
+	// FixedTime translates a per-query time budget into δ once, on the
+	// first query, using the creation-phase cost model, and keeps that
+	// δ for the remainder of the workload (Section 3, "fixed indexing
+	// budget").
+	FixedTime
+	// AdaptiveTime re-derives δ on every query so that the total query
+	// time stays at t_adaptive = t_scan + t_budget until convergence
+	// (Section 3, "adaptive indexing budget").
+	AdaptiveTime
+)
+
+// String implements fmt.Stringer.
+func (m BudgetMode) String() string {
+	switch m {
+	case FixedDelta:
+		return "fixed-delta"
+	case FixedTime:
+		return "fixed-time"
+	case AdaptiveTime:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("BudgetMode(%d)", int(m))
+	}
+}
+
+// Config carries the tunables shared by all four algorithms. The zero
+// value is usable: it means fixed δ=0.25 with default cost constants.
+type Config struct {
+	// Mode selects the budget flavor. Delta is used by FixedDelta;
+	// BudgetSeconds by FixedTime and AdaptiveTime.
+	Mode          BudgetMode
+	Delta         float64
+	BudgetSeconds float64
+
+	// Params are the cost-model constants. A zero Params means
+	// costmodel.Default(); pass costmodel.Calibrate() for hardware-true
+	// budgets.
+	Params costmodel.Params
+
+	// RadixBits sets the bucket count b = 1<<RadixBits for the radix
+	// and bucket sorts (paper: 6 bits, 64 buckets).
+	RadixBits int
+	// BlockSize is sb, elements per bucket block.
+	BlockSize int
+	// Fanout is β, the B+-tree fanout used in consolidation.
+	Fanout int
+	// L1Elements is the node size below which refinement sorts a node
+	// outright instead of recursing (paper: nodes smaller than L1).
+	L1Elements int
+}
+
+// Defaults returns the configuration used throughout the paper's
+// evaluation: 64 buckets, 8 KiB blocks, β=64, L1 = 32 KiB of int64s,
+// fixed δ=0.25 (Figure 8's setting).
+func Defaults() Config {
+	return Config{
+		Mode:       FixedDelta,
+		Delta:      0.25,
+		RadixBits:  6,
+		BlockSize:  1024,
+		Fanout:     64,
+		L1Elements: 4096,
+	}
+}
+
+// normalize fills zero fields with defaults so constructors accept
+// partially specified configs.
+func (c Config) normalize() Config {
+	d := Defaults()
+	if c.RadixBits <= 0 {
+		c.RadixBits = d.RadixBits
+	}
+	if c.RadixBits > 20 {
+		c.RadixBits = 20 // 1M buckets is already absurd; cap to protect memory
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = d.BlockSize
+	}
+	if c.Fanout < 2 {
+		c.Fanout = d.Fanout
+	}
+	if c.L1Elements <= 0 {
+		c.L1Elements = d.L1Elements
+	}
+	if c.Mode == FixedDelta && c.Delta <= 0 {
+		c.Delta = d.Delta
+	}
+	if c.Delta > 1 {
+		c.Delta = 1
+	}
+	return c
+}
+
+// Stats reports what a single Query call did, for the harness and the
+// cost-model validation experiments (Figures 8 and 9).
+type Stats struct {
+	// Phase the index was in when the query started.
+	Phase Phase
+	// Delta is the fraction of a full indexing pass performed.
+	Delta float64
+	// WorkSeconds is the cost-model value of the indexing work done.
+	WorkSeconds float64
+	// BaseSeconds is the cost-model prediction for answering the query
+	// from the current index state, without any indexing work.
+	BaseSeconds float64
+	// Predicted is the cost-model prediction for the whole call:
+	// BaseSeconds + WorkSeconds.
+	Predicted float64
+	// AlphaElems is how many index-resident elements the answer
+	// scanned (the α of Table 1, in elements).
+	AlphaElems int
+}
+
+// Index is the behaviour shared by all progressive indexes.
+type Index interface {
+	// Name returns the algorithm's short name (PQ, PMSD, PB, PLSD).
+	Name() string
+	// Query answers SUM/COUNT over the inclusive range [lo, hi] and
+	// performs one budget's worth of indexing work.
+	Query(lo, hi int64) column.Result
+	// Converged reports whether the index has reached its final state
+	// (B+-tree complete).
+	Converged() bool
+	// Phase returns the current lifecycle phase.
+	Phase() Phase
+	// LastStats describes the most recent Query call.
+	LastStats() Stats
+}
+
+// budgeter turns the configured budget mode into a per-query number of
+// seconds to spend on indexing.
+type budgeter struct {
+	mode      BudgetMode
+	delta     float64 // resolved δ for FixedDelta/FixedTime
+	budgetSec float64
+	target    float64 // t_adaptive for AdaptiveTime
+	resolved  bool
+}
+
+func newBudgeter(cfg Config, scanTime float64) budgeter {
+	return budgeter{
+		mode:      cfg.Mode,
+		delta:     cfg.Delta,
+		budgetSec: cfg.BudgetSeconds,
+		target:    scanTime + cfg.BudgetSeconds,
+	}
+}
+
+// plan returns the seconds of indexing work for this query. base is the
+// predicted cost of answering the query as-is; unitFull is the cost of
+// a complete (δ=1) indexing pass in the current phase.
+func (b *budgeter) plan(base, unitFull float64) float64 {
+	switch b.mode {
+	case FixedDelta:
+		return b.delta * unitFull
+	case FixedTime:
+		if !b.resolved {
+			// δ = t_budget / t_pivot, resolved once on the first query
+			// against the creation-phase pass cost.
+			if unitFull > 0 {
+				b.delta = b.budgetSec / unitFull
+			}
+			if b.delta > 1 {
+				b.delta = 1
+			}
+			b.resolved = true
+		}
+		return b.delta * unitFull
+	case AdaptiveTime:
+		if rem := b.target - base; rem > 0 {
+			return rem
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// consolidator is the shared consolidation-phase state: a budgeted
+// B+-tree build over the final sorted array.
+type consolidator struct {
+	builder *btree.Builder
+	tree    *btree.Tree
+	sorted  []int64
+	total   int
+	done    int
+	perUnit float64 // model cost per element copy
+}
+
+func newConsolidator(sorted []int64, fanout int, m *costmodel.Model) *consolidator {
+	b, err := btree.NewBuilder(sorted, fanout)
+	if err != nil {
+		// fanout is normalized to >= 2 by Config.normalize; reaching
+		// here is a programming error.
+		panic(fmt.Sprintf("core: consolidator: %v", err))
+	}
+	c := &consolidator{builder: b, sorted: sorted, total: b.TotalCopies()}
+	if c.total > 0 {
+		c.perUnit = m.ConsolidateTime(c.total) / float64(c.total)
+	}
+	if b.Done() {
+		c.tree = b.Tree()
+	}
+	return c
+}
+
+// step spends up to sec seconds of modeled work, returning the seconds
+// actually consumed.
+func (c *consolidator) step(sec float64) float64 {
+	if c.finished() || c.perUnit <= 0 {
+		return 0
+	}
+	units := int(sec / c.perUnit)
+	if units <= 0 {
+		units = 1
+	}
+	performed := c.builder.Step(units)
+	c.done += performed
+	if c.builder.Done() {
+		c.tree = c.builder.Tree()
+	}
+	return float64(performed) * c.perUnit
+}
+
+func (c *consolidator) finished() bool { return c.tree != nil }
+
+// answer resolves the query against the tree if complete, otherwise by
+// binary search on the sorted array (the paper's consolidation-phase
+// behaviour).
+func (c *consolidator) answer(lo, hi int64) column.Result {
+	if c.tree != nil {
+		return c.tree.SumRange(lo, hi)
+	}
+	return column.SumSorted(c.sorted, lo, hi)
+}
+
+// matched returns how many elements the answer will touch, for α.
+func (c *consolidator) matched(lo, hi int64) int {
+	i := column.LowerBound(c.sorted, lo)
+	j := column.UpperBound(c.sorted, hi)
+	return j - i
+}
+
+// midpoint returns vmin + (vmax-vmin)/2 without overflow; the paper's
+// pivot choice ("average value of the smallest and largest value").
+func midpoint(vmin, vmax int64) int64 {
+	return vmin + (vmax-vmin)/2
+}
+
+// workEpsilon is the smallest seconds amount still worth dispatching
+// into a phase work loop; below it the int conversions yield 0 units
+// everywhere and the loop would spin.
+const workEpsilon = 1e-12

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// Quicksort is Progressive Quicksort (Section 3.1).
+//
+// Creation: an uninitialized array of the column's size is allocated on
+// the first query; each query copies another δ·N elements from the base
+// column to the top or bottom of that array depending on their relation
+// to the root pivot (the midpoint of the column's min and max).
+//
+// Refinement: the quicksort continues in place, maintaining a binary
+// tree of pivots; nodes smaller than L1 are sorted outright.
+//
+// Consolidation: a B+-tree is built progressively over the sorted
+// array.
+type Quicksort struct {
+	cfg   Config
+	model *costmodel.Model
+	col   *column.Column
+	n     int
+
+	phase  Phase
+	budget budgeter
+	last   Stats
+
+	// Creation state.
+	index  []int64
+	pivot  int64
+	loCur  int // next write position at the top (values <= pivot)
+	hiCur  int // next write position at the bottom (values > pivot)
+	copied int
+
+	// Refinement state.
+	tree *qtree
+
+	// Consolidation state.
+	cons *consolidator
+}
+
+// NewQuicksort builds a Progressive Quicksort index over col. No work
+// beyond reading the column's zone statistics happens until the first
+// Query.
+func NewQuicksort(col *column.Column, cfg Config) *Quicksort {
+	cfg = cfg.normalize()
+	m := costmodel.New(cfg.Params)
+	q := &Quicksort{
+		cfg:   cfg,
+		model: m,
+		col:   col,
+		n:     col.Len(),
+		pivot: midpoint(col.Min(), col.Max()),
+		hiCur: col.Len() - 1,
+	}
+	q.budget = newBudgeter(cfg, m.ScanTime(q.n))
+	return q
+}
+
+// Name implements Index.
+func (q *Quicksort) Name() string { return "PQ" }
+
+// Phase implements Index.
+func (q *Quicksort) Phase() Phase { return q.phase }
+
+// Converged implements Index.
+func (q *Quicksort) Converged() bool { return q.phase == PhaseDone }
+
+// LastStats implements Index.
+func (q *Quicksort) LastStats() Stats { return q.last }
+
+// Query implements Index: answer [lo, hi] inclusive while performing
+// one budget's worth of indexing work (creation copying interleaved
+// with the scan, refinement pivoting, or consolidation B+-tree
+// building, spilling across phase transitions).
+func (q *Quicksort) Query(lo, hi int64) column.Result {
+	startPhase := q.phase
+	base, alpha := q.predictBase(lo, hi)
+	planned := q.budget.plan(base, q.unitFull())
+
+	var res column.Result
+	consumed := 0.0
+	deltaOverride := -1.0
+	if q.phase == PhaseCreation {
+		// Section 3.1: the copied segment is summed while it is being
+		// pivoted into the index, so it is not scanned twice and the
+		// marginal cost of copying one element is t_pivot - t_scan =
+		// κ/γ — exactly the paper's t_total = (1-ρ+α-δ)·t_scan +
+		// δ·t_pivot once base (which includes the full tail scan) is
+		// added.
+		perUnitPlan := q.model.PivotTime(1) // δ is a fraction of a pivot pass
+		if q.budget.mode == AdaptiveTime {
+			perUnitPlan = q.model.WriteTime(1) // marginal seconds per element
+		}
+		units := int(planned / perUnitPlan)
+		if units < 1 {
+			units = 1
+		}
+		oldLo, oldHi, oldCopied := q.loCur, q.hiCur, q.copied
+		seg, did := q.createStepSum(units, lo, hi)
+		if oldCopied > 0 {
+			if lo <= q.pivot {
+				res.Add(column.SumRange(q.index[:oldLo], lo, hi))
+			}
+			if hi > q.pivot {
+				res.Add(column.SumRange(q.index[oldHi+1:], lo, hi))
+			}
+		}
+		res.Add(seg)
+		res.Add(column.SumRange(q.col.Slice(q.copied, q.n), lo, hi))
+		consumed = float64(did) * q.model.WriteTime(1)
+		deltaOverride = float64(did) / float64(q.n) // δ = fraction indexed
+		if q.copied == q.n {
+			q.startRefinement()
+			if spill := planned - float64(did)*perUnitPlan; spill > 0 {
+				consumed += q.work(spill, lo, hi)
+			}
+		}
+	} else {
+		res = q.answer(lo, hi)
+		consumed = q.work(planned, lo, hi)
+	}
+
+	unit := q.unitFullFor(startPhase)
+	delta := 0.0
+	if unit > 0 {
+		delta = consumed / unit
+	}
+	if deltaOverride >= 0 {
+		delta = deltaOverride
+	}
+	q.last = Stats{
+		Phase:       startPhase,
+		Delta:       delta,
+		WorkSeconds: consumed,
+		BaseSeconds: base,
+		Predicted:   base + consumed,
+		AlphaElems:  alpha,
+	}
+	return res
+}
+
+// unitFull returns the cost of a δ=1 indexing pass in the current
+// phase: t_pivot, t_swap or t_copy of Section 3.1.
+func (q *Quicksort) unitFull() float64 { return q.unitFullFor(q.phase) }
+
+func (q *Quicksort) unitFullFor(p Phase) float64 {
+	switch p {
+	case PhaseCreation:
+		return q.model.PivotTime(q.n)
+	case PhaseRefinement:
+		return q.model.SwapTime(q.n)
+	case PhaseConsolidation:
+		if q.cons != nil {
+			return q.model.ConsolidateTime(q.cons.total)
+		}
+		return q.model.ConsolidateTime(costmodel.ConsolidateCopies(q.n, q.cfg.Fanout))
+	default:
+		return 0
+	}
+}
+
+// predictBase returns the cost-model estimate for answering the query
+// from the current state (the non-δ terms of the t_total formulas) and
+// the α element count it used.
+func (q *Quicksort) predictBase(lo, hi int64) (float64, int) {
+	switch q.phase {
+	case PhaseCreation:
+		alpha := q.creationAlpha(lo, hi)
+		// (1 - ρ + α) · t_scan: tail scan plus index lookup.
+		return q.model.ScanTime(q.n-q.copied) + q.model.ScanTime(alpha), alpha
+	case PhaseRefinement:
+		alpha := q.tree.alphaElems(q.tree.root, lo, hi)
+		return q.model.TreeLookupTime(q.tree.height) + q.model.ScanTime(alpha), alpha
+	case PhaseConsolidation, PhaseDone:
+		alpha := q.cons.matched(lo, hi)
+		return q.model.BinarySearchTime(q.n) + q.model.ScanTime(alpha), alpha
+	default:
+		return 0, 0
+	}
+}
+
+// creationAlpha counts the index-resident elements the answer scans.
+func (q *Quicksort) creationAlpha(lo, hi int64) int {
+	if q.copied == 0 {
+		return 0
+	}
+	alpha := 0
+	if lo <= q.pivot {
+		alpha += q.loCur
+	}
+	if hi > q.pivot {
+		alpha += q.n - 1 - q.hiCur
+	}
+	return alpha
+}
+
+// answer resolves the query exactly from the current index state.
+func (q *Quicksort) answer(lo, hi int64) column.Result {
+	switch q.phase {
+	case PhaseCreation:
+		var r column.Result
+		if q.copied > 0 {
+			if lo <= q.pivot {
+				r.Add(column.SumRange(q.index[:q.loCur], lo, hi))
+			}
+			if hi > q.pivot {
+				r.Add(column.SumRange(q.index[q.hiCur+1:], lo, hi))
+			}
+		}
+		r.Add(column.SumRange(q.col.Slice(q.copied, q.n), lo, hi))
+		return r
+	case PhaseRefinement:
+		return q.tree.query(q.tree.root, lo, hi)
+	default:
+		return q.cons.answer(lo, hi)
+	}
+}
+
+// work spends up to sec seconds of cost-model work on indexing,
+// transitioning phases as they complete (leftover budget spills into
+// the next phase), and returns the seconds consumed. The query bounds
+// let the refinement phase prioritize the regions the workload touches.
+func (q *Quicksort) work(sec float64, lo, hi int64) float64 {
+	consumed := 0.0
+	for sec-consumed > workEpsilon && q.phase != PhaseDone {
+		remaining := sec - consumed
+		switch q.phase {
+		case PhaseCreation:
+			// Creation work is interleaved with answering in Query;
+			// work() is only entered afterwards.
+			return consumed
+		case PhaseRefinement:
+			perUnit := q.model.SwapTime(1)
+			units := int(remaining / perUnit)
+			if units <= 0 {
+				units = 1
+			}
+			left := q.refineRangeFirst(lo, hi, units)
+			consumed += float64(units-left) * perUnit
+			if q.tree.sorted() {
+				q.startConsolidation()
+				continue
+			}
+			if left > 0 {
+				return consumed // defensive: refusal to make progress
+			}
+		case PhaseConsolidation:
+			did := q.cons.step(remaining)
+			consumed += did
+			if q.cons.finished() {
+				q.phase = PhaseDone
+			}
+			if did == 0 {
+				return consumed
+			}
+		}
+	}
+	return consumed
+}
+
+// createStepSum copies up to units elements from the base column into
+// the index, partitioning around the root pivot, while accumulating the
+// predicated sum of the copied segment for the in-flight query. This is
+// the paper's creation kernel: each value is written to both frontier
+// positions and only the matching cursor advances.
+func (q *Quicksort) createStepSum(units int, lo, hi int64) (column.Result, int) {
+	if q.index == nil {
+		q.index = make([]int64, q.n)
+	}
+	end := q.copied + units
+	if end > q.n {
+		end = q.n
+	}
+	vals := q.col.Values()
+	pivot := q.pivot
+	lc, hc := q.loCur, q.hiCur
+	idx := q.index
+	var sum, count int64
+	for i := q.copied; i < end; i++ {
+		v := vals[i]
+		idx[lc] = v
+		idx[hc] = v
+		if v <= pivot {
+			lc++
+		} else {
+			hc--
+		}
+		ge := ^((v - lo) >> 63) & 1
+		le := ^((hi - v) >> 63) & 1
+		m := ge & le
+		sum += v & -m
+		count += m
+	}
+	did := end - q.copied
+	q.loCur, q.hiCur = lc, hc
+	q.copied = end
+	return column.Result{Sum: sum, Count: count}, did
+}
+
+// startRefinement seeds the pivot tree from the creation result: the
+// index array is already partitioned around the root pivot.
+func (q *Quicksort) startRefinement() {
+	root := newQNode(0, q.n, q.col.Min(), q.col.Max())
+	root.pivot = q.pivot
+	root.left = newQNode(0, q.loCur, q.col.Min(), q.pivot)
+	root.right = newQNode(q.loCur, q.n, q.pivot+1, q.col.Max())
+	root.state = qSplit
+	q.tree = newQTree(q.index, q.cfg.L1Elements, root)
+	q.tree.promote(root)
+	q.phase = PhaseRefinement
+	if q.tree.sorted() {
+		q.startConsolidation()
+	}
+}
+
+func (q *Quicksort) startConsolidation() {
+	q.cons = newConsolidator(q.index, q.cfg.Fanout, q.model)
+	q.phase = PhaseConsolidation
+	if q.cons.finished() {
+		q.phase = PhaseDone
+	}
+}
+
+// refineRangeFirst prioritizes nodes overlapping the queried value
+// range, then spends the remainder on the leftmost unfinished nodes,
+// the behaviour Section 3.1 describes.
+func (q *Quicksort) refineRangeFirst(lo, hi int64, units int) int {
+	left := q.tree.refineRange(q.tree.root, lo, hi, units, 1)
+	if left > 0 {
+		left = q.tree.refine(q.tree.root, left, 1)
+	}
+	return left
+}
+
+var _ Index = (*Quicksort)(nil)

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/blocks"
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// RadixLSD is Progressive Radixsort (LSD), Section 3.4.
+//
+// Creation: each query moves δ·N elements into 64 buckets keyed by the
+// *least* significant 6 bits.
+//
+// Refinement: elements move from the current bucket set to a fresh one
+// keyed by the next 6 bits, FIFO within and across buckets (stable),
+// for ceil(log2(max-min)/log2(b)) passes total; afterwards the buckets,
+// concatenated in order, form the sorted array, which a final merge
+// sub-phase materializes.
+//
+// The intermediate buckets accelerate point and very narrow range
+// queries only. Range queries that would touch every bucket fall back
+// to scanning the original column, the paper's "when α == ρ we scan
+// the original column" rule; this is why PLSD shows the best robustness
+// (the fallback cost is exactly one scan) but the worst cumulative time
+// on range-heavy workloads.
+type RadixLSD struct {
+	cfg   Config
+	model *costmodel.Model
+	col   *column.Column
+	n     int
+
+	phase  Phase
+	budget budgeter
+	last   Stats
+
+	buckets int
+	min     int64
+	passes  int // total distribute passes, including creation's pass 0
+
+	copied     int
+	passesDone int
+	old        *blocks.Set // keyed by digit passesDone-1
+	oldIdx     int         // bucket currently being consumed
+	oldCur     blocks.Cursor
+	next       *blocks.Set // keyed by digit passesDone
+
+	merging  bool
+	mergeIdx int
+	mergeCur blocks.Cursor
+	final    []int64
+	writeOff int
+
+	cons *consolidator
+}
+
+// NewRadixLSD builds a Progressive Radixsort (LSD) index over col.
+func NewRadixLSD(col *column.Column, cfg Config) *RadixLSD {
+	cfg = cfg.normalize()
+	m := costmodel.New(cfg.Params)
+	span := uint64(col.Max() - col.Min())
+	passes := (bits.Len64(span) + cfg.RadixBits - 1) / cfg.RadixBits
+	if passes < 1 {
+		passes = 1
+	}
+	r := &RadixLSD{
+		cfg:     cfg,
+		model:   m,
+		col:     col,
+		n:       col.Len(),
+		buckets: 1 << cfg.RadixBits,
+		min:     col.Min(),
+		passes:  passes,
+	}
+	r.budget = newBudgeter(cfg, m.ScanTime(r.n))
+	r.old = blocks.NewSet(r.buckets, cfg.BlockSize)
+	return r
+}
+
+// digit extracts the bucket index of v for distribute pass p.
+func (r *RadixLSD) digit(v int64, p int) int {
+	return int((v - r.min) >> (uint(p) * uint(r.cfg.RadixBits)) & int64(r.buckets-1))
+}
+
+// digitBuckets returns the bucket indices that may contain values of
+// [lo, hi] at distribute pass p, or all=true when every bucket can.
+func (r *RadixLSD) digitBuckets(lo, hi int64, p int) (idxs []int, all bool) {
+	if hi < r.col.Min() || lo > r.col.Max() {
+		return nil, false
+	}
+	if lo < r.col.Min() {
+		lo = r.col.Min()
+	}
+	if hi > r.col.Max() {
+		hi = r.col.Max()
+	}
+	shift := uint(p) * uint(r.cfg.RadixBits)
+	a := (lo - r.min) >> shift
+	b := (hi - r.min) >> shift
+	if b-a >= int64(r.buckets-1) {
+		return nil, true
+	}
+	mask := int64(r.buckets - 1)
+	have := make([]bool, r.buckets)
+	for k := a; k <= b; k++ {
+		have[int(k&mask)] = true
+	}
+	for i, h := range have {
+		if h {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs, false
+}
+
+// Name implements Index.
+func (r *RadixLSD) Name() string { return "PLSD" }
+
+// Phase implements Index.
+func (r *RadixLSD) Phase() Phase { return r.phase }
+
+// Converged implements Index.
+func (r *RadixLSD) Converged() bool { return r.phase == PhaseDone }
+
+// LastStats implements Index.
+func (r *RadixLSD) LastStats() Stats { return r.last }
+
+// Query implements Index.
+func (r *RadixLSD) Query(lo, hi int64) column.Result {
+	startPhase := r.phase
+	base, alpha := r.predictBase(lo, hi)
+	planned := r.budget.plan(base, r.unitFull())
+
+	var res column.Result
+	consumed := 0.0
+	deltaOverride := -1.0
+	if r.phase == PhaseCreation {
+		bucketUnit := r.model.BucketTime(1, r.cfg.BlockSize)
+		marginal := bucketUnit - r.model.ScanTime(1)
+		perUnitPlan := bucketUnit
+		if r.budget.mode == AdaptiveTime {
+			perUnitPlan = marginal
+		}
+		units := int(planned / perUnitPlan)
+		if units < 1 {
+			units = 1
+		}
+		_, fb := r.creationAlpha(lo, hi)
+		oldCopied := r.copied
+		if !fb {
+			idxs, _ := r.digitBuckets(lo, hi, 0)
+			for _, i := range idxs {
+				res.Add(r.old.Bucket(i).SumRange(lo, hi))
+			}
+		}
+		seg, did := r.createStepSum(units, lo, hi)
+		res.Add(seg)
+		if fb {
+			// Fallback (α == ρ): the indexed prefix is re-read from the
+			// original column, which together with the segment and the
+			// tail is exactly one full predicated scan.
+			res.Add(column.SumRange(r.col.Slice(0, oldCopied), lo, hi))
+		}
+		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		consumed = float64(did) * marginal
+		deltaOverride = float64(did) / float64(r.n)
+		if r.copied == r.n {
+			r.startRefinement()
+			if spill := planned - float64(did)*perUnitPlan; spill > 0 {
+				consumed += r.work(spill)
+			}
+		}
+	} else {
+		res = r.answer(lo, hi)
+		consumed = r.work(planned)
+	}
+
+	unit := r.unitFullFor(startPhase)
+	delta := 0.0
+	if unit > 0 {
+		delta = consumed / unit
+	}
+	if deltaOverride >= 0 {
+		delta = deltaOverride
+	}
+	r.last = Stats{
+		Phase:       startPhase,
+		Delta:       delta,
+		WorkSeconds: consumed,
+		BaseSeconds: base,
+		Predicted:   base + consumed,
+		AlphaElems:  alpha,
+	}
+	return res
+}
+
+func (r *RadixLSD) unitFull() float64 { return r.unitFullFor(r.phase) }
+
+func (r *RadixLSD) unitFullFor(p Phase) float64 {
+	switch p {
+	case PhaseCreation, PhaseRefinement:
+		return r.model.BucketTime(r.n, r.cfg.BlockSize)
+	case PhaseConsolidation:
+		if r.cons != nil {
+			return r.model.ConsolidateTime(r.cons.total)
+		}
+		return r.model.ConsolidateTime(costmodel.ConsolidateCopies(r.n, r.cfg.Fanout))
+	default:
+		return 0
+	}
+}
+
+func (r *RadixLSD) predictBase(lo, hi int64) (float64, int) {
+	switch r.phase {
+	case PhaseCreation:
+		alpha, fb := r.creationAlpha(lo, hi)
+		if fb {
+			// Fallback: one predicated scan of the whole column.
+			return r.model.ScanTime(r.n), r.copied
+		}
+		return r.model.ScanTime(r.n-r.copied) +
+			r.model.BucketScanTime(alpha, r.cfg.BlockSize), alpha
+	case PhaseRefinement:
+		alpha, all := r.refinementAlpha(lo, hi)
+		if all {
+			return r.model.ScanTime(r.n), r.n
+		}
+		return r.model.TreeLookupTime(1) +
+			r.model.BucketScanTime(alpha, r.cfg.BlockSize), alpha
+	case PhaseConsolidation, PhaseDone:
+		alpha := r.cons.matched(lo, hi)
+		return r.model.BinarySearchTime(r.n) + r.model.ScanTime(alpha), alpha
+	default:
+		return 0, 0
+	}
+}
+
+// refinementAlpha counts the bucket-resident elements a narrow query
+// scans, or reports fallback=true when scanning the original column is
+// at least as cheap — the paper's "when α == ρ we scan the original
+// column" rule, generalized by cost comparison: bucket scans pay a
+// random access per block, so even a strict subset of the buckets can
+// be slower than one sequential pass.
+func (r *RadixLSD) refinementAlpha(lo, hi int64) (int, bool) {
+	alpha := 0
+	if r.merging {
+		idxs, all := r.digitBuckets(lo, hi, r.passes-1)
+		if all {
+			return r.n, true
+		}
+		for _, i := range idxs {
+			switch {
+			case i < r.mergeIdx:
+				// fully merged into the sorted prefix
+			case i == r.mergeIdx:
+				alpha += r.mergeCur.Remaining(r.old.Bucket(i))
+			default:
+				alpha += r.old.Bucket(i).Count()
+			}
+		}
+		if r.bucketScanSlower(alpha) {
+			return r.n, true
+		}
+		pre := r.final[:r.writeOff]
+		alpha += column.UpperBound(pre, hi) - column.LowerBound(pre, lo)
+		return alpha, false
+	}
+	oldIdxs, allOld := r.digitBuckets(lo, hi, r.passesDone-1)
+	newIdxs, allNew := r.digitBuckets(lo, hi, r.passesDone)
+	if allOld || allNew {
+		return r.n, true
+	}
+	for _, i := range oldIdxs {
+		switch {
+		case i < r.oldIdx:
+			// already drained
+		case i == r.oldIdx:
+			alpha += r.oldCur.Remaining(r.old.Bucket(i))
+		default:
+			alpha += r.old.Bucket(i).Count()
+		}
+	}
+	for _, i := range newIdxs {
+		alpha += r.next.Bucket(i).Count()
+	}
+	if r.bucketScanSlower(alpha) {
+		return r.n, true
+	}
+	return alpha, false
+}
+
+// bucketScanSlower reports whether scanning alpha bucket-resident
+// elements costs at least as much as one sequential pass over the
+// original column.
+func (r *RadixLSD) bucketScanSlower(alpha int) bool {
+	return r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ScanTime(r.n)
+}
+
+// creationAlpha counts the bucket-resident elements a creation-phase
+// query must scan, or reports fallback=true when re-scanning the
+// already-indexed column prefix is at least as cheap.
+func (r *RadixLSD) creationAlpha(lo, hi int64) (int, bool) {
+	idxs, all := r.digitBuckets(lo, hi, 0)
+	if all {
+		return r.copied, true
+	}
+	alpha := 0
+	for _, i := range idxs {
+		alpha += r.old.Bucket(i).Count()
+	}
+	if r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ScanTime(r.copied) {
+		return r.copied, true
+	}
+	return alpha, false
+}
+
+func (r *RadixLSD) answer(lo, hi int64) column.Result {
+	switch r.phase {
+	case PhaseCreation:
+		idxs, all := r.digitBuckets(lo, hi, 0)
+		if all {
+			return r.col.Sum(lo, hi)
+		}
+		var res column.Result
+		for _, i := range idxs {
+			res.Add(r.old.Bucket(i).SumRange(lo, hi))
+		}
+		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		return res
+	case PhaseRefinement:
+		return r.answerRefinement(lo, hi)
+	default:
+		return r.cons.answer(lo, hi)
+	}
+}
+
+func (r *RadixLSD) answerRefinement(lo, hi int64) column.Result {
+	// The fallback decision must match the one the cost prediction took
+	// (refinementAlpha), so both use the same cost comparison.
+	if _, fb := r.refinementAlpha(lo, hi); fb {
+		return r.col.Sum(lo, hi)
+	}
+	if r.merging {
+		idxs, all := r.digitBuckets(lo, hi, r.passes-1)
+		if all {
+			return r.col.Sum(lo, hi)
+		}
+		// Sorted prefix covers all fully merged buckets (and part of
+		// the active one); the rest is still bucket-resident.
+		res := column.SumSorted(r.final[:r.writeOff], lo, hi)
+		for _, i := range idxs {
+			switch {
+			case i < r.mergeIdx:
+			case i == r.mergeIdx:
+				res.Add(r.mergeCur.SumRangeRemaining(r.old.Bucket(i), lo, hi))
+			default:
+				res.Add(r.old.Bucket(i).SumRange(lo, hi))
+			}
+		}
+		return res
+	}
+	oldIdxs, allOld := r.digitBuckets(lo, hi, r.passesDone-1)
+	newIdxs, allNew := r.digitBuckets(lo, hi, r.passesDone)
+	if allOld || allNew {
+		return r.col.Sum(lo, hi)
+	}
+	var res column.Result
+	for _, i := range oldIdxs {
+		switch {
+		case i < r.oldIdx:
+		case i == r.oldIdx:
+			res.Add(r.oldCur.SumRangeRemaining(r.old.Bucket(i), lo, hi))
+		default:
+			res.Add(r.old.Bucket(i).SumRange(lo, hi))
+		}
+	}
+	for _, i := range newIdxs {
+		res.Add(r.next.Bucket(i).SumRange(lo, hi))
+	}
+	return res
+}
+
+func (r *RadixLSD) work(sec float64) float64 {
+	consumed := 0.0
+	perUnit := r.model.BucketTime(1, r.cfg.BlockSize)
+	for sec-consumed > workEpsilon && r.phase != PhaseDone {
+		remaining := sec - consumed
+		switch r.phase {
+		case PhaseCreation:
+			// Creation work is interleaved with answering in Query.
+			return consumed
+		case PhaseRefinement:
+			units := int(remaining / perUnit)
+			if units <= 0 {
+				units = 1
+			}
+			var did int
+			wasMerging := r.merging
+			if r.merging {
+				did = r.mergeStep(units)
+			} else {
+				did = r.distributeStep(units)
+			}
+			consumed += float64(did) * perUnit
+			if r.merging && r.writeOff == r.n {
+				r.startConsolidation()
+				continue
+			}
+			if did == 0 && wasMerging == r.merging {
+				return consumed // defensive: no progress, no transition
+			}
+		case PhaseConsolidation:
+			did := r.cons.step(remaining)
+			consumed += did
+			if r.cons.finished() {
+				r.phase = PhaseDone
+			}
+			if did == 0 {
+				return consumed
+			}
+		}
+	}
+	return consumed
+}
+
+// createStepSum performs distribute pass 0 over up to units base-column
+// elements, summing the segment for the in-flight query.
+func (r *RadixLSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
+	end := r.copied + units
+	if end > r.n {
+		end = r.n
+	}
+	vals := r.col.Values()
+	var sum, count int64
+	for i := r.copied; i < end; i++ {
+		v := vals[i]
+		r.old.Bucket(r.digit(v, 0)).Append(v)
+		ge := ^((v - lo) >> 63) & 1
+		le := ^((hi - v) >> 63) & 1
+		m := ge & le
+		sum += v & -m
+		count += m
+	}
+	did := end - r.copied
+	r.copied = end
+	return column.Result{Sum: sum, Count: count}, did
+}
+
+func (r *RadixLSD) startRefinement() {
+	r.phase = PhaseRefinement
+	r.passesDone = 1
+	if r.passesDone >= r.passes {
+		r.startMerge()
+		return
+	}
+	r.next = blocks.NewSet(r.buckets, r.cfg.BlockSize)
+	r.oldIdx = 0
+	r.oldCur = blocks.Cursor{}
+}
+
+// distributeStep moves up to units elements from the old bucket set to
+// the next one, FIFO, and returns how many it moved.
+func (r *RadixLSD) distributeStep(units int) int {
+	did := 0
+	for did < units {
+		if r.oldIdx >= r.buckets {
+			// Pass complete.
+			r.passesDone++
+			r.old = r.next
+			r.next = nil
+			if r.passesDone >= r.passes {
+				r.startMerge()
+				return did
+			}
+			r.next = blocks.NewSet(r.buckets, r.cfg.BlockSize)
+			r.oldIdx = 0
+			r.oldCur = blocks.Cursor{}
+			continue
+		}
+		bucket := r.old.Bucket(r.oldIdx)
+		v, ok := r.oldCur.Next(bucket)
+		if !ok {
+			bucket.Reset() // free consumed blocks eagerly
+			r.oldIdx++
+			r.oldCur = blocks.Cursor{}
+			continue
+		}
+		r.next.Bucket(r.digit(v, r.passesDone)).Append(v)
+		did++
+	}
+	return did
+}
+
+func (r *RadixLSD) startMerge() {
+	r.merging = true
+	r.final = make([]int64, r.n)
+	r.writeOff = 0
+	r.mergeIdx = 0
+	r.mergeCur = blocks.Cursor{}
+}
+
+// mergeStep copies up to units elements from the final-pass buckets
+// into the sorted array, in bucket order.
+func (r *RadixLSD) mergeStep(units int) int {
+	did := 0
+	for did < units && r.writeOff < r.n {
+		if r.mergeIdx >= r.buckets {
+			break
+		}
+		bucket := r.old.Bucket(r.mergeIdx)
+		v, ok := r.mergeCur.Next(bucket)
+		if !ok {
+			bucket.Reset()
+			r.mergeIdx++
+			r.mergeCur = blocks.Cursor{}
+			continue
+		}
+		r.final[r.writeOff] = v
+		r.writeOff++
+		did++
+	}
+	return did
+}
+
+func (r *RadixLSD) startConsolidation() {
+	r.merging = false
+	r.cons = newConsolidator(r.final, r.cfg.Fanout, r.model)
+	r.phase = PhaseConsolidation
+	if r.cons.finished() {
+		r.phase = PhaseDone
+	}
+}
+
+var _ Index = (*RadixLSD)(nil)

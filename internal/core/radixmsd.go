@@ -1,0 +1,540 @@
+package core
+
+import (
+	"math/bits"
+	"slices"
+
+	"repro/internal/blocks"
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// rstate is the lifecycle of one radix-tree node.
+type rstate uint8
+
+const (
+	rBucket    rstate = iota // leaf bucket holding unsorted elements
+	rMerging                 // draining into the final sorted array
+	rSplitting               // repartitioning into 64 sub-buckets
+	rInternal                // fully repartitioned; children carry on
+	rMerged                  // region [start, end) of the final array
+)
+
+// rnode is one node of the radix partitioning tree (Section 3.2: "We
+// keep track of the buckets using a tree in which the nodes point
+// towards either the leaf buckets or towards a position in the final
+// sorted array in case the leaf buckets have already been merged").
+type rnode struct {
+	lo, hi     int64 // inclusive value range this node covers
+	state      rstate
+	list       *blocks.List  // elements (rBucket, rMerging, rSplitting)
+	cur        blocks.Cursor // consumption progress (rMerging, rSplitting)
+	children   []*rnode      // rSplitting, rInternal
+	childShift uint
+	start, end int // region in the final array (rMerged, rMerging)
+}
+
+// childShiftFor returns the shift that extracts the next log2(b) most
+// significant bits of the span [lo, hi]. Always >= 0; 0 means children
+// cover single values.
+func childShiftFor(lo, hi int64, radixBits int) uint {
+	span := uint64(hi - lo)
+	bl := bits.Len64(span)
+	if bl <= radixBits {
+		return 0
+	}
+	return uint(bl - radixBits)
+}
+
+// RadixMSD is Progressive Radixsort (MSD), Section 3.2.
+//
+// Creation: each query moves δ·N elements from the base column into 64
+// buckets selected by the most significant bits. Buckets are linked
+// lists of fixed-size blocks.
+//
+// Refinement: buckets are recursively repartitioned by the next 6 most
+// significant bits; buckets that fit in L1 are sorted directly into
+// their position in the final sorted array, left to right.
+//
+// Consolidation: a B+-tree is built progressively over the final array.
+type RadixMSD struct {
+	cfg   Config
+	model *costmodel.Model
+	col   *column.Column
+	n     int
+
+	phase  Phase
+	budget budgeter
+	last   Stats
+
+	buckets int
+	mask    int64
+
+	root     *rnode
+	copied   int // creation progress into the base column
+	final    []int64
+	writeOff int
+
+	cons *consolidator
+}
+
+// NewRadixMSD builds a Progressive Radixsort (MSD) index over col.
+func NewRadixMSD(col *column.Column, cfg Config) *RadixMSD {
+	cfg = cfg.normalize()
+	m := costmodel.New(cfg.Params)
+	r := &RadixMSD{
+		cfg:     cfg,
+		model:   m,
+		col:     col,
+		n:       col.Len(),
+		buckets: 1 << cfg.RadixBits,
+		mask:    int64(1<<cfg.RadixBits) - 1,
+	}
+	r.budget = newBudgeter(cfg, m.ScanTime(r.n))
+	r.root = &rnode{lo: col.Min(), hi: col.Max(), state: rInternal}
+	r.root.childShift = childShiftFor(r.root.lo, r.root.hi, cfg.RadixBits)
+	r.root.children = r.makeChildren(r.root)
+	return r
+}
+
+// makeChildren allocates the 64 sub-buckets of a node.
+func (r *RadixMSD) makeChildren(n *rnode) []*rnode {
+	shift := n.childShift
+	kids := make([]*rnode, r.buckets)
+	for i := range kids {
+		clo := n.lo + int64(i)<<shift
+		chi := n.lo + int64(i+1)<<shift - 1
+		if chi > n.hi {
+			chi = n.hi
+		}
+		kids[i] = &rnode{
+			lo:    clo,
+			hi:    chi,
+			state: rBucket,
+			list:  blocks.NewList(r.cfg.BlockSize),
+		}
+	}
+	return kids
+}
+
+// bucketOf returns the child index of v under node n.
+func (r *RadixMSD) bucketOf(n *rnode, v int64) int {
+	return int((v - n.lo) >> n.childShift & r.mask)
+}
+
+// Name implements Index.
+func (r *RadixMSD) Name() string { return "PMSD" }
+
+// Phase implements Index.
+func (r *RadixMSD) Phase() Phase { return r.phase }
+
+// Converged implements Index.
+func (r *RadixMSD) Converged() bool { return r.phase == PhaseDone }
+
+// LastStats implements Index.
+func (r *RadixMSD) LastStats() Stats { return r.last }
+
+// Query implements Index.
+func (r *RadixMSD) Query(lo, hi int64) column.Result {
+	startPhase := r.phase
+	base, alpha := r.predictBase(lo, hi)
+	planned := r.budget.plan(base, r.unitFull())
+
+	var res column.Result
+	consumed := 0.0
+	deltaOverride := -1.0
+	if r.phase == PhaseCreation {
+		// Scan the pre-insert bucket state, then bucket the next δ·N
+		// elements while summing them (Section 3.2's "while scanning
+		// the original column, we place N·δ elements into the
+		// buckets"), then scan the remaining tail.
+		bucketUnit := r.model.BucketTime(1, r.cfg.BlockSize)
+		marginal := bucketUnit - r.model.ScanTime(1)
+		perUnitPlan := bucketUnit
+		if r.budget.mode == AdaptiveTime {
+			perUnitPlan = marginal
+		}
+		units := int(planned / perUnitPlan)
+		if units < 1 {
+			units = 1
+		}
+		if iLo, iHi, ok := r.childRange(r.root, lo, hi); ok {
+			for i := iLo; i <= iHi; i++ {
+				res.Add(r.root.children[i].list.SumRange(lo, hi))
+			}
+		}
+		seg, did := r.createStepSum(units, lo, hi)
+		res.Add(seg)
+		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		consumed = float64(did) * marginal
+		deltaOverride = float64(did) / float64(r.n)
+		if r.copied == r.n {
+			r.startRefinement()
+			if spill := planned - float64(did)*perUnitPlan; spill > 0 {
+				consumed += r.work(spill)
+			}
+		}
+	} else {
+		res = r.answer(lo, hi)
+		consumed = r.work(planned)
+	}
+
+	unit := r.unitFullFor(startPhase)
+	delta := 0.0
+	if unit > 0 {
+		delta = consumed / unit
+	}
+	if deltaOverride >= 0 {
+		delta = deltaOverride
+	}
+	r.last = Stats{
+		Phase:       startPhase,
+		Delta:       delta,
+		WorkSeconds: consumed,
+		BaseSeconds: base,
+		Predicted:   base + consumed,
+		AlphaElems:  alpha,
+	}
+	return res
+}
+
+func (r *RadixMSD) unitFull() float64 { return r.unitFullFor(r.phase) }
+
+func (r *RadixMSD) unitFullFor(p Phase) float64 {
+	switch p {
+	case PhaseCreation, PhaseRefinement:
+		return r.model.BucketTime(r.n, r.cfg.BlockSize)
+	case PhaseConsolidation:
+		if r.cons != nil {
+			return r.model.ConsolidateTime(r.cons.total)
+		}
+		return r.model.ConsolidateTime(costmodel.ConsolidateCopies(r.n, r.cfg.Fanout))
+	default:
+		return 0
+	}
+}
+
+// predictBase estimates the answer-only cost from the current state.
+func (r *RadixMSD) predictBase(lo, hi int64) (float64, int) {
+	switch r.phase {
+	case PhaseCreation:
+		inBuckets := r.alphaBuckets(lo, hi)
+		return r.model.ScanTime(r.n-r.copied) +
+			r.model.BucketScanTime(inBuckets, r.cfg.BlockSize), inBuckets
+	case PhaseRefinement:
+		inBuckets, inSorted := r.alphaTree(r.root, lo, hi)
+		return r.model.TreeLookupTime(r.treeDepth()) +
+			r.model.BucketScanTime(inBuckets, r.cfg.BlockSize) +
+			r.model.ScanTime(inSorted), inBuckets + inSorted
+	case PhaseConsolidation, PhaseDone:
+		alpha := r.cons.matched(lo, hi)
+		return r.model.BinarySearchTime(r.n) + r.model.ScanTime(alpha), alpha
+	default:
+		return 0, 0
+	}
+}
+
+// treeDepth is a cheap upper bound on the radix-tree height for the
+// t_lookup term: levels of log2(b) bits over the value span.
+func (r *RadixMSD) treeDepth() int {
+	span := uint64(r.root.hi - r.root.lo)
+	return 1 + bits.Len64(span)/r.cfg.RadixBits
+}
+
+// alphaBuckets counts elements in creation-phase buckets the answer
+// must scan.
+func (r *RadixMSD) alphaBuckets(lo, hi int64) int {
+	iLo, iHi, ok := r.childRange(r.root, lo, hi)
+	if !ok {
+		return 0
+	}
+	total := 0
+	for i := iLo; i <= iHi; i++ {
+		total += r.root.children[i].list.Count()
+	}
+	return total
+}
+
+// childRange clamps the value range to child indices of n.
+func (r *RadixMSD) childRange(n *rnode, lo, hi int64) (int, int, bool) {
+	if hi < n.lo || lo > n.hi {
+		return 0, 0, false
+	}
+	if lo < n.lo {
+		lo = n.lo
+	}
+	if hi > n.hi {
+		hi = n.hi
+	}
+	return r.bucketOf(n, lo), r.bucketOf(n, hi), true
+}
+
+// alphaTree walks the radix tree estimating scanned element counts in
+// (bucket-resident, sorted-region) form.
+func (r *RadixMSD) alphaTree(n *rnode, lo, hi int64) (int, int) {
+	if n == nil || hi < n.lo || lo > n.hi {
+		return 0, 0
+	}
+	switch n.state {
+	case rBucket:
+		return n.list.Count(), 0
+	case rMerging:
+		return n.cur.Remaining(n.list), r.writeOff - n.start
+	case rSplitting:
+		b := n.cur.Remaining(n.list)
+		iLo, iHi, ok := r.childRange(n, lo, hi)
+		if !ok {
+			return b, 0
+		}
+		s := 0
+		for i := iLo; i <= iHi; i++ {
+			cb, cs := r.alphaTree(n.children[i], lo, hi)
+			b += cb
+			s += cs
+		}
+		return b, s
+	case rInternal:
+		iLo, iHi, ok := r.childRange(n, lo, hi)
+		if !ok {
+			return 0, 0
+		}
+		b, s := 0, 0
+		for i := iLo; i <= iHi; i++ {
+			cb, cs := r.alphaTree(n.children[i], lo, hi)
+			b += cb
+			s += cs
+		}
+		return b, s
+	default: // rMerged
+		arr := r.final[n.start:n.end]
+		return 0, column.UpperBound(arr, hi) - column.LowerBound(arr, lo)
+	}
+}
+
+// answer resolves the query exactly from the current state.
+func (r *RadixMSD) answer(lo, hi int64) column.Result {
+	switch r.phase {
+	case PhaseCreation:
+		var res column.Result
+		if iLo, iHi, ok := r.childRange(r.root, lo, hi); ok {
+			for i := iLo; i <= iHi; i++ {
+				res.Add(r.root.children[i].list.SumRange(lo, hi))
+			}
+		}
+		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		return res
+	case PhaseRefinement:
+		return r.queryNode(r.root, lo, hi)
+	default:
+		return r.cons.answer(lo, hi)
+	}
+}
+
+// queryNode answers from the radix tree; every element lives in exactly
+// one place (a bucket suffix, a child, or a final-array region).
+func (r *RadixMSD) queryNode(n *rnode, lo, hi int64) column.Result {
+	if n == nil || hi < n.lo || lo > n.hi {
+		return column.Result{}
+	}
+	switch n.state {
+	case rBucket:
+		return n.list.SumRange(lo, hi)
+	case rMerging:
+		// Copied prefix lives in final[start:writeOff], sorted only
+		// after completion, so scan it predicated; remainder in list.
+		res := column.SumRange(r.final[n.start:r.writeOff], lo, hi)
+		res.Add(n.cur.SumRangeRemaining(n.list, lo, hi))
+		return res
+	case rSplitting:
+		res := n.cur.SumRangeRemaining(n.list, lo, hi)
+		if iLo, iHi, ok := r.childRange(n, lo, hi); ok {
+			for i := iLo; i <= iHi; i++ {
+				res.Add(r.queryNode(n.children[i], lo, hi))
+			}
+		}
+		return res
+	case rInternal:
+		var res column.Result
+		if iLo, iHi, ok := r.childRange(n, lo, hi); ok {
+			for i := iLo; i <= iHi; i++ {
+				res.Add(r.queryNode(n.children[i], lo, hi))
+			}
+		}
+		return res
+	default: // rMerged
+		return column.SumSorted(r.final[n.start:n.end], lo, hi)
+	}
+}
+
+// work spends up to sec seconds of modeled work, spilling across phase
+// transitions, and returns the seconds consumed.
+func (r *RadixMSD) work(sec float64) float64 {
+	consumed := 0.0
+	for sec-consumed > workEpsilon && r.phase != PhaseDone {
+		remaining := sec - consumed
+		switch r.phase {
+		case PhaseCreation:
+			// Creation work is interleaved with answering in Query.
+			return consumed
+		case PhaseRefinement:
+			perUnit := r.model.BucketTime(1, r.cfg.BlockSize)
+			units := int(remaining / perUnit)
+			if units <= 0 {
+				units = 1
+			}
+			left := r.process(r.root, units)
+			consumed += float64(units-left) * perUnit
+			if r.root.state == rMerged {
+				r.startConsolidation()
+				continue
+			}
+			if left > 0 {
+				return consumed
+			}
+		case PhaseConsolidation:
+			did := r.cons.step(remaining)
+			consumed += did
+			if r.cons.finished() {
+				r.phase = PhaseDone
+			}
+			if did == 0 {
+				return consumed
+			}
+		}
+	}
+	return consumed
+}
+
+// createStepSum appends up to units elements from the base column into
+// the root buckets, accumulating the predicated sum of the segment for
+// the in-flight query, and returns how many elements it moved.
+func (r *RadixMSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
+	end := r.copied + units
+	if end > r.n {
+		end = r.n
+	}
+	vals := r.col.Values()
+	root := r.root
+	var sum, count int64
+	for i := r.copied; i < end; i++ {
+		v := vals[i]
+		root.children[r.bucketOf(root, v)].list.Append(v)
+		ge := ^((v - lo) >> 63) & 1
+		le := ^((hi - v) >> 63) & 1
+		m := ge & le
+		sum += v & -m
+		count += m
+	}
+	did := end - r.copied
+	r.copied = end
+	return column.Result{Sum: sum, Count: count}, did
+}
+
+func (r *RadixMSD) startRefinement() {
+	r.final = make([]int64, r.n)
+	r.writeOff = 0
+	r.phase = PhaseRefinement
+}
+
+func (r *RadixMSD) startConsolidation() {
+	r.cons = newConsolidator(r.final, r.cfg.Fanout, r.model)
+	r.phase = PhaseConsolidation
+	if r.cons.finished() {
+		r.phase = PhaseDone
+	}
+}
+
+// process advances the refinement DFS with the given element budget and
+// returns the unused budget. Merging into the final array happens
+// strictly left to right so writeOff only ever grows sequentially.
+func (r *RadixMSD) process(n *rnode, budget int) int {
+	if budget <= 0 || n.state == rMerged {
+		return budget
+	}
+	switch n.state {
+	case rBucket:
+		// Decide: merge directly (small or single-valued) or split.
+		if n.list.Count() <= r.cfg.L1Elements || n.lo >= n.hi {
+			n.start = r.writeOff
+			n.state = rMerging
+			return r.process(n, budget)
+		}
+		n.childShift = childShiftFor(n.lo, n.hi, r.cfg.RadixBits)
+		n.children = r.makeChildren(n)
+		n.state = rSplitting
+		return r.process(n, budget)
+	case rMerging:
+		for budget > 0 {
+			v, ok := n.cur.Next(n.list)
+			if !ok {
+				break
+			}
+			r.final[r.writeOff] = v
+			r.writeOff++
+			budget--
+		}
+		if n.cur.Remaining(n.list) == 0 {
+			n.end = r.writeOff
+			if n.lo < n.hi {
+				slices.Sort(r.final[n.start:n.end])
+				// Charge the comparison sort beyond the per-element
+				// copy already billed; may overshoot by one node.
+				budget -= sortCost(n.end - n.start)
+			}
+			n.list = nil
+			n.state = rMerged
+		}
+		return budget
+	case rSplitting:
+		for budget > 0 {
+			v, ok := n.cur.Next(n.list)
+			if !ok {
+				break
+			}
+			n.children[r.bucketOf(n, v)].list.Append(v)
+			budget--
+		}
+		if n.cur.Remaining(n.list) == 0 {
+			n.list = nil
+			n.state = rInternal
+			return r.process(n, budget)
+		}
+		return budget
+	case rInternal:
+		allMerged := true
+		for _, c := range n.children {
+			if c.state == rMerged {
+				continue
+			}
+			budget = r.process(c, budget)
+			if c.state != rMerged {
+				allMerged = false
+				break // strict left-to-right merge order
+			}
+			if budget <= 0 {
+				// Check whether this was the last child anyway.
+				allMerged = allMerged && r.allChildrenMerged(n)
+				break
+			}
+		}
+		if allMerged && r.allChildrenMerged(n) {
+			n.start = n.children[0].start
+			n.end = n.children[len(n.children)-1].end
+			n.children = nil
+			n.state = rMerged
+		}
+		return budget
+	}
+	return budget
+}
+
+func (r *RadixMSD) allChildrenMerged(n *rnode) bool {
+	for _, c := range n.children {
+		if c.state != rMerged {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Index = (*RadixMSD)(nil)

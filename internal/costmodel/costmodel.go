@@ -1,0 +1,344 @@
+// Package costmodel implements the cost models of Section 3 of the
+// paper. Table 1 defines the parameters:
+//
+//	System   ω  cost of sequential page read (s)
+//	         κ  cost of sequential page write (s)
+//	         φ  cost of random page access (s)
+//	         γ  elements per page
+//	Quicksort σ cost of swapping two elements (s)
+//	Radixsort b number of buckets
+//	          sb max elements per bucket block
+//	          τ  cost of memory allocation (s)
+//	B+-tree   β  tree fanout
+//
+// The model is used twice: (1) to translate a user-facing time budget
+// into the per-query indexing fraction δ (fixed and adaptive budget
+// modes) and (2) to predict per-query cost, which the harness compares
+// against measured time to regenerate Figures 8 and 9.
+//
+// All constants are expressed in seconds. The paper measures them "when
+// the program starts up"; Calibrate does the same on the current
+// machine. Tests and deterministic benchmarks inject fixed constants
+// via Default or custom Params instead.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+)
+
+// Params holds the hardware constants of Table 1.
+type Params struct {
+	OmegaReadPage  float64 // ω: seconds to read one page sequentially
+	KappaWritePage float64 // κ: seconds to write one page sequentially
+	PhiRandomPage  float64 // φ: seconds for one random page access
+	Gamma          int     // γ: elements per page
+	SigmaSwap      float64 // σ: seconds to swap two elements
+	TauAlloc       float64 // τ: seconds for one block allocation
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Gamma <= 0:
+		return fmt.Errorf("costmodel: gamma must be positive, got %d", p.Gamma)
+	case p.OmegaReadPage <= 0 || p.KappaWritePage <= 0 || p.PhiRandomPage <= 0:
+		return fmt.Errorf("costmodel: page costs must be positive (ω=%g κ=%g φ=%g)",
+			p.OmegaReadPage, p.KappaWritePage, p.PhiRandomPage)
+	case p.SigmaSwap <= 0 || p.TauAlloc <= 0:
+		return fmt.Errorf("costmodel: σ and τ must be positive (σ=%g τ=%g)", p.SigmaSwap, p.TauAlloc)
+	}
+	return nil
+}
+
+// Default returns constants representative of a commodity x86 server
+// running this repository's predicated kernels (slower than raw memory
+// bandwidth: every element pays comparison-mask arithmetic). They are
+// deterministic: used by tests and by benchmarks that must not depend
+// on calibration noise. Budgets expressed in wall-clock time should use
+// Calibrate instead.
+func Default() Params {
+	return Params{
+		OmegaReadPage:  6.0e-7, // predicated scan, ~0.9 G elements/s
+		KappaWritePage: 6.0e-7,
+		PhiRandomPage:  1.0e-7,
+		Gamma:          512,
+		SigmaSwap:      2.5e-9,
+		TauAlloc:       2.0e-7,
+	}
+}
+
+// Model evaluates the closed-form cost formulas of Sections 3.1-3.4
+// for a data set of N elements.
+type Model struct {
+	P Params
+}
+
+// New returns a model over the given parameters, falling back to
+// Default on invalid input (a model must always be usable; the caller
+// can check Validate beforehand if it wants to surface the error).
+func New(p Params) *Model {
+	if p.Validate() != nil {
+		p = Default()
+	}
+	return &Model{P: p}
+}
+
+// pages converts an element count to (fractional) pages.
+func (m *Model) pages(n int) float64 { return float64(n) / float64(m.P.Gamma) }
+
+// ScanTime is t_scan = ω·N/γ: one sequential pass over n elements.
+func (m *Model) ScanTime(n int) float64 { return m.P.OmegaReadPage * m.pages(n) }
+
+// WriteTime is κ·N/γ: one sequential write pass over n elements.
+func (m *Model) WriteTime(n int) float64 { return m.P.KappaWritePage * m.pages(n) }
+
+// PivotTime is t_pivot = (κ+ω)·N/γ: reading n elements and writing each
+// to one of the two ends of the index array (Progressive Quicksort
+// creation, Section 3.1).
+func (m *Model) PivotTime(n int) float64 {
+	return (m.P.KappaWritePage + m.P.OmegaReadPage) * m.pages(n)
+}
+
+// SwapTime is the in-place pivoting pass of the quicksort refinement
+// phase over n element visits (Section 3.1). The paper prints
+// t_swap = κ·N/γ but also carries σ, the per-element swap cost, in
+// Table 1; we charge σ per visit because the partition kernel's real
+// cost per element differs measurably from a sequential write.
+func (m *Model) SwapTime(n int) float64 { return m.P.SigmaSwap * float64(n) }
+
+// TreeLookupTime is t_lookup = h·φ: descending a binary pivot tree of
+// height h (Section 3.1, refinement phase).
+func (m *Model) TreeLookupTime(height int) float64 {
+	return float64(height) * m.P.PhiRandomPage
+}
+
+// BinarySearchTime is t_lookup = log2(n)·φ: binary search on the sorted
+// array during the consolidation phase.
+func (m *Model) BinarySearchTime(n int) float64 {
+	if n <= 1 {
+		return m.P.PhiRandomPage
+	}
+	return math.Log2(float64(n)) * m.P.PhiRandomPage
+}
+
+// BucketScanTime is t_bscan = t_scan + φ·N/sb: scanning n elements that
+// live in linked block lists pays one random access per block
+// (Section 3.2).
+func (m *Model) BucketScanTime(n, blockSize int) float64 {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	return m.ScanTime(n) + m.P.PhiRandomPage*float64(n)/float64(blockSize)
+}
+
+// BucketTime is t_bucket = (κ+ω)·N/γ + τ·N/sb: moving n elements into
+// buckets, paying one allocation per filled block (Section 3.2).
+func (m *Model) BucketTime(n, blockSize int) float64 {
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	return (m.P.KappaWritePage+m.P.OmegaReadPage)*m.pages(n) + m.P.TauAlloc*float64(n)/float64(blockSize)
+}
+
+// EquiHeightBucketTime is log2(b)·t_bucket: equi-height bucketing pays
+// a binary search over the b bucket bounds per element (Section 3.3).
+func (m *Model) EquiHeightBucketTime(n, blockSize, buckets int) float64 {
+	if buckets < 2 {
+		buckets = 2
+	}
+	return math.Log2(float64(buckets)) * m.BucketTime(n, blockSize)
+}
+
+// ConsolidateCopies returns N_copy = Σ_{i=1..log_β(n)} n/β^i, the total
+// number of element copies needed to build all upper B+-tree levels
+// over a sorted array of n elements (Section 3.1, consolidation).
+func ConsolidateCopies(n, fanout int) int {
+	if fanout < 2 {
+		fanout = 2
+	}
+	total := 0
+	for level := n / fanout; level > 0; level /= fanout {
+		total += level
+	}
+	return total
+}
+
+// ConsolidateTime is the predicted cost of copying n elements while
+// building B+-tree levels. The paper prints t_copy = N_copy·κ·γ, which
+// is dimensionally inconsistent (it multiplies by page size instead of
+// dividing); we use N_copy·(κ+ω)/γ — each copied element is read and
+// written once — and record the deviation in EXPERIMENTS.md.
+func (m *Model) ConsolidateTime(copies int) float64 {
+	return (m.P.KappaWritePage + m.P.OmegaReadPage) * m.pages(copies)
+}
+
+// Calibrate measures the Table 1 constants on the running machine, the
+// way the paper's implementation does at startup ("we perform these
+// operations when the program starts up and measure how long it
+// takes"). Crucially, the timed loops are copies of the *actual
+// kernels* the indexes run — the predicated range scan, the pivot-copy,
+// the Hoare partition and bucket appends — not generic memory loops;
+// otherwise the constants underestimate real per-element cost and the
+// adaptive budget cannot hold query times at its target.
+//
+// It runs for a few tens of milliseconds. The measured numbers carry
+// GC/scheduler noise; callers that need determinism use Default.
+func Calibrate() Params {
+	const (
+		gamma = 512
+		n     = 1 << 21 // 2M elements = 16 MiB, larger than most L3s
+		sb    = 1024
+	)
+	src := make([]int64, n)
+	dst := make([]int64, n)
+	for i := range src {
+		src[i] = int64(uint64(i)*2654435761) % 1000003
+	}
+
+	// ω: predicated range-scan kernel (column.SumRange's loop).
+	scanPerElem := timeBest(3, func() {
+		var sum, count int64
+		lo, hi := int64(250_000), int64(750_000)
+		for _, v := range src {
+			ge := ^((v - lo) >> 63) & 1
+			le := ^((hi - v) >> 63) & 1
+			m := ge & le
+			sum += v & -m
+			count += m
+		}
+		sink = sum + count
+	}) / n
+
+	// κ (via the pivot kernel): read each element, write it to both
+	// frontier slots, advance one cursor — the creation-phase loop.
+	// The destination must be freshly allocated for every rep: the real
+	// creation phase writes into a brand-new index array and pays a
+	// first-touch page fault per page, which a warm buffer would hide.
+	var fresh []int64
+	pivotPerElem := timeBestSetup(4, func() {
+		fresh = make([]int64, n)
+	}, func() {
+		lo, hi := 0, n-1
+		const pivot = 500_000
+		for _, v := range src {
+			fresh[lo] = v
+			fresh[hi] = v
+			if v <= pivot {
+				lo++
+			} else {
+				hi--
+			}
+		}
+		sink = int64(lo)
+	}) / n
+
+	// σ: the resumable Hoare partition kernel, per element visit. The
+	// array must be re-shuffled before every timed pass — partitioning
+	// an already-partitioned array has perfectly predictable branches
+	// and would underestimate σ severalfold.
+	swapPerVisit := timeBestSetup(3, func() {
+		copy(dst, src)
+	}, func() {
+		lo, hi := 0, n-1
+		const pivot = 500_000
+		for lo <= hi {
+			if dst[lo] <= pivot {
+				lo++
+			} else if dst[hi] > pivot {
+				hi--
+			} else {
+				dst[lo], dst[hi] = dst[hi], dst[lo]
+				lo++
+				hi--
+			}
+		}
+		sink = int64(lo)
+	}) / n
+
+	// Bucket append kernel incl. amortized block allocation; its excess
+	// over the pivot kernel becomes τ.
+	bucketPerElem := timeBest(3, func() {
+		const buckets = 64
+		blockLists := make([][][]int64, buckets)
+		var cur [buckets][]int64
+		for _, v := range src {
+			b := int(uint64(v) >> 14 & 63)
+			if len(cur[b]) == sb {
+				blockLists[b] = append(blockLists[b], cur[b])
+				cur[b] = make([]int64, 0, sb)
+			}
+			cur[b] = append(cur[b], v)
+		}
+		sinkSlice = cur[0]
+	}) / n
+
+	// φ: dependent random page accesses (pointer-chase style stride).
+	random := timeBest(3, func() {
+		var s int64
+		idx := 0
+		for i := 0; i < n/gamma; i++ {
+			idx = (idx + 7919*gamma + int(s&1)) % n
+			s += src[idx]
+		}
+		sink = s
+	}) / (n / gamma)
+
+	omega := scanPerElem * gamma
+	kappa := pivotPerElem*gamma - omega
+	if kappa <= 0 {
+		kappa = omega / 2
+	}
+	tau := (bucketPerElem - pivotPerElem) * sb
+	if tau <= 0 {
+		tau = 1e-9
+	}
+	p := Params{
+		OmegaReadPage:  omega,
+		KappaWritePage: kappa,
+		PhiRandomPage:  random,
+		Gamma:          gamma,
+		SigmaSwap:      swapPerVisit,
+		TauAlloc:       tau,
+	}
+	if p.Validate() != nil {
+		return Default()
+	}
+	return p
+}
+
+// timeBest runs fn reps times and returns the fastest wall-clock
+// duration in seconds, the standard way to suppress scheduling noise.
+func timeBest(reps int, fn func()) float64 {
+	return timeBestSetup(reps, nil, fn)
+}
+
+// timeBestSetup is timeBest with an untimed setup step before each rep.
+// A garbage collection runs before every timed section so collector
+// pauses from the setup allocations do not land inside a measurement.
+func timeBestSetup(reps int, setup, fn func()) float64 {
+	best := math.MaxFloat64
+	for i := 0; i < reps; i++ {
+		if setup != nil {
+			setup()
+		}
+		runtime.GC()
+		start := time.Now()
+		fn()
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = 1e-9
+	}
+	return best
+}
+
+// sink variables defeat dead-code elimination in calibration loops.
+var (
+	sink      int64
+	sinkSlice []int64
+)

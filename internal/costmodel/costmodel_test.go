@@ -1,0 +1,124 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{},
+		{OmegaReadPage: 1e-7, KappaWritePage: 1e-7, PhiRandomPage: 1e-7, Gamma: 0, SigmaSwap: 1e-9, TauAlloc: 1e-7},
+		{OmegaReadPage: -1, KappaWritePage: 1e-7, PhiRandomPage: 1e-7, Gamma: 512, SigmaSwap: 1e-9, TauAlloc: 1e-7},
+		{OmegaReadPage: 1e-7, KappaWritePage: 1e-7, PhiRandomPage: 1e-7, Gamma: 512, SigmaSwap: 0, TauAlloc: 1e-7},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestNewFallsBackToDefault(t *testing.T) {
+	m := New(Params{})
+	if m.P != Default() {
+		t.Fatal("New with invalid params did not fall back to Default")
+	}
+}
+
+func TestScanTimeLinear(t *testing.T) {
+	m := New(Default())
+	t1 := m.ScanTime(1 << 20)
+	t2 := m.ScanTime(1 << 21)
+	if math.Abs(t2/t1-2) > 1e-9 {
+		t.Fatalf("ScanTime not linear: %g vs %g", t1, t2)
+	}
+	if t1 <= 0 {
+		t.Fatal("ScanTime must be positive")
+	}
+}
+
+func TestPivotCostsMoreThanScan(t *testing.T) {
+	m := New(Default())
+	n := 1 << 20
+	if m.PivotTime(n) <= m.ScanTime(n) {
+		t.Fatal("pivoting (read+write) must cost more than scanning (read)")
+	}
+}
+
+func TestBucketScanCostsMoreThanScan(t *testing.T) {
+	m := New(Default())
+	n := 1 << 20
+	if m.BucketScanTime(n, 1024) <= m.ScanTime(n) {
+		t.Fatal("bucket scan must pay extra random accesses")
+	}
+	// Larger blocks amortize the random accesses better.
+	if m.BucketScanTime(n, 4096) >= m.BucketScanTime(n, 64) {
+		t.Fatal("bigger blocks should make bucket scans cheaper")
+	}
+}
+
+func TestEquiHeightMultiplier(t *testing.T) {
+	m := New(Default())
+	n := 1 << 20
+	bt := m.BucketTime(n, 1024)
+	eh := m.EquiHeightBucketTime(n, 1024, 64)
+	if math.Abs(eh/bt-6) > 1e-9 { // log2(64) = 6
+		t.Fatalf("equi-height multiplier = %g, want 6", eh/bt)
+	}
+}
+
+func TestConsolidateCopies(t *testing.T) {
+	// n=16, fanout=4: level1 = 4 copies, level2 = 1 copy.
+	if got := ConsolidateCopies(16, 4); got != 5 {
+		t.Fatalf("ConsolidateCopies(16,4) = %d, want 5", got)
+	}
+	// Geometric series bound: copies < n/(fanout-1) + log terms.
+	n := 1 << 20
+	if got := ConsolidateCopies(n, 16); got >= n/8 {
+		t.Fatalf("ConsolidateCopies(%d,16) = %d, unreasonably large", n, got)
+	}
+	if got := ConsolidateCopies(0, 16); got != 0 {
+		t.Fatalf("ConsolidateCopies(0,16) = %d, want 0", got)
+	}
+	if got := ConsolidateCopies(10, 1); got <= 0 {
+		t.Fatalf("fanout<2 must be clamped, got %d", got)
+	}
+}
+
+func TestLookupTimes(t *testing.T) {
+	m := New(Default())
+	if m.TreeLookupTime(10) != 10*m.P.PhiRandomPage {
+		t.Fatal("TreeLookupTime wrong")
+	}
+	if m.BinarySearchTime(1) != m.P.PhiRandomPage {
+		t.Fatal("BinarySearchTime(1) should be one access")
+	}
+	if m.BinarySearchTime(1<<20) <= m.BinarySearchTime(1<<10) {
+		t.Fatal("BinarySearchTime must grow with n")
+	}
+}
+
+func TestCalibrateProducesValidParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop skipped in -short mode")
+	}
+	p := Calibrate()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Calibrate produced invalid params: %v", err)
+	}
+	// Sanity: random page access should not be cheaper than 1/100th of
+	// a sequential page read, and a scan of 1M elements should take
+	// between 10µs and 1s on anything that can run this test.
+	m := New(p)
+	scan := m.ScanTime(1 << 20)
+	if scan < 1e-5 || scan > 1.0 {
+		t.Fatalf("calibrated 1M-element scan time %g out of plausible range", scan)
+	}
+}

@@ -1,0 +1,192 @@
+// Package cracking implements the adaptive-indexing baselines the paper
+// compares against in Section 4.4: Standard Cracking (STD), Stochastic
+// Cracking (STC), Progressive Stochastic Cracking (PSTC), the Coarse
+// Granular Index (CGI) and an approximation of Adaptive Adaptive
+// Indexing (AA), all built on a shared cracker column + cracker index
+// substrate.
+//
+// The cracker index is an AVL tree mapping crack values to positions in
+// the cracker column, as in the original Database Cracking work
+// (Idreos et al., CIDR 2007): a crack (v, p) asserts that every element
+// before position p is < v and every element from p on is >= v.
+package cracking
+
+// avlNode is one node of the cracker index.
+type avlNode struct {
+	key         int64 // crack value
+	pos         int   // first position with value >= key
+	left, right *avlNode
+	height      int
+}
+
+// avlTree is an AVL tree keyed by crack value. The zero value is an
+// empty tree ready for use.
+type avlTree struct {
+	root *avlNode
+	size int
+}
+
+func nodeHeight(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *avlNode) fix() {
+	lh, rh := nodeHeight(n.left), nodeHeight(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func rotateRight(y *avlNode) *avlNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.fix()
+	x.fix()
+	return x
+}
+
+func rotateLeft(x *avlNode) *avlNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.fix()
+	y.fix()
+	return y
+}
+
+func balance(n *avlNode) *avlNode {
+	n.fix()
+	switch bf := nodeHeight(n.left) - nodeHeight(n.right); {
+	case bf > 1:
+		if nodeHeight(n.left.left) < nodeHeight(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if nodeHeight(n.right.right) < nodeHeight(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert records a crack. Inserting an existing key overwrites its
+// position (used only by tests; crack positions for a given key are
+// deterministic, so an overwrite never changes the value in practice).
+func (t *avlTree) Insert(key int64, pos int) {
+	var ins func(n *avlNode) *avlNode
+	added := false
+	ins = func(n *avlNode) *avlNode {
+		if n == nil {
+			added = true
+			return &avlNode{key: key, pos: pos, height: 1}
+		}
+		switch {
+		case key < n.key:
+			n.left = ins(n.left)
+		case key > n.key:
+			n.right = ins(n.right)
+		default:
+			n.pos = pos
+			return n
+		}
+		return balance(n)
+	}
+	t.root = ins(t.root)
+	if added {
+		t.size++
+	}
+}
+
+// Lookup returns the position of the crack at exactly key.
+func (t *avlTree) Lookup(key int64) (pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.pos, true
+		}
+	}
+	return 0, false
+}
+
+// Floor returns the greatest crack with key <= v.
+func (t *avlTree) Floor(v int64) (key int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		if n.key <= v {
+			key, pos, ok = n.key, n.pos, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return key, pos, ok
+}
+
+// Ceiling returns the smallest crack with key > v (strictly above).
+func (t *avlTree) Ceiling(v int64) (key int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		if n.key > v {
+			key, pos, ok = n.key, n.pos, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return key, pos, ok
+}
+
+// Size returns the number of cracks.
+func (t *avlTree) Size() int { return t.size }
+
+// Walk visits cracks in key order; used by invariant checks.
+func (t *avlTree) Walk(fn func(key int64, pos int)) {
+	var rec func(n *avlNode)
+	rec = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.key, n.pos)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// heightOK reports AVL balance; test hook.
+func (t *avlTree) heightOK() bool {
+	var rec func(n *avlNode) (int, bool)
+	rec = func(n *avlNode) (int, bool) {
+		if n == nil {
+			return 0, true
+		}
+		lh, lok := rec(n.left)
+		rh, rok := rec(n.right)
+		if !lok || !rok {
+			return 0, false
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, false
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		return h + 1, true
+	}
+	_, ok := rec(t.root)
+	return ok
+}

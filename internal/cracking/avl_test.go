@@ -1,0 +1,211 @@
+package cracking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAVLInsertLookup(t *testing.T) {
+	var tr avlTree
+	keys := []int64{50, 20, 80, 10, 30, 70, 90, 25, 35}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	if tr.Size() != len(keys) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(keys))
+	}
+	for i, k := range keys {
+		pos, ok := tr.Lookup(k)
+		if !ok || pos != i {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, pos, ok, i)
+		}
+	}
+	if _, ok := tr.Lookup(55); ok {
+		t.Fatal("Lookup of absent key succeeded")
+	}
+	if !tr.heightOK() {
+		t.Fatal("tree unbalanced")
+	}
+}
+
+func TestAVLInsertOverwrites(t *testing.T) {
+	var tr avlTree
+	tr.Insert(5, 1)
+	tr.Insert(5, 2)
+	if tr.Size() != 1 {
+		t.Fatalf("duplicate insert changed size: %d", tr.Size())
+	}
+	if pos, _ := tr.Lookup(5); pos != 2 {
+		t.Fatalf("overwrite failed: pos = %d", pos)
+	}
+}
+
+func TestAVLFloorCeiling(t *testing.T) {
+	var tr avlTree
+	for _, k := range []int64{10, 20, 30} {
+		tr.Insert(k, int(k))
+	}
+	cases := []struct {
+		v        int64
+		floorKey int64
+		floorOK  bool
+		ceilKey  int64
+		ceilOK   bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 20, true},
+		{15, 10, true, 20, true},
+		{30, 30, true, 0, false},
+		{35, 30, true, 0, false},
+	}
+	for _, tc := range cases {
+		k, _, ok := tr.Floor(tc.v)
+		if ok != tc.floorOK || (ok && k != tc.floorKey) {
+			t.Errorf("Floor(%d) = (%d,%v), want (%d,%v)", tc.v, k, ok, tc.floorKey, tc.floorOK)
+		}
+		k, _, ok = tr.Ceiling(tc.v)
+		if ok != tc.ceilOK || (ok && k != tc.ceilKey) {
+			t.Errorf("Ceiling(%d) = (%d,%v), want (%d,%v)", tc.v, k, ok, tc.ceilKey, tc.ceilOK)
+		}
+	}
+}
+
+func TestAVLStaysBalancedUnderSequentialInsert(t *testing.T) {
+	var tr avlTree
+	for i := 0; i < 10_000; i++ {
+		tr.Insert(int64(i), i) // adversarial: sorted order
+	}
+	if !tr.heightOK() {
+		t.Fatal("sequential inserts unbalanced the tree")
+	}
+	if h := nodeHeight(tr.root); h > 16 { // 1.44*log2(10000) ≈ 19, typical ~14
+		t.Fatalf("height %d too large for 10k keys", h)
+	}
+}
+
+func TestAVLWalkInOrder(t *testing.T) {
+	var tr avlTree
+	rng := rand.New(rand.NewSource(1))
+	keys := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		k := rng.Int63n(10_000)
+		keys[k] = true
+		tr.Insert(k, int(k))
+	}
+	var walked []int64
+	tr.Walk(func(k int64, pos int) { walked = append(walked, k) })
+	if len(walked) != len(keys) {
+		t.Fatalf("walked %d keys, inserted %d distinct", len(walked), len(keys))
+	}
+	if !sort.SliceIsSorted(walked, func(i, j int) bool { return walked[i] < walked[j] }) {
+		t.Fatal("Walk not in key order")
+	}
+}
+
+// Property: Floor/Ceiling agree with a sorted-slice oracle.
+func TestAVLFloorCeilingProperty(t *testing.T) {
+	f := func(raw []int16, probe int16) bool {
+		var tr avlTree
+		seen := map[int64]bool{}
+		for _, k := range raw {
+			tr.Insert(int64(k), int(k))
+			seen[int64(k)] = true
+		}
+		var sorted []int64
+		for k := range seen {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		v := int64(probe)
+
+		var wantFloor int64
+		wantFloorOK := false
+		for _, k := range sorted {
+			if k <= v {
+				wantFloor, wantFloorOK = k, true
+			}
+		}
+		gotFloor, _, gotFloorOK := tr.Floor(v)
+		if gotFloorOK != wantFloorOK || (gotFloorOK && gotFloor != wantFloor) {
+			return false
+		}
+
+		var wantCeil int64
+		wantCeilOK := false
+		for i := len(sorted) - 1; i >= 0; i-- {
+			if sorted[i] > v {
+				wantCeil, wantCeilOK = sorted[i], true
+			}
+		}
+		gotCeil, _, gotCeilOK := tr.Ceiling(v)
+		return gotCeilOK == wantCeilOK && (!gotCeilOK || gotCeil == wantCeil) && tr.heightOK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(1000)
+		}
+		copy(b, a)
+		v := rng.Int63n(1100) - 50
+		s1, _ := crackBranching(a, 0, n, v)
+		s2, _ := crackPredicated(b, 0, n, v)
+		if s1 != s2 {
+			t.Fatalf("trial %d: split disagreement %d vs %d (v=%d)", trial, s1, s2, v)
+		}
+		for i := 0; i < s1; i++ {
+			if a[i] >= v || b[i] >= v {
+				t.Fatalf("trial %d: left side violated at %d", trial, i)
+			}
+		}
+		for i := s1; i < n; i++ {
+			if a[i] < v || b[i] < v {
+				t.Fatalf("trial %d: right side violated at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestKernelsPreserveMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []Kernel{KernelBranching, KernelPredicated, KernelAdaptive} {
+		vals := make([]int64, 1000)
+		counts := map[int64]int{}
+		for i := range vals {
+			vals[i] = rng.Int63n(50)
+			counts[vals[i]]++
+		}
+		Crack(vals, 0, len(vals), 25, k)
+		for _, v := range vals {
+			counts[v]--
+		}
+		for v, c := range counts {
+			if c != 0 {
+				t.Fatalf("kernel %v lost/created value %d (imbalance %d)", k, v, c)
+			}
+		}
+	}
+}
+
+func TestCrackEmptyAndSingleton(t *testing.T) {
+	arr := []int64{5}
+	if s, _ := Crack(arr, 0, 0, 3, KernelPredicated); s != 0 {
+		t.Fatalf("empty crack split = %d", s)
+	}
+	if s, _ := Crack(arr, 0, 1, 3, KernelPredicated); s != 0 {
+		t.Fatalf("singleton >= pivot: split = %d, want 0", s)
+	}
+	if s, _ := Crack(arr, 0, 1, 10, KernelPredicated); s != 1 {
+		t.Fatalf("singleton < pivot: split = %d, want 1", s)
+	}
+}

@@ -1,0 +1,199 @@
+package cracking
+
+import (
+	"repro/internal/column"
+)
+
+// Config carries the tunables shared by the cracking baselines.
+type Config struct {
+	// Kernel selects the crack-in-two implementation.
+	Kernel Kernel
+	// L2Elements is the piece size below which stochastic variants
+	// crack exactly at the query bound (Halim et al.: pieces that fit
+	// in L2 are always cracked completely). Default 32768 (256 KiB).
+	L2Elements int
+	// MinPiece is the piece size below which no more random cracks are
+	// attempted. Default 64.
+	MinPiece int
+	// SwapFraction is PSTC's per-query swap allowance as a fraction of
+	// the column size (paper setup: 10%).
+	SwapFraction float64
+	// Seed drives the stochastic variants' RNG; fixed for
+	// reproducibility.
+	Seed int64
+	// Partitions is the first-query out-of-place partition fanout for
+	// CGI and AA (default 64).
+	Partitions int
+	// SubPartitions is AA's per-query radix refinement fanout
+	// (default 16).
+	SubPartitions int
+}
+
+func (c Config) normalize() Config {
+	if c.L2Elements <= 0 {
+		c.L2Elements = 32768
+	}
+	if c.MinPiece <= 0 {
+		c.MinPiece = 64
+	}
+	if c.SwapFraction <= 0 {
+		c.SwapFraction = 0.10
+	}
+	if c.Partitions <= 1 {
+		c.Partitions = 64
+	}
+	if c.SubPartitions <= 1 {
+		c.SubPartitions = 16
+	}
+	return c
+}
+
+// crackerColumn is the shared substrate: a copy of the base column that
+// is physically reorganized by cracks, plus the AVL cracker index.
+type crackerColumn struct {
+	col    *column.Column
+	arr    []int64
+	idx    avlTree
+	kernel Kernel
+	swaps  int // total swaps performed, for bookkeeping/tests
+}
+
+// init copies the base column into the cracker column. Called on the
+// first query; the copy is the dominant share of cracking's expensive
+// first query (Table 2).
+func (c *crackerColumn) init(col *column.Column) {
+	c.col = col
+	c.arr = make([]int64, col.Len())
+	copy(c.arr, col.Values())
+}
+
+func (c *crackerColumn) ready() bool { return c.arr != nil }
+
+// piece returns the cracker-column region [a, b) whose value interval
+// contains v, together with that interval [vlo, vhi) (vlo of the edge
+// piece is the column min; vhi of the last piece is max+1).
+func (c *crackerColumn) piece(v int64) (a, b int, vlo, vhi int64) {
+	a, b = 0, len(c.arr)
+	vlo, vhi = c.col.Min(), c.col.Max()+1
+	if k, p, ok := c.idx.Floor(v); ok {
+		a, vlo = p, k
+	}
+	if k, p, ok := c.idx.Ceiling(v); ok {
+		b, vhi = p, k
+	}
+	return a, b, vlo, vhi
+}
+
+// crackAt ensures a crack exists at value v and returns its position.
+func (c *crackerColumn) crackAt(v int64) int {
+	if p, ok := c.idx.Lookup(v); ok {
+		return p
+	}
+	a, b, _, _ := c.piece(v)
+	split, swaps := Crack(c.arr, a, b, v, c.kernel)
+	c.swaps += swaps
+	c.idx.Insert(v, split)
+	return split
+}
+
+// answer resolves the inclusive range aggregate from the current crack
+// state: predicated scans of the two boundary pieces plus a direct sum
+// of the interior, which by the crack invariants matches entirely.
+func (c *crackerColumn) answer(lo, hi int64) column.Result {
+	aLo, bLo, _, _ := c.piece(lo)
+	aHi, bHi, _, _ := c.piece(hi + 1)
+	if aLo == aHi {
+		return column.SumRange(c.arr[aLo:bLo], lo, hi)
+	}
+	res := column.SumRange(c.arr[aLo:bLo], lo, hi)
+	for _, v := range c.arr[bLo:aHi] {
+		res.Sum += v
+	}
+	res.Count += int64(aHi - bLo)
+	res.Add(column.SumRange(c.arr[aHi:bHi], lo, hi))
+	return res
+}
+
+// partitionRadix replaces region [a, b) (whose values lie in [vlo,
+// vhi)) with a stable out-of-place equal-width partition into k parts
+// and registers the k-1 interior cracks. Shared by CGI (whole column,
+// first query) and AA (boundary pieces). Returns the number of elements
+// moved.
+func (c *crackerColumn) partitionRadix(a, b int, vlo, vhi int64, k int) int {
+	n := b - a
+	if n == 0 || k < 2 {
+		return 0
+	}
+	width := (vhi - vlo + int64(k) - 1) / int64(k) // ceil so max fits
+	if width <= 0 {
+		return 0 // single-value range: nothing to partition
+	}
+	counts := make([]int, k)
+	bucketOf := func(v int64) int {
+		i := int((v - vlo) / width)
+		if i >= k {
+			i = k - 1
+		}
+		return i
+	}
+	src := c.arr[a:b]
+	for _, v := range src {
+		counts[bucketOf(v)]++
+	}
+	offsets := make([]int, k+1)
+	for i := 0; i < k; i++ {
+		offsets[i+1] = offsets[i] + counts[i]
+	}
+	tmp := make([]int64, n)
+	cursor := make([]int, k)
+	copy(cursor, offsets[:k])
+	for _, v := range src {
+		bkt := bucketOf(v)
+		tmp[cursor[bkt]] = v
+		cursor[bkt]++
+	}
+	copy(src, tmp)
+	for i := 1; i < k; i++ {
+		key := vlo + int64(i)*width
+		if key > vhi {
+			break
+		}
+		c.idx.Insert(key, a+offsets[i])
+	}
+	return n
+}
+
+// checkInvariants verifies that cracks tile the array and every element
+// respects its piece's value interval (DESIGN.md invariant 5). Test
+// hook; O(n log n).
+func (c *crackerColumn) checkInvariants() bool {
+	if !c.idx.heightOK() {
+		return false
+	}
+	prevPos := 0
+	prevKey := c.col.Min()
+	ok := true
+	check := func(from, to int, kmin, kmax int64) {
+		for _, v := range c.arr[from:to] {
+			if v < kmin || v >= kmax {
+				ok = false
+				return
+			}
+		}
+	}
+	c.idx.Walk(func(key int64, pos int) {
+		if !ok {
+			return
+		}
+		if pos < prevPos {
+			ok = false
+			return
+		}
+		check(prevPos, pos, prevKey, key)
+		prevPos, prevKey = pos, key
+	})
+	if ok {
+		check(prevPos, len(c.arr), prevKey, c.col.Max()+1)
+	}
+	return ok
+}

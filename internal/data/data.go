@@ -1,0 +1,99 @@
+// Package data generates the evaluation data sets of Section 4.1:
+//
+//   - Uniform: n unique integers, uniformly distributed over [0, n) —
+//     a seeded random permutation;
+//   - Skewed: non-unique integers with 90% of the mass concentrated in
+//     the middle of [0, n);
+//   - SkyServer: a synthetic stand-in for the Sloan Digital Sky Survey
+//     Right Ascension column (Figure 5a): a clustered, multi-modal
+//     mixture over [0°, 360°), scaled to int64 micro-degrees. The real
+//     600M-row download is substituted per DESIGN.md; only the
+//     distribution shape matters to the experiments.
+//
+// All generators are deterministic given (n, seed).
+package data
+
+import "math/rand"
+
+// Uniform returns a random permutation of [0, n): unique integers,
+// uniformly distributed, exactly the paper's first synthetic data set.
+func Uniform(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	return vals
+}
+
+// Skewed returns n integers in [0, n) where 90% fall in the middle
+// tenth of the range (non-unique), the paper's skewed data set.
+func Skewed(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	mid := int64(n) / 2
+	width := int64(n) / 10
+	if width < 1 {
+		width = 1
+	}
+	for i := range vals {
+		if rng.Intn(10) == 0 {
+			vals[i] = rng.Int63n(int64(n))
+		} else {
+			vals[i] = mid - width/2 + rng.Int63n(width)
+		}
+	}
+	return vals
+}
+
+// SkyServerDomain is the value domain of the synthetic SkyServer
+// column: [0, 360°) in micro-degrees.
+const SkyServerDomain = int64(360_000_000)
+
+// skyCluster is one mixture component of the synthetic Right Ascension
+// distribution: mean/stddev in micro-degrees, weight as a fraction.
+type skyCluster struct {
+	mean, stddev float64
+	weight       float64
+}
+
+// skyClusters approximates the clustered shape of Figure 5a: most mass
+// in two broad bands, plus smaller clusters near the domain edges.
+var skyClusters = []skyCluster{
+	{mean: 15e6, stddev: 5e6, weight: 0.08},
+	{mean: 130e6, stddev: 18e6, weight: 0.30},
+	{mean: 185e6, stddev: 9e6, weight: 0.27},
+	{mean: 230e6, stddev: 12e6, weight: 0.20},
+	{mean: 335e6, stddev: 7e6, weight: 0.15},
+}
+
+// SkyServer returns n values distributed like the synthetic Right
+// Ascension column.
+func SkyServer(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		c := pickCluster(rng)
+		for {
+			v := int64(rng.NormFloat64()*c.stddev + c.mean)
+			if v >= 0 && v < SkyServerDomain {
+				vals[i] = v
+				break
+			}
+		}
+	}
+	return vals
+}
+
+func pickCluster(rng *rand.Rand) skyCluster {
+	r := rng.Float64()
+	acc := 0.0
+	for _, c := range skyClusters {
+		acc += c.weight
+		if r < acc {
+			return c
+		}
+	}
+	return skyClusters[len(skyClusters)-1]
+}

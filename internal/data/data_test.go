@@ -1,0 +1,99 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestUniformIsPermutation(t *testing.T) {
+	const n = 10_000
+	vals := Uniform(n, 42)
+	seen := make([]bool, n)
+	for _, v := range vals {
+		if v < 0 || v >= n {
+			t.Fatalf("value %d outside [0,%d)", v, n)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d: Uniform must produce unique integers", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(1000, 7)
+	b := Uniform(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Uniform not deterministic for fixed seed")
+		}
+	}
+	c := Uniform(1000, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+func TestSkewedConcentration(t *testing.T) {
+	const n = 100_000
+	vals := Skewed(n, 3)
+	inMiddle := 0
+	for _, v := range vals {
+		if v < 0 || v >= n {
+			t.Fatalf("value %d outside [0,%d)", v, n)
+		}
+		if v >= n*45/100 && v < n*55/100 {
+			inMiddle++
+		}
+	}
+	// 90% targeted + ~1% of the uniform tail also lands there.
+	if frac := float64(inMiddle) / n; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("middle-tenth fraction = %v, want ≈0.9", frac)
+	}
+}
+
+func TestSkyServerShape(t *testing.T) {
+	const n = 50_000
+	vals := SkyServer(n, 5)
+	var histogram [36]int // 10-degree bins
+	for _, v := range vals {
+		if v < 0 || v >= SkyServerDomain {
+			t.Fatalf("value %d outside [0,%d)", v, SkyServerDomain)
+		}
+		histogram[v/10_000_000]++
+	}
+	// The distribution must be clustered, not uniform: the busiest
+	// 10-degree bin should hold far more than 1/36th of the data, and
+	// some bins should be nearly empty.
+	max, min := 0, n
+	for _, c := range histogram {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < n/12 {
+		t.Fatalf("distribution too flat: max bin %d", max)
+	}
+	if min > n/72 {
+		t.Fatalf("distribution has no sparse regions: min bin %d", min)
+	}
+}
+
+func TestSkyServerDeterministic(t *testing.T) {
+	a := SkyServer(1000, 9)
+	b := SkyServer(1000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SkyServer not deterministic for fixed seed")
+		}
+	}
+}

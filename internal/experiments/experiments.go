@@ -1,0 +1,414 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4). Each experiment is a function from a
+// Config (data sizes, query counts, seeds) to harness tables and,
+// where the paper plots series, per-query CSV data. cmd/experiments
+// prints them; bench_test.go runs them at reduced scale under
+// `go test -bench`.
+//
+// Scale note: the paper runs SkyServer at 6·10⁸ rows and synthetics at
+// 10⁸-10⁹ with 10⁶ queries. The defaults here are laptop-scale; the
+// shapes (who wins, by what factor, where crossovers fall) are the
+// reproduction target, not absolute seconds. EXPERIMENTS.md records
+// paper-vs-measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/cracking"
+	"repro/internal/data"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// Config sets the scale of every experiment.
+type Config struct {
+	SkyN       int       // SkyServer column size
+	SynthN     int       // synthetic column size (paper: 1e8)
+	LargeN     int       // stand-in for the paper's 1e9 block
+	Queries    int       // queries per workload (paper: 1e6 / 160k)
+	DeltaSweep []float64 // Figure 7 δ values
+	Budget     float64   // adaptive budget as a fraction of scan cost
+	Seed       int64
+	Verify     bool // cross-check every answer against a scan
+	Calibrate  bool // measure cost constants instead of defaults
+}
+
+// Default returns the CLI-scale configuration. The query count must be
+// well above the convergence point (~100-200 queries under the 0.2·scan
+// budget) for the cumulative-time comparisons to show the paper's
+// post-convergence regime, where the converged progressive index
+// answers in microseconds while cracking keeps paying per query.
+func Default() Config {
+	return Config{
+		SkyN:       1_000_000,
+		SynthN:     300_000,
+		LargeN:     1_200_000,
+		Queries:    2000,
+		DeltaSweep: []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0},
+		Budget:     0.2,
+		Seed:       42,
+	}
+}
+
+// Bench returns the reduced scale used by bench_test.go.
+func Bench() Config {
+	c := Default()
+	c.SkyN = 200_000
+	c.SynthN = 80_000
+	c.LargeN = 320_000
+	c.Queries = 120
+	c.DeltaSweep = []float64{0.005, 0.05, 0.25, 1.0}
+	return c
+}
+
+// params returns the cost-model constants for this run. Calibration
+// times the core package's own kernels (see core.CalibrateParams) and
+// is cached: every experiment in a process sees the same constants,
+// like the paper's measure-at-startup scheme.
+func (c Config) params() costmodel.Params {
+	if !c.Calibrate {
+		return costmodel.Default()
+	}
+	calOnce.Do(func() { calParams = core.CalibrateParams() })
+	return calParams
+}
+
+var (
+	calOnce   sync.Once
+	calParams costmodel.Params
+)
+
+// progressive describes one of the four core algorithms.
+type progressive struct {
+	name string
+	make func(*column.Column, core.Config) harness.Index
+}
+
+func progressives() []progressive {
+	return []progressive{
+		{"PQ", func(c *column.Column, cfg core.Config) harness.Index { return core.NewQuicksort(c, cfg) }},
+		{"PMSD", func(c *column.Column, cfg core.Config) harness.Index { return core.NewRadixMSD(c, cfg) }},
+		{"PLSD", func(c *column.Column, cfg core.Config) harness.Index { return core.NewRadixLSD(c, cfg) }},
+		{"PB", func(c *column.Column, cfg core.Config) harness.Index { return core.NewBucketsort(c, cfg) }},
+	}
+}
+
+// adaptiveConfig returns the paper's standard progressive setup:
+// adaptive budget with t_budget = Budget·t_scan.
+func (c Config) adaptiveConfig(n int) core.Config {
+	p := c.params()
+	m := costmodel.New(p)
+	return core.Config{
+		Mode:          core.AdaptiveTime,
+		BudgetSeconds: c.Budget * m.ScanTime(n),
+		Params:        p,
+	}
+}
+
+func (c Config) verifyCol(col *column.Column) *column.Column {
+	if c.Verify {
+		return col
+	}
+	return nil
+}
+
+// skySetup builds the SkyServer column and workload.
+func (c Config) skySetup() (*column.Column, []workload.Query) {
+	col := column.MustNew(data.SkyServer(c.SkyN, c.Seed))
+	wl := workload.SkyServer(data.SkyServerDomain, c.Seed+1)
+	return col, wl.Queries(c.Queries)
+}
+
+// Fig7 sweeps δ over the SkyServer workload for all four algorithms,
+// reporting the four panels of Figure 7: first-query time, queries
+// until pay-off, queries until convergence, cumulative time.
+func Fig7(cfg Config) (*harness.Table, error) {
+	col, qs := cfg.skySetup()
+	scan := harness.MeasureScanTime(col, 3)
+	t := harness.NewTable(
+		fmt.Sprintf("Figure 7: impact of δ (SkyServer-like, N=%d, %d queries; scan=%.2es)", col.Len(), len(qs), scan),
+		"delta", "algo", "first_q_s", "payoff_q", "converge_q", "cumulative_s")
+	for _, delta := range cfg.DeltaSweep {
+		for _, p := range progressives() {
+			idx := p.make(col, core.Config{Mode: core.FixedDelta, Delta: delta, Params: cfg.params()})
+			run, err := harness.ExecuteQueries(idx, qs, harness.Options{Verify: cfg.verifyCol(col)})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%.3f", delta), p.name,
+				run.FirstQuery(), run.PayoffQuery(scan), run.ConvergedAt, run.Cumulative())
+		}
+	}
+	return t, nil
+}
+
+// costModelRun executes one algorithm over the SkyServer workload and
+// reports cost-model accuracy (Figures 8 and 9). The returned CSV has
+// one row per query: query, measured_s, predicted_s, phase.
+func costModelRun(cfg Config, p progressive, ccfg core.Config, col *column.Column, qs []workload.Query) (*harness.Run, string, error) {
+	idx := p.make(col, ccfg)
+	run, err := harness.ExecuteQueries(idx, qs, harness.Options{Verify: cfg.verifyCol(col)})
+	if err != nil {
+		return nil, "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("query,measured_s,predicted_s,phase\n")
+	for i := range run.Times {
+		fmt.Fprintf(&sb, "%d,%.9f,%.9f,%s\n", i+1, run.Times[i], run.Predicted[i], run.Phases[i])
+	}
+	return run, sb.String(), nil
+}
+
+// mape returns the mean absolute percentage error of predicted vs
+// measured, skipping converged-tail queries below floor seconds (timer
+// noise dominates there).
+func mape(run *harness.Run, floor float64) float64 {
+	total, n := 0.0, 0
+	for i := range run.Times {
+		if run.Times[i] < floor || run.Predicted[i] <= 0 {
+			continue
+		}
+		d := run.Predicted[i] - run.Times[i]
+		if d < 0 {
+			d = -d
+		}
+		total += d / run.Times[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Fig8 validates the cost models under a fixed δ=0.25 budget.
+func Fig8(cfg Config) (*harness.Table, map[string]string, error) {
+	return costModelFigure(cfg, "Figure 8: cost model validation, fixed δ=0.25 (SkyServer-like)",
+		func(n int) core.Config {
+			return core.Config{Mode: core.FixedDelta, Delta: 0.25, Params: cfg.params()}
+		}, "fig8")
+}
+
+// Fig9 validates the cost models under the adaptive budget
+// t_budget = 0.2·t_scan.
+func Fig9(cfg Config) (*harness.Table, map[string]string, error) {
+	return costModelFigure(cfg, "Figure 9: cost model validation, adaptive budget 0.2·t_scan (SkyServer-like)",
+		cfg.adaptiveConfig, "fig9")
+}
+
+func costModelFigure(cfg Config, title string, mkcfg func(int) core.Config, csvPrefix string) (*harness.Table, map[string]string, error) {
+	col, qs := cfg.skySetup()
+	t := harness.NewTable(title,
+		"algo", "queries", "converge_q", "mape_preconverge", "first_q_s", "cumulative_s")
+	csvs := map[string]string{}
+	for _, p := range progressives() {
+		run, csv, err := costModelRun(cfg, p, mkcfg(col.Len()), col, qs)
+		if err != nil {
+			return nil, nil, err
+		}
+		csvs[fmt.Sprintf("%s_%s.csv", csvPrefix, p.name)] = csv
+		// Accuracy is judged on pre-convergence queries; post-
+		// convergence times are dominated by sub-microsecond noise.
+		pre := run
+		if run.ConvergedAt > 0 {
+			pre = &harness.Run{Times: run.Times[:run.ConvergedAt], Predicted: run.Predicted[:run.ConvergedAt]}
+		}
+		t.AddRow(p.name, len(run.Times), run.ConvergedAt, mape(pre, 0), run.FirstQuery(), run.Cumulative())
+	}
+	return t, csvs, nil
+}
+
+// allIndexes builds the eleven Table 2 contenders over col.
+func (c Config) allIndexes(col *column.Column) []harness.Index {
+	ccfg := c.adaptiveConfig(col.Len())
+	kcfg := cracking.Config{Seed: c.Seed, Kernel: cracking.KernelAdaptive}
+	return []harness.Index{
+		baseline.NewFullScan(col),
+		baseline.NewFullIndex(col, 64),
+		cracking.NewStandard(col, kcfg),
+		cracking.NewStochastic(col, kcfg),
+		cracking.NewProgressiveStochastic(col, kcfg),
+		cracking.NewCoarseGranular(col, kcfg),
+		cracking.NewAdaptiveAdaptive(col, kcfg),
+		core.NewQuicksort(col, ccfg),
+		core.NewRadixMSD(col, ccfg),
+		core.NewRadixLSD(col, ccfg),
+		core.NewBucketsort(col, ccfg),
+	}
+}
+
+// Table2 runs the full SkyServer comparison: baselines, adaptive
+// indexing, progressive indexing.
+func Table2(cfg Config) (*harness.Table, error) {
+	col, qs := cfg.skySetup()
+	t := harness.NewTable(
+		fmt.Sprintf("Table 2: SkyServer-like results (N=%d, %d queries)", col.Len(), len(qs)),
+		"index", "first_q_s", "converge_q", "robustness_var", "preconv_var", "cumulative_s")
+	for _, idx := range cfg.allIndexes(col) {
+		run, err := harness.ExecuteQueries(idx, qs, harness.Options{Verify: cfg.verifyCol(col)})
+		if err != nil {
+			return nil, err
+		}
+		conv := "x"
+		if run.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%d", run.ConvergedAt)
+		}
+		// The paper's robustness metric is the variance of the first
+		// 100 query times. At reduced scale a progressive index may
+		// converge inside that window, mixing two regimes; preconv_var
+		// restricts the window to pre-convergence queries, which is
+		// what the paper's window contains at full scale.
+		pre := 100
+		if run.ConvergedAt > 0 && run.ConvergedAt < pre {
+			pre = run.ConvergedAt
+		}
+		t.AddRow(run.Name, run.FirstQuery(), conv, run.Robustness(),
+			harness.Variance(run.Times, pre), run.Cumulative())
+	}
+	return t, nil
+}
+
+// Fig10 compares Progressive Quicksort against the two best adaptive
+// baselines (AA for cumulative time, PSTC for first-query cost) on the
+// SkyServer workload; the CSV carries the full per-query series.
+func Fig10(cfg Config) (*harness.Table, map[string]string, error) {
+	col, qs := cfg.skySetup()
+	contenders := []harness.Index{
+		core.NewQuicksort(col, cfg.adaptiveConfig(col.Len())),
+		cracking.NewAdaptiveAdaptive(col, cracking.Config{Seed: cfg.Seed}),
+		cracking.NewProgressiveStochastic(col, cracking.Config{Seed: cfg.Seed, SwapFraction: 0.10}),
+	}
+	t := harness.NewTable("Figure 10: Progressive Quicksort vs best adaptive indexing (SkyServer-like)",
+		"index", "first_q_s", "converge_q", "robustness_var", "cumulative_s")
+	series := map[string][]float64{}
+	var names []string
+	maxLen := 0
+	for _, idx := range contenders {
+		run, err := harness.ExecuteQueries(idx, qs, harness.Options{Verify: cfg.verifyCol(col)})
+		if err != nil {
+			return nil, nil, err
+		}
+		conv := "x"
+		if run.ConvergedAt >= 0 {
+			conv = fmt.Sprintf("%d", run.ConvergedAt)
+		}
+		t.AddRow(run.Name, run.FirstQuery(), conv, run.Robustness(), run.Cumulative())
+		series[run.Name] = run.Times
+		names = append(names, run.Name)
+		if len(run.Times) > maxLen {
+			maxLen = len(run.Times)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("query," + strings.Join(names, ",") + "\n")
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&sb, "%d", i+1)
+		for _, n := range names {
+			if i < len(series[n]) {
+				fmt.Fprintf(&sb, ",%.9f", series[n][i])
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return t, map[string]string{"fig10.csv": sb.String()}, nil
+}
+
+// synthBlock is one of the four row groups of Tables 3-5.
+type synthBlock struct {
+	name     string
+	makeData func() []int64
+	patterns func(domain int64) []workload.Generator
+	domain   int64
+}
+
+func (c Config) synthBlocks() []synthBlock {
+	return []synthBlock{
+		{
+			name:     "UniformRandom",
+			makeData: func() []int64 { return data.Uniform(c.SynthN, c.Seed) },
+			domain:   int64(c.SynthN),
+			patterns: func(d int64) []workload.Generator { return workload.RangePatterns(d, c.Queries, c.Seed) },
+		},
+		{
+			name:     "Skewed",
+			makeData: func() []int64 { return data.Skewed(c.SynthN, c.Seed) },
+			domain:   int64(c.SynthN),
+			patterns: func(d int64) []workload.Generator { return workload.RangePatterns(d, c.Queries, c.Seed) },
+		},
+		{
+			name:     "PointQuery",
+			makeData: func() []int64 { return data.Uniform(c.SynthN, c.Seed) },
+			domain:   int64(c.SynthN),
+			patterns: func(d int64) []workload.Generator { return workload.PointPatterns(d, c.Queries, c.Seed) },
+		},
+		{
+			name:     "LargeN",
+			makeData: func() []int64 { return data.Uniform(c.LargeN, c.Seed) },
+			domain:   int64(c.LargeN),
+			patterns: func(d int64) []workload.Generator {
+				return []workload.Generator{
+					workload.SeqOver(d, c.Queries),
+					workload.Skew(d, c.Seed),
+					workload.Random(d, c.Seed),
+				}
+			},
+		},
+	}
+}
+
+// Tables345 runs the synthetic grid once and derives Table 3 (first
+// query cost), Table 4 (cumulative time) and Table 5 (robustness).
+func Tables345(cfg Config) (t3, t4, t5 *harness.Table, err error) {
+	cols := []string{"block", "workload", "PQ", "PB", "PLSD", "PMSD", "AA"}
+	t3 = harness.NewTable("Table 3: first query cost (s)", cols...)
+	t4 = harness.NewTable("Table 4: cumulative time (s)", cols...)
+	t5 = harness.NewTable("Table 5: robustness (variance of first 100 queries)", cols...)
+
+	order := []string{"PQ", "PB", "PLSD", "PMSD", "AA"}
+	for _, blk := range cfg.synthBlocks() {
+		col := column.MustNew(blk.makeData())
+		ccfg := cfg.adaptiveConfig(col.Len())
+		for _, g := range blk.patterns(blk.domain) {
+			qs := g.Queries(cfg.Queries)
+			first := map[string]float64{}
+			cum := map[string]float64{}
+			rob := map[string]float64{}
+			mk := map[string]func() harness.Index{
+				"PQ":   func() harness.Index { return core.NewQuicksort(col, ccfg) },
+				"PB":   func() harness.Index { return core.NewBucketsort(col, ccfg) },
+				"PLSD": func() harness.Index { return core.NewRadixLSD(col, ccfg) },
+				"PMSD": func() harness.Index { return core.NewRadixMSD(col, ccfg) },
+				"AA":   func() harness.Index { return cracking.NewAdaptiveAdaptive(col, cracking.Config{Seed: cfg.Seed}) },
+			}
+			for _, name := range order {
+				run, rerr := harness.ExecuteQueries(mk[name](), qs, harness.Options{Verify: cfg.verifyCol(col)})
+				if rerr != nil {
+					return nil, nil, nil, rerr
+				}
+				first[name] = run.FirstQuery()
+				cum[name] = run.Cumulative()
+				rob[name] = run.Robustness()
+			}
+			row := func(m map[string]float64) []any {
+				cells := []any{blk.name, g.Name()}
+				for _, n := range order {
+					cells = append(cells, m[n])
+				}
+				return cells
+			}
+			t3.AddRow(row(first)...)
+			t4.AddRow(row(cum)...)
+			t5.AddRow(row(rob)...)
+		}
+	}
+	return t3, t4, t5, nil
+}

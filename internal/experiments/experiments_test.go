@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+type tableT = harness.Table
+
+// tiny returns a configuration small enough for unit tests while still
+// exercising every code path (multiple phases, convergence, all four
+// synthetic blocks).
+func tiny() Config {
+	c := Default()
+	c.SkyN = 30_000
+	c.SynthN = 12_000
+	c.LargeN = 24_000
+	c.Queries = 60
+	c.DeltaSweep = []float64{0.1, 1.0}
+	c.Verify = true
+	return c
+}
+
+func TestFig7(t *testing.T) {
+	tb, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2*4 { // deltas × algorithms
+		t.Fatalf("rows = %d, want 8", tb.Rows())
+	}
+	out := tb.Render()
+	for _, name := range []string{"PQ", "PMSD", "PLSD", "PB"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig8AndFig9(t *testing.T) {
+	tb8, csv8, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb8.Rows() != 4 || len(csv8) != 4 {
+		t.Fatalf("fig8: rows=%d csvs=%d", tb8.Rows(), len(csv8))
+	}
+	for name, csv := range csv8 {
+		if !strings.HasPrefix(csv, "query,measured_s,predicted_s,phase\n") {
+			t.Fatalf("%s: bad csv header", name)
+		}
+		if strings.Count(csv, "\n") < 10 {
+			t.Fatalf("%s: csv too short", name)
+		}
+	}
+	tb9, csv9, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb9.Rows() != 4 || len(csv9) != 4 {
+		t.Fatalf("fig9: rows=%d csvs=%d", tb9.Rows(), len(csv9))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tb, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 11 {
+		t.Fatalf("rows = %d, want 11", tb.Rows())
+	}
+	out := tb.Render()
+	for _, name := range []string{"FS", "FI", "STD", "STC", "PSTC", "CGI", "AA", "PQ", "PMSD", "PLSD", "PB"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	tb, csvs, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3", tb.Rows())
+	}
+	csv := csvs["fig10.csv"]
+	if !strings.HasPrefix(csv, "query,PQ,AA,PSTC\n") {
+		t.Fatalf("fig10 csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+func TestTables345(t *testing.T) {
+	t3, t4, t5, err := Tables345(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 uniform + 8 skewed + 6 point + 3 large = 25 rows each.
+	for _, tb := range []*tableT{t3, t4, t5} {
+		if tb.Rows() != 25 {
+			t.Fatalf("rows = %d, want 25:\n%s", tb.Rows(), tb.Render())
+		}
+	}
+}
+
+func TestBenchConfigSmallerThanDefault(t *testing.T) {
+	d, b := Default(), Bench()
+	if b.SkyN >= d.SkyN || b.SynthN >= d.SynthN || b.Queries >= d.Queries {
+		t.Fatal("Bench config must be smaller than Default")
+	}
+}

@@ -1,0 +1,85 @@
+// Package phash implements the first future-work item of Section 6 of
+// the paper: a progressive hash index. "Instead of constructing the
+// complete hash table, we only insert n·δ elements and scan the
+// remainder of the column. The partial hash table can be used to answer
+// point queries on the indexed part of the data."
+//
+// The index maps each distinct value to its occurrence count, which is
+// all a SUM/COUNT point query needs (sum = value · count). Point
+// queries on the indexed prefix become O(1); range queries fall back to
+// scanning, exactly as a hash index in a real system would.
+package phash
+
+import (
+	"repro/internal/column"
+	"repro/internal/costmodel"
+)
+
+// Index is a progressively built hash index over a column.
+type Index struct {
+	col    *column.Column
+	model  *costmodel.Model
+	n      int
+	delta  float64
+	counts map[int64]int64
+	copied int
+}
+
+// New builds a progressive hash index that inserts a delta fraction of
+// the column per query. Deltas outside (0, 1] default to 0.25.
+func New(col *column.Column, delta float64) *Index {
+	if delta <= 0 || delta > 1 {
+		delta = 0.25
+	}
+	return &Index{
+		col:    col,
+		model:  costmodel.New(costmodel.Default()),
+		n:      col.Len(),
+		delta:  delta,
+		counts: make(map[int64]int64),
+	}
+}
+
+// Name implements the harness index interface.
+func (ix *Index) Name() string { return "PHASH" }
+
+// Converged reports whether the whole column has been inserted.
+func (ix *Index) Converged() bool { return ix.copied == ix.n }
+
+// Query answers the inclusive range aggregate. Point queries (lo == hi)
+// use the hash table for the indexed prefix; other queries scan. Either
+// way another δ·N elements are inserted.
+func (ix *Index) Query(lo, hi int64) column.Result {
+	var res column.Result
+	if lo == hi {
+		if c := ix.counts[lo]; c > 0 {
+			res = column.Result{Sum: lo * c, Count: c}
+		}
+		res.Add(column.SumRange(ix.col.Slice(ix.copied, ix.n), lo, hi))
+		ix.insert(int(ix.delta * float64(ix.n)))
+		return res
+	}
+	// Range queries cannot use a hash table; scan the column and use
+	// the pass to extend the index for free on the copied segment.
+	res = ix.col.Sum(lo, hi)
+	ix.insert(int(ix.delta * float64(ix.n)))
+	return res
+}
+
+// insert adds up to units elements from the column into the table.
+func (ix *Index) insert(units int) {
+	if units < 1 {
+		units = 1
+	}
+	end := ix.copied + units
+	if end > ix.n {
+		end = ix.n
+	}
+	for _, v := range ix.col.Slice(ix.copied, end) {
+		ix.counts[v]++
+	}
+	ix.copied = end
+}
+
+// Distinct returns the number of distinct values indexed so far.
+func (ix *Index) Distinct() int { return len(ix.counts) }

@@ -1,0 +1,269 @@
+// Package workload generates the query sequences of the evaluation:
+// the eight synthetic patterns of Figure 6 (taken from Halim et al.'s
+// stochastic cracking study), their point-query variants, and a
+// synthetic SkyServer session reproducing the drift pattern of
+// Figure 5b (focused exploration of an area, then a jump to another).
+//
+// All generators are pure functions of the query number (plus a fixed
+// seed where randomness is involved), so every experiment is exactly
+// reproducible.
+package workload
+
+import "math/rand"
+
+// Query is one inclusive range predicate: BETWEEN Lo AND Hi.
+type Query struct {
+	Lo, Hi int64
+}
+
+// Generator produces the i-th query of a pattern (i counts from 0).
+type Generator struct {
+	name string
+	fn   func(i int) Query
+}
+
+// Name returns the pattern name as used in the paper's tables.
+func (g Generator) Name() string { return g.name }
+
+// Query returns the i-th query.
+func (g Generator) Query(i int) Query { return g.fn(i) }
+
+// Queries materializes the first count queries.
+func (g Generator) Queries(count int) []Query {
+	qs := make([]Query, count)
+	for i := range qs {
+		qs[i] = g.fn(i)
+	}
+	return qs
+}
+
+// Selectivity is the default fraction of the domain covered by one
+// range query ("all queries have 0.1 selectivity", Section 4.4).
+const Selectivity = 0.1
+
+// width returns the query width for a domain under the default
+// selectivity, at least 1.
+func width(domain int64) int64 {
+	w := int64(float64(domain) * Selectivity)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func clampLo(lo, domain, w int64) int64 {
+	if max := domain - w; lo > max {
+		lo = max
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo
+}
+
+// SeqOver sweeps the domain left to right in half-width steps,
+// wrapping around: consecutive queries overlap, and the whole domain
+// is visited. The pattern that defeats query-bound cracking.
+func SeqOver(domain int64, totalQueries int) Generator {
+	w := width(domain)
+	steps := domain - w
+	stride := w / 2
+	if stride < 1 {
+		stride = 1
+	}
+	return Generator{name: "SeqOver", fn: func(i int) Query {
+		lo := (int64(i) * stride) % (steps + 1)
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// ZoomOutAlt starts at the domain center and alternates sides while
+// moving outward, zooming out of the center region.
+func ZoomOutAlt(domain int64, totalQueries int) Generator {
+	w := width(domain)
+	c := domain / 2
+	half := domain/2 - w
+	n := int64(totalQueries/2 + 1)
+	return Generator{name: "ZoomOutAlt", fn: func(i int) Query {
+		k := int64(i/2 + 1)
+		off := half * k / n
+		var lo int64
+		if i%2 == 0 {
+			lo = c + off
+		} else {
+			lo = c - off - w
+		}
+		lo = clampLo(lo, domain, w)
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// Skew concentrates 80% of the queries on the central tenth of the
+// domain and scatters the rest uniformly.
+func Skew(domain int64, seed int64) Generator {
+	w := width(domain)
+	rng := rand.New(rand.NewSource(seed))
+	hotLo := domain*45/100 - w/2
+	hotSpan := domain / 10
+	// Pre-draw decisions lazily but deterministically: derive the i-th
+	// query from a per-index RNG so the generator is a pure function.
+	_ = rng
+	return Generator{name: "Skew", fn: func(i int) Query {
+		r := rand.New(rand.NewSource(seed + int64(i)*2654435761))
+		var lo int64
+		if r.Intn(10) < 8 {
+			lo = hotLo + r.Int63n(hotSpan+1)
+		} else {
+			lo = r.Int63n(domain - w + 1)
+		}
+		lo = clampLo(lo, domain, w)
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// Random draws each query uniformly from the domain.
+func Random(domain int64, seed int64) Generator {
+	w := width(domain)
+	return Generator{name: "Random", fn: func(i int) Query {
+		r := rand.New(rand.NewSource(seed + int64(i)*1099511628211))
+		lo := r.Int63n(domain - w + 1)
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// SeqZoomIn divides the domain into segments and zooms into each in
+// turn: every query inside a segment halves the covered range.
+func SeqZoomIn(domain int64, totalQueries int) Generator {
+	const segments = 10
+	perSeg := totalQueries/segments + 1
+	segW := domain / segments
+	if segW < 1 {
+		segW = 1
+	}
+	return Generator{name: "SeqZoomIn", fn: func(i int) Query {
+		seg := int64((i / perSeg) % segments)
+		step := i % perSeg
+		lo := seg * segW
+		if lo > domain-1 {
+			lo = domain - 1
+		}
+		hi := lo + segW - 1
+		if hi > domain-1 {
+			hi = domain - 1
+		}
+		for s := 0; s < step && hi-lo > 2; s++ {
+			quarter := (hi - lo) / 4
+			lo += quarter
+			hi -= quarter
+		}
+		return Query{lo, hi}
+	}}
+}
+
+// Periodic sweeps the domain in large strides, restarting each period:
+// the workload revisits regions at regular intervals.
+func Periodic(domain int64, totalQueries int) Generator {
+	w := width(domain)
+	const period = 100
+	return Generator{name: "Periodic", fn: func(i int) Query {
+		k := int64(i % period)
+		lo := k * (domain - w) / period
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// ZoomInAlt walks inward from both domain ends, alternating sides.
+func ZoomInAlt(domain int64, totalQueries int) Generator {
+	w := width(domain)
+	half := domain/2 - w
+	n := int64(totalQueries/2 + 1)
+	return Generator{name: "ZoomInAlt", fn: func(i int) Query {
+		k := int64(i/2 + 1)
+		off := half * k / n
+		var lo int64
+		if i%2 == 0 {
+			lo = off
+		} else {
+			lo = domain - off - w
+		}
+		lo = clampLo(lo, domain, w)
+		return Query{lo, lo + w - 1}
+	}}
+}
+
+// ZoomIn starts with the whole domain and narrows symmetrically toward
+// the center with every query (selectivity shrinks over time).
+func ZoomIn(domain int64, totalQueries int) Generator {
+	n := int64(totalQueries + 1)
+	return Generator{name: "ZoomIn", fn: func(i int) Query {
+		off := (domain / 2) * int64(i+1) / n
+		lo, hi := off, domain-off
+		if lo >= hi {
+			lo, hi = domain/2, domain/2+1
+		}
+		return Query{lo, hi - 1}
+	}}
+}
+
+// PointVersion turns any range pattern into its point-query variant:
+// the i-th point query probes the lower bound of the i-th range query
+// (Tables 3-5 run point versions of six patterns).
+func PointVersion(g Generator) Generator {
+	return Generator{name: g.name, fn: func(i int) Query {
+		q := g.fn(i)
+		return Query{q.Lo, q.Lo}
+	}}
+}
+
+// RangePatterns returns the eight Figure 6 patterns over the domain, in
+// the row order of Tables 3-5.
+func RangePatterns(domain int64, totalQueries int, seed int64) []Generator {
+	return []Generator{
+		SeqOver(domain, totalQueries),
+		ZoomOutAlt(domain, totalQueries),
+		Skew(domain, seed),
+		Random(domain, seed),
+		SeqZoomIn(domain, totalQueries),
+		Periodic(domain, totalQueries),
+		ZoomInAlt(domain, totalQueries),
+		ZoomIn(domain, totalQueries),
+	}
+}
+
+// PointPatterns returns the six point-query rows of Tables 3-5.
+func PointPatterns(domain int64, totalQueries int, seed int64) []Generator {
+	return []Generator{
+		PointVersion(SeqOver(domain, totalQueries)),
+		PointVersion(ZoomOutAlt(domain, totalQueries)),
+		PointVersion(Skew(domain, seed)),
+		PointVersion(Random(domain, seed)),
+		PointVersion(Periodic(domain, totalQueries)),
+		PointVersion(ZoomInAlt(domain, totalQueries)),
+	}
+}
+
+// SkyServer reproduces the drift of Figure 5b: the workload explores a
+// focus area with small sliding steps and jitter for a while, then
+// jumps to a different area. Widths vary around ~2% of the domain.
+func SkyServer(domain int64, seed int64) Generator {
+	return Generator{name: "SkyServer", fn: func(i int) Query {
+		const sessionLen = 150
+		session := int64(i / sessionLen)
+		step := int64(i % sessionLen)
+		r := rand.New(rand.NewSource(seed + session*6364136223846793005))
+		center := r.Int63n(domain)
+		drift := (r.Int63n(5) - 2) * domain / 2000 // per-query drift
+		w := domain/100 + r.Int63n(domain/50+1)
+		if w < 1 {
+			w = 1
+		}
+		if w > domain {
+			w = domain
+		}
+		qr := rand.New(rand.NewSource(seed + int64(i)*1442695040888963407))
+		jitter := qr.Int63n(domain/200+1) - domain/400
+		lo := center + drift*step + jitter - w/2
+		lo = clampLo(lo, domain, w)
+		return Query{lo, lo + w - 1}
+	}}
+}

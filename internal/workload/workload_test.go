@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+)
+
+const testDomain = int64(1_000_000)
+
+func allGenerators() []Generator {
+	gens := RangePatterns(testDomain, 1000, 42)
+	gens = append(gens, PointPatterns(testDomain, 1000, 42)...)
+	gens = append(gens, SkyServer(testDomain, 42))
+	return gens
+}
+
+func TestQueriesWithinDomain(t *testing.T) {
+	for _, g := range allGenerators() {
+		for i := 0; i < 2000; i++ {
+			q := g.Query(i)
+			if q.Lo > q.Hi {
+				t.Fatalf("%s #%d: lo %d > hi %d", g.Name(), i, q.Lo, q.Hi)
+			}
+			if q.Lo < 0 || q.Hi >= testDomain {
+				t.Fatalf("%s #%d: [%d,%d] outside domain [0,%d)", g.Name(), i, q.Lo, q.Hi, testDomain)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range allGenerators() {
+		g2s := map[string]Generator{}
+		for _, h := range allGenerators() {
+			g2s[h.Name()] = h
+		}
+		// Regenerate and compare; generators must be pure functions.
+		for i := 0; i < 500; i += 37 {
+			if a, b := g.Query(i), g.Query(i); a != b {
+				t.Fatalf("%s not deterministic at %d: %v vs %v", g.Name(), i, a, b)
+			}
+		}
+	}
+}
+
+func TestSelectivityApproximatelyTenPercent(t *testing.T) {
+	for _, g := range RangePatterns(testDomain, 1000, 1) {
+		if g.Name() == "ZoomIn" || g.Name() == "SeqZoomIn" {
+			continue // variable-selectivity patterns by design
+		}
+		for i := 0; i < 500; i += 53 {
+			q := g.Query(i)
+			w := q.Hi - q.Lo + 1
+			want := int64(float64(testDomain) * Selectivity)
+			if w < want-1 || w > want+1 {
+				t.Fatalf("%s #%d: width %d, want ≈%d", g.Name(), i, w, want)
+			}
+		}
+	}
+}
+
+func TestSeqOverActuallySweeps(t *testing.T) {
+	g := SeqOver(testDomain, 1000)
+	lo0 := g.Query(0).Lo
+	lo1 := g.Query(1).Lo
+	if lo1 <= lo0 {
+		t.Fatalf("SeqOver must move right: %d then %d", lo0, lo1)
+	}
+	// It must wrap and eventually cover the left edge again.
+	seenLow, seenHigh := false, false
+	for i := 0; i < 200; i++ {
+		q := g.Query(i)
+		if q.Lo < testDomain/10 {
+			seenLow = true
+		}
+		if q.Hi > testDomain*8/10 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatal("SeqOver did not sweep the domain")
+	}
+}
+
+func TestZoomInNarrows(t *testing.T) {
+	g := ZoomIn(testDomain, 1000)
+	prev := g.Query(0)
+	for i := 1; i < 900; i += 100 {
+		q := g.Query(i)
+		if q.Hi-q.Lo > prev.Hi-prev.Lo {
+			t.Fatalf("ZoomIn widened at %d: %v after %v", i, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestPointVersionIsPoint(t *testing.T) {
+	for _, g := range PointPatterns(testDomain, 1000, 9) {
+		for i := 0; i < 100; i++ {
+			q := g.Query(i)
+			if q.Lo != q.Hi {
+				t.Fatalf("%s point query #%d is a range: %v", g.Name(), i, q)
+			}
+		}
+	}
+}
+
+func TestSkewIsSkewed(t *testing.T) {
+	g := Skew(testDomain, 7)
+	hot := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		q := g.Query(i)
+		center := (q.Lo + q.Hi) / 2
+		if center > testDomain*4/10 && center < testDomain*6/10 {
+			hot++
+		}
+	}
+	if hot < trials/2 {
+		t.Fatalf("Skew: only %d/%d queries near the hot region", hot, trials)
+	}
+}
+
+func TestSkyServerSessionsJump(t *testing.T) {
+	g := SkyServer(testDomain, 11)
+	// Centers within one session should stay close; across sessions
+	// they should jump. Measure average per-step movement inside vs
+	// across session boundaries.
+	center := func(q Query) int64 { return (q.Lo + q.Hi) / 2 }
+	var within, across int64
+	var nWithin, nAcross int64
+	prev := center(g.Query(0))
+	for i := 1; i < 1200; i++ {
+		cur := center(g.Query(i))
+		d := cur - prev
+		if d < 0 {
+			d = -d
+		}
+		if i%150 == 0 {
+			across += d
+			nAcross++
+		} else {
+			within += d
+			nWithin++
+		}
+		prev = cur
+	}
+	if nAcross == 0 || nWithin == 0 {
+		t.Fatal("test setup broken")
+	}
+	if across/nAcross < 2*(within/nWithin) {
+		t.Fatalf("sessions do not jump: avg within %d, avg across %d", within/nWithin, across/nAcross)
+	}
+}
+
+func TestQueriesMaterializes(t *testing.T) {
+	g := Random(testDomain, 3)
+	qs := g.Queries(50)
+	if len(qs) != 50 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for i, q := range qs {
+		if q != g.Query(i) {
+			t.Fatalf("Queries()[%d] != Query(%d)", i, i)
+		}
+	}
+}
+
+func TestTinyDomainsDoNotPanic(t *testing.T) {
+	for _, d := range []int64{1, 2, 3, 10} {
+		gens := RangePatterns(d, 100, 5)
+		gens = append(gens, PointPatterns(d, 100, 5)...)
+		gens = append(gens, SkyServer(d, 5))
+		for _, g := range gens {
+			for i := 0; i < 50; i++ {
+				q := g.Query(i)
+				if q.Lo < 0 || q.Lo > q.Hi {
+					t.Fatalf("%s domain=%d #%d: bad query %v", g.Name(), d, i, q)
+				}
+			}
+		}
+	}
+}

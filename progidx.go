@@ -1,0 +1,274 @@
+// Package progidx is a Go implementation of Progressive Indexing
+// (Holanda, Raasveldt, Manegold, Mühleisen: "Progressive Indexes:
+// Indexing for Interactive Data Analysis", PVLDB 12(13), 2019).
+//
+// A progressive index answers every query exactly while spending a
+// small, controllable budget of extra work per query on building the
+// index. After enough queries it converges to a full B+-tree; before
+// that, each query is answered from the partial index plus whatever
+// part of the data is not indexed yet. Four algorithms are provided —
+// Progressive Quicksort, Progressive Radixsort (MSD), Progressive
+// Bucketsort (equi-height) and Progressive Radixsort (LSD) — plus the
+// adaptive-indexing baselines the paper compares against (database
+// cracking variants) and the Full Scan / Full Index reference points.
+//
+// Quick start:
+//
+//	idx, err := progidx.New(values, progidx.Options{
+//	    Strategy: progidx.StrategyRadixMSD,
+//	    Budget:   2 * time.Millisecond, // extra indexing time per query
+//	    Adaptive: true,                 // keep total query time constant
+//	})
+//	res := idx.Query(lo, hi) // SUM/COUNT over lo <= v <= hi, inclusive
+//
+// Queries are inclusive range aggregates, matching the paper's
+// SELECT SUM(A) WHERE A BETWEEN lo AND hi workload. Every Query call
+// may reorganize the index internally; answers are always exact.
+//
+// Use Recommend to pick a strategy via the paper's Figure 11 decision
+// tree.
+package progidx
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/cracking"
+	"repro/internal/imprints"
+	"repro/internal/phash"
+)
+
+// Result is the answer to a range aggregate: the SUM and COUNT of the
+// matching values.
+type Result = column.Result
+
+// Stats describes the work a progressive index performed on the most
+// recent query (phase, δ, cost-model prediction).
+type Stats = core.Stats
+
+// Phase is a progressive index's lifecycle phase.
+type Phase = core.Phase
+
+// Re-exported lifecycle phases.
+const (
+	PhaseCreation      = core.PhaseCreation
+	PhaseRefinement    = core.PhaseRefinement
+	PhaseConsolidation = core.PhaseConsolidation
+	PhaseDone          = core.PhaseDone
+)
+
+// Index is the behaviour shared by every index in this module. Query
+// answers the inclusive range [lo, hi] exactly and may spend budgeted
+// work refining the index as a side effect.
+type Index interface {
+	Name() string
+	Query(lo, hi int64) Result
+	Converged() bool
+}
+
+// ProgressiveIndex extends Index with the progressive-specific
+// introspection: the lifecycle phase and per-query work stats.
+type ProgressiveIndex interface {
+	Index
+	Phase() Phase
+	LastStats() Stats
+}
+
+// Strategy selects an indexing technique.
+type Strategy int
+
+// Available strategies: the four progressive algorithms of the paper,
+// the adaptive-indexing baselines, and the two reference points.
+const (
+	StrategyQuicksort Strategy = iota
+	StrategyRadixMSD
+	StrategyBucketsort
+	StrategyRadixLSD
+	StrategyFullScan
+	StrategyFullIndex
+	StrategyStandardCracking
+	StrategyStochasticCracking
+	StrategyProgressiveStochastic
+	StrategyCoarseGranular
+	StrategyAdaptiveAdaptive
+	// StrategyProgressiveHash and StrategyImprints implement the two
+	// "Indexing Methods" extensions of the paper's future-work section
+	// (§6): a progressively filled hash table that accelerates point
+	// queries, and progressively built column imprints, a secondary
+	// index that never reorders the column.
+	StrategyProgressiveHash
+	StrategyImprints
+)
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyQuicksort:
+		return "PQ"
+	case StrategyRadixMSD:
+		return "PMSD"
+	case StrategyBucketsort:
+		return "PB"
+	case StrategyRadixLSD:
+		return "PLSD"
+	case StrategyFullScan:
+		return "FS"
+	case StrategyFullIndex:
+		return "FI"
+	case StrategyStandardCracking:
+		return "STD"
+	case StrategyStochasticCracking:
+		return "STC"
+	case StrategyProgressiveStochastic:
+		return "PSTC"
+	case StrategyCoarseGranular:
+		return "CGI"
+	case StrategyAdaptiveAdaptive:
+		return "AA"
+	case StrategyProgressiveHash:
+		return "PHASH"
+	case StrategyImprints:
+		return "PIMP"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Progressive reports whether the strategy is one of the four
+// progressive algorithms (the paper's contribution).
+func (s Strategy) Progressive() bool {
+	switch s {
+	case StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD:
+		return true
+	}
+	return false
+}
+
+// Options configures New. The zero value builds a Progressive Quicksort
+// with a fixed δ of 0.25 and default cost constants.
+type Options struct {
+	// Strategy selects the algorithm (default Progressive Quicksort).
+	Strategy Strategy
+
+	// Delta fixes the fraction of the data indexed per query. Used when
+	// Budget is zero. Default 0.25.
+	Delta float64
+	// Budget is the per-query indexing time budget. When set it
+	// overrides Delta: with Adaptive false it is translated into a
+	// fixed δ on the first query; with Adaptive true δ is re-derived
+	// every query so total query time stays at t_scan + Budget until
+	// convergence.
+	Budget time.Duration
+	// Adaptive selects the adaptive budget flavor (see Budget).
+	Adaptive bool
+
+	// Calibrate measures the cost-model constants on this machine at
+	// construction time instead of using built-in defaults. Budgets in
+	// wall-clock time are only meaningful with calibration on.
+	Calibrate bool
+
+	// RadixBits sets the bucket count (1<<RadixBits) for the radix and
+	// bucket sorts; BlockSize the bucket block size; Fanout the B+-tree
+	// fanout; L1Elements the sort-outright threshold. Zero means the
+	// paper's defaults (6, 1024, 64, 4096).
+	RadixBits  int
+	BlockSize  int
+	Fanout     int
+	L1Elements int
+
+	// Seed drives the stochastic cracking baselines.
+	Seed int64
+}
+
+// New builds an index of the selected strategy over values. The slice
+// is retained as the base column and must not be mutated afterwards;
+// progressive strategies copy out of it as they index, exactly like the
+// paper's creation phases.
+func New(values []int64, opts Options) (Index, error) {
+	col, err := column.New(values)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromColumn(col, opts)
+}
+
+// NewFromColumn is New for a pre-built column (shared across several
+// indexes in the benchmarks, avoiding repeated min/max passes).
+func NewFromColumn(col *column.Column, opts Options) (Index, error) {
+	ccfg := core.Config{
+		Delta:      opts.Delta,
+		RadixBits:  opts.RadixBits,
+		BlockSize:  opts.BlockSize,
+		Fanout:     opts.Fanout,
+		L1Elements: opts.L1Elements,
+	}
+	switch {
+	case opts.Budget > 0 && opts.Adaptive:
+		ccfg.Mode = core.AdaptiveTime
+		ccfg.BudgetSeconds = opts.Budget.Seconds()
+	case opts.Budget > 0:
+		ccfg.Mode = core.FixedTime
+		ccfg.BudgetSeconds = opts.Budget.Seconds()
+	default:
+		ccfg.Mode = core.FixedDelta
+	}
+	if opts.Calibrate {
+		calibrateOnce.Do(func() { calibrated = core.CalibrateParams() })
+		ccfg.Params = calibrated
+	}
+	kcfg := cracking.Config{Seed: opts.Seed}
+
+	switch opts.Strategy {
+	case StrategyQuicksort:
+		return core.NewQuicksort(col, ccfg), nil
+	case StrategyRadixMSD:
+		return core.NewRadixMSD(col, ccfg), nil
+	case StrategyBucketsort:
+		return core.NewBucketsort(col, ccfg), nil
+	case StrategyRadixLSD:
+		return core.NewRadixLSD(col, ccfg), nil
+	case StrategyFullScan:
+		return baseline.NewFullScan(col), nil
+	case StrategyFullIndex:
+		return baseline.NewFullIndex(col, ccfg.Fanout), nil
+	case StrategyStandardCracking:
+		return cracking.NewStandard(col, kcfg), nil
+	case StrategyStochasticCracking:
+		return cracking.NewStochastic(col, kcfg), nil
+	case StrategyProgressiveStochastic:
+		return cracking.NewProgressiveStochastic(col, kcfg), nil
+	case StrategyCoarseGranular:
+		return cracking.NewCoarseGranular(col, kcfg), nil
+	case StrategyAdaptiveAdaptive:
+		return cracking.NewAdaptiveAdaptive(col, kcfg), nil
+	case StrategyProgressiveHash:
+		return phash.New(col, opts.Delta), nil
+	case StrategyImprints:
+		return imprints.New(col, opts.Delta), nil
+	default:
+		return nil, fmt.Errorf("progidx: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// MustNew is New that panics on error, for examples and tests with
+// statically valid inputs.
+func MustNew(values []int64, opts Options) Index {
+	idx, err := New(values, opts)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Calibration is process-wide: constants measured once, reused by every
+// index built with Options.Calibrate, mirroring the paper's
+// measure-at-startup scheme.
+var (
+	calibrateOnce sync.Once
+	calibrated    costmodel.Params
+)

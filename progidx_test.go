@@ -1,0 +1,142 @@
+package progidx
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/data"
+)
+
+var allStrategies = []Strategy{
+	StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD,
+	StrategyFullScan, StrategyFullIndex,
+	StrategyStandardCracking, StrategyStochasticCracking,
+	StrategyProgressiveStochastic, StrategyCoarseGranular, StrategyAdaptiveAdaptive,
+	StrategyProgressiveHash, StrategyImprints,
+}
+
+func TestNewAllStrategiesAnswerExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := data.Uniform(10_000, 2)
+	for _, s := range allStrategies {
+		idx, err := New(vals, Options{Strategy: s, Delta: 0.25, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if idx.Name() != s.String() {
+			t.Fatalf("Name %q != strategy %q", idx.Name(), s.String())
+		}
+		for q := 0; q < 60; q++ {
+			lo := rng.Int63n(10_000)
+			hi := lo + rng.Int63n(2000)
+			got := idx.Query(lo, hi)
+			want := column.SumRangeBranching(vals, lo, hi)
+			if got != want {
+				t.Fatalf("%v query [%d,%d]: got %+v want %+v", s, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestNewRejectsEmptyAndUnknown(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := New([]int64{1}, Options{Strategy: Strategy(99)}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestProgressiveInterfaceUpgrade(t *testing.T) {
+	vals := data.Uniform(5000, 5)
+	for _, s := range allStrategies {
+		idx := MustNew(vals, Options{Strategy: s, Delta: 0.5})
+		_, isProg := idx.(ProgressiveIndex)
+		if isProg != s.Progressive() {
+			t.Fatalf("%v: ProgressiveIndex=%v, Strategy.Progressive=%v", s, isProg, s.Progressive())
+		}
+	}
+}
+
+func TestProgressiveConvergesToDone(t *testing.T) {
+	vals := data.Uniform(5000, 6)
+	for _, s := range []Strategy{StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD} {
+		idx := MustNew(vals, Options{Strategy: s, Delta: 1}).(ProgressiveIndex)
+		for q := 0; q < 300 && !idx.Converged(); q++ {
+			idx.Query(0, 5000)
+		}
+		if !idx.Converged() || idx.Phase() != PhaseDone {
+			t.Fatalf("%v: converged=%v phase=%v", s, idx.Converged(), idx.Phase())
+		}
+	}
+}
+
+func TestBudgetModesSelectCorrectly(t *testing.T) {
+	vals := data.Uniform(20_000, 7)
+	// Fixed-time budget.
+	idx := MustNew(vals, Options{Strategy: StrategyQuicksort, Budget: time.Millisecond}).(ProgressiveIndex)
+	idx.Query(0, 100)
+	if st := idx.LastStats(); st.WorkSeconds <= 0 {
+		t.Fatalf("fixed-time budget did no work: %+v", st)
+	}
+	// Adaptive budget.
+	idx2 := MustNew(vals, Options{Strategy: StrategyRadixMSD, Budget: time.Millisecond, Adaptive: true}).(ProgressiveIndex)
+	idx2.Query(0, 100)
+	if st := idx2.LastStats(); st.WorkSeconds <= 0 {
+		t.Fatalf("adaptive budget did no work: %+v", st)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyQuicksort:             "PQ",
+		StrategyRadixMSD:              "PMSD",
+		StrategyBucketsort:            "PB",
+		StrategyRadixLSD:              "PLSD",
+		StrategyFullScan:              "FS",
+		StrategyFullIndex:             "FI",
+		StrategyStandardCracking:      "STD",
+		StrategyStochasticCracking:    "STC",
+		StrategyProgressiveStochastic: "PSTC",
+		StrategyCoarseGranular:        "CGI",
+		StrategyAdaptiveAdaptive:      "AA",
+		StrategyProgressiveHash:       "PHASH",
+		StrategyImprints:              "PIMP",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestRecommendDecisionTree(t *testing.T) {
+	cases := []struct {
+		hints WorkloadHints
+		want  Strategy
+	}{
+		{WorkloadHints{PointQueriesOnly: true}, StrategyRadixLSD},
+		{WorkloadHints{PointQueriesOnly: true, SkewedData: true}, StrategyRadixLSD},
+		{WorkloadHints{MemoryConstrained: true}, StrategyQuicksort},
+		{WorkloadHints{MemoryConstrained: true, SkewedData: true}, StrategyQuicksort},
+		{WorkloadHints{SkewedData: true}, StrategyBucketsort},
+		{WorkloadHints{}, StrategyRadixMSD},
+	}
+	for _, tc := range cases {
+		if got := Recommend(tc.hints); got != tc.want {
+			t.Fatalf("Recommend(%+v) = %v, want %v", tc.hints, got, tc.want)
+		}
+	}
+}
+
+func TestRecommendedStrategiesAreProgressive(t *testing.T) {
+	for _, h := range []WorkloadHints{
+		{}, {PointQueriesOnly: true}, {SkewedData: true}, {MemoryConstrained: true},
+	} {
+		if s := Recommend(h); !s.Progressive() {
+			t.Fatalf("Recommend(%+v) returned non-progressive %v", h, s)
+		}
+	}
+}
