@@ -23,22 +23,24 @@ import (
 )
 
 var strategies = map[string]progidx.Strategy{
-	"pq":   progidx.StrategyQuicksort,
-	"pmsd": progidx.StrategyRadixMSD,
-	"pb":   progidx.StrategyBucketsort,
-	"plsd": progidx.StrategyRadixLSD,
-	"fs":   progidx.StrategyFullScan,
-	"fi":   progidx.StrategyFullIndex,
-	"std":  progidx.StrategyStandardCracking,
-	"stc":  progidx.StrategyStochasticCracking,
-	"pstc": progidx.StrategyProgressiveStochastic,
-	"cgi":  progidx.StrategyCoarseGranular,
-	"aa":   progidx.StrategyAdaptiveAdaptive,
+	"pq":    progidx.StrategyQuicksort,
+	"pmsd":  progidx.StrategyRadixMSD,
+	"pb":    progidx.StrategyBucketsort,
+	"plsd":  progidx.StrategyRadixLSD,
+	"fs":    progidx.StrategyFullScan,
+	"fi":    progidx.StrategyFullIndex,
+	"std":   progidx.StrategyStandardCracking,
+	"stc":   progidx.StrategyStochasticCracking,
+	"pstc":  progidx.StrategyProgressiveStochastic,
+	"cgi":   progidx.StrategyCoarseGranular,
+	"aa":    progidx.StrategyAdaptiveAdaptive,
+	"phash": progidx.StrategyProgressiveHash,
+	"pimp":  progidx.StrategyImprints,
 }
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "pq", "pq|pmsd|pb|plsd|fs|fi|std|stc|pstc|cgi|aa")
+		strategy = flag.String("strategy", "pq", "pq|pmsd|pb|plsd|fs|fi|std|stc|pstc|cgi|aa|phash|pimp")
 		dataset  = flag.String("data", "uniform", "uniform|skewed|skyserver")
 		wl       = flag.String("workload", "random", "random|seqover|zoomin|zoomout|skew|periodic|seqzoomin|zoominalt|point|skyserver")
 		n        = flag.Int("n", 1_000_000, "column size")
@@ -118,14 +120,24 @@ func main() {
 	fmt.Printf("strategy=%s data=%s(%d rows) workload=%s queries=%d\n\n",
 		idx.Name(), *dataset, *n, gen.Name(), *queries)
 
-	prog, hasPhases := idx.(progidx.ProgressiveIndex)
+	_, hasPhases := idx.(progidx.ProgressiveIndex)
 	total := 0.0
 	convergedAt := -1
 	for i := 0; i < *queries; i++ {
 		q := gen.Query(i)
+		// Point workloads are issued as Point predicates so the
+		// point-optimized strategies (plsd, phash) hit their fast paths.
+		pred := progidx.Range(q.Lo, q.Hi)
+		if q.Lo == q.Hi {
+			pred = progidx.Point(q.Lo)
+		}
 		start := time.Now()
-		res := idx.Query(q.Lo, q.Hi)
+		ans, err := idx.Execute(progidx.Request{Pred: pred})
 		dt := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		total += dt
 		if convergedAt < 0 && idx.Converged() {
 			convergedAt = i
@@ -134,10 +146,11 @@ func main() {
 		if i%*every == 0 || i == *queries-1 {
 			phase := ""
 			if hasPhases {
-				phase = fmt.Sprintf("  phase=%-13s δ=%.4f", prog.Phase(), prog.LastStats().Delta)
+				// The per-query stats travel inline in the answer.
+				phase = fmt.Sprintf("  phase=%-13s δ=%.4f", ans.Stats.Phase, ans.Stats.Delta)
 			}
 			fmt.Printf("q%-5d [%d, %d]  sum=%-16d count=%-9d %.3fms%s\n",
-				i+1, q.Lo, q.Hi, res.Sum, res.Count, dt*1000, phase)
+				i+1, q.Lo, q.Hi, ans.Sum, ans.Count, dt*1000, phase)
 		}
 	}
 	fmt.Printf("\ncumulative=%.3fs  mean=%.3fms", total, total/float64(*queries)*1000)

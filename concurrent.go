@@ -24,6 +24,17 @@ func Synchronize(idx Index) *Synchronized {
 // Name implements Index.
 func (s *Synchronized) Name() string { return s.inner.Name() }
 
+// Execute implements Index, holding the lock across the answer and the
+// indexing work it triggers. Because the Answer carries the per-query
+// Stats inline, concurrent callers always observe the (answer, stats)
+// pair of their own call — there is no cross-goroutine stats race to
+// worry about.
+func (s *Synchronized) Execute(req Request) (Answer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Execute(req)
+}
+
 // Query implements Index, holding the lock across the answer and the
 // indexing work it triggers.
 func (s *Synchronized) Query(lo, hi int64) Result {
@@ -41,6 +52,10 @@ func (s *Synchronized) Converged() bool {
 
 // Stats returns the progressive per-query stats when the wrapped index
 // is a ProgressiveIndex.
+//
+// Deprecated: with concurrent callers the "last" stats may belong to
+// another goroutine's query by the time this method acquires the lock.
+// Use Execute, whose Answer carries the matching Stats inline.
 func (s *Synchronized) Stats() (Stats, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -40,3 +40,23 @@ func Recommend(h WorkloadHints) Strategy {
 		return StrategyRadixMSD
 	}
 }
+
+// HintsFromRequests derives the workload-shape hints the decision tree
+// can observe from a sample of v2 requests: a session issuing only
+// point predicates (Point, or degenerate ranges) selects the paper's
+// point-query branch. Data-shape hints (skew, memory pressure) cannot
+// be read off requests and stay at their zero values; set them
+// explicitly before calling Recommend if known.
+func HintsFromRequests(reqs []Request) WorkloadHints {
+	if len(reqs) == 0 {
+		return WorkloadHints{}
+	}
+	h := WorkloadHints{PointQueriesOnly: true}
+	for _, r := range reqs {
+		if !r.Pred.IsPoint() {
+			h.PointQueriesOnly = false
+			break
+		}
+	}
+	return h
+}

@@ -40,9 +40,15 @@ func main() {
 		for q := 0; q < 500; q++ {
 			v := values[queries.Intn(n)]
 			start := time.Now()
-			res := idx.Query(v, v)
+			// An explicit Point predicate: phash answers from its hash
+			// table and plsd from a single radix bucket, instead of
+			// degenerating to a [v, v] range scan.
+			ans, err := idx.Execute(progidx.Request{Pred: progidx.Point(v)})
 			d := time.Since(start)
-			if res.Count < 1 {
+			if err != nil {
+				panic(err)
+			}
+			if ans.Count < 1 {
 				panic("lost a value")
 			}
 			total += d

@@ -38,18 +38,25 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	prog := idx.(progidx.ProgressiveIndex)
 
+	// The v2 request/response API: describe the predicate and the
+	// aggregates; the answer carries the values and the per-query
+	// indexing stats inline.
 	fmt.Println("query   phase          latency      sum of matches")
 	for q := 1; q <= 400; q++ {
 		lo := rng.Int63n(900_000)
-		hi := lo + 100_000
 		start := time.Now()
-		res := idx.Query(lo, hi)
+		ans, err := idx.Execute(progidx.Request{
+			Pred: progidx.Range(lo, lo+100_000),
+			Aggs: progidx.Sum | progidx.Count | progidx.Avg,
+		})
 		lat := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
 		if q <= 5 || q%50 == 0 || (idx.Converged() && q%50 == 1) {
-			fmt.Printf("%5d   %-12s  %9v   %d (%d rows)\n",
-				q, prog.Phase(), lat.Round(time.Microsecond), res.Sum, res.Count)
+			fmt.Printf("%5d   %-12s  %9v   %d (%d rows, mean %.1f)\n",
+				q, ans.Stats.Phase, lat.Round(time.Microsecond), ans.Sum, ans.Count, ans.Avg)
 		}
 		if idx.Converged() && q > 100 {
 			fmt.Printf("\nconverged: the index is now a B+-tree; queries cost microseconds.\n")

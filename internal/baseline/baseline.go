@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/column"
+	"repro/internal/query"
 )
 
 // FullScan answers every query with a predicated scan of the base
@@ -28,9 +29,19 @@ func (f *FullScan) Name() string { return "FS" }
 // Converged reports false: a scan never builds an index.
 func (f *FullScan) Converged() bool { return false }
 
-// Query scans the whole column with the predicated kernel.
+// Execute scans the whole column with the predicated multi-aggregate
+// kernel.
+func (f *FullScan) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, f.col.Min(), f.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return column.AggRange(f.col.Values(), lo, hi, aggs), query.Stats{}
+	})
+}
+
+// Query scans the whole column with the predicated kernel (v1
+// compatibility surface, via Execute).
 func (f *FullScan) Query(lo, hi int64) column.Result {
-	return f.col.Sum(lo, hi)
+	ans, _ := f.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
 }
 
 // FullIndex sorts a copy of the column and bulk-loads a B+-tree on the
@@ -58,18 +69,33 @@ func (f *FullIndex) Name() string { return "FI" }
 // first query on).
 func (f *FullIndex) Converged() bool { return f.tree != nil }
 
-// Query builds the index if needed, then answers from the B+-tree.
+// Execute builds the index if needed, then answers the requested
+// aggregates from the B+-tree.
+func (f *FullIndex) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, f.col.Min(), f.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		f.build()
+		return f.tree.AggRange(lo, hi, aggs), query.Stats{}
+	})
+}
+
+// Query builds the index if needed, then answers from the B+-tree (v1
+// compatibility surface, via Execute).
 func (f *FullIndex) Query(lo, hi int64) column.Result {
-	if f.tree == nil {
-		sorted := make([]int64, f.col.Len())
-		copy(sorted, f.col.Values())
-		slices.Sort(sorted)
-		t, err := btree.Build(sorted, f.fanout)
-		if err != nil {
-			// fanout is validated in the constructor; unreachable.
-			panic(err)
-		}
-		f.tree = t
+	ans, _ := f.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (f *FullIndex) build() {
+	if f.tree != nil {
+		return
 	}
-	return f.tree.SumRange(lo, hi)
+	sorted := make([]int64, f.col.Len())
+	copy(sorted, f.col.Values())
+	slices.Sort(sorted)
+	t, err := btree.Build(sorted, f.fanout)
+	if err != nil {
+		// fanout is validated in the constructor; unreachable.
+		panic(err)
+	}
+	f.tree = t
 }

@@ -67,9 +67,15 @@ func (l *List) Blocks() [][]int64 { return l.blocks }
 // SumRange answers the inclusive range aggregate over the whole bucket
 // with the predicated kernel, block by block.
 func (l *List) SumRange(lo, hi int64) column.Result {
-	var r column.Result
+	return l.AggRange(lo, hi, column.AggSum|column.AggCount).Result()
+}
+
+// AggRange computes the requested aggregates over the whole bucket with
+// the predicated kernel, block by block.
+func (l *List) AggRange(lo, hi int64, aggs column.Aggregates) column.Agg {
+	r := column.NewAgg()
 	for _, b := range l.blocks {
-		r.Add(column.SumRange(b, lo, hi))
+		r.Merge(column.AggRange(b, lo, hi, aggs))
 	}
 	return r
 }
@@ -131,13 +137,19 @@ func (c *Cursor) Next(l *List) (v int64, ok bool) {
 // SumRangeRemaining aggregates only the not-yet-consumed suffix, which
 // is what a query must scan while a bucket is being repartitioned.
 func (c *Cursor) SumRangeRemaining(l *List, lo, hi int64) column.Result {
-	var r column.Result
+	return c.AggRemaining(l, lo, hi, column.AggSum|column.AggCount).Result()
+}
+
+// AggRemaining computes the requested aggregates over the
+// not-yet-consumed suffix of the bucket.
+func (c *Cursor) AggRemaining(l *List, lo, hi int64, aggs column.Aggregates) column.Agg {
+	r := column.NewAgg()
 	if c.block >= len(l.blocks) {
 		return r
 	}
-	r.Add(column.SumRange(l.blocks[c.block][c.off:], lo, hi))
+	r.Merge(column.AggRange(l.blocks[c.block][c.off:], lo, hi, aggs))
 	for i := c.block + 1; i < len(l.blocks); i++ {
-		r.Add(column.SumRange(l.blocks[i], lo, hi))
+		r.Merge(column.AggRange(l.blocks[i], lo, hi, aggs))
 	}
 	return r
 }

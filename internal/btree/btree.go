@@ -89,14 +89,32 @@ func (t *Tree) UpperBound(v int64) int {
 // SumRange answers the inclusive range aggregate using the tree to find
 // the matching leaf run, then summing it.
 func (t *Tree) SumRange(lo, hi int64) column.Result {
+	return t.AggRange(lo, hi, column.AggSum|column.AggCount).Result()
+}
+
+// AggRange computes the requested aggregates over the inclusive range
+// [lo, hi]. The tree descent finds the matching leaf run, so COUNT, MIN
+// and MAX cost O(log N); the O(matches) leaf pass is paid only when a
+// SUM (or AVG) was requested.
+func (t *Tree) AggRange(lo, hi int64, aggs column.Aggregates) column.Agg {
+	a := column.NewAgg()
 	i := t.LowerBound(lo)
 	j := t.UpperBound(hi)
-	var sum int64
-	leaf := t.levels[0]
-	for _, v := range leaf[i:j] {
-		sum += v
+	if i >= j {
+		return a
 	}
-	return column.Result{Sum: sum, Count: int64(j - i)}
+	leaf := t.levels[0]
+	a.Count = int64(j - i)
+	a.Min = leaf[i]
+	a.Max = leaf[j-1]
+	if aggs.NeedsSum() {
+		var sum int64
+		for _, v := range leaf[i:j] {
+			sum += v
+		}
+		a.Sum = sum
+	}
+	return a
 }
 
 // Builder constructs a Tree incrementally under a copy budget.

@@ -30,6 +30,112 @@ func (r *Result) Add(o Result) {
 	r.Count += o.Count
 }
 
+// Aggregates is a bitmask of aggregate functions a query requests. The
+// v2 Execute API threads it through every kernel so new aggregates are
+// data, not new interface methods.
+type Aggregates uint8
+
+// Aggregate functions, combinable as a bitmask.
+const (
+	AggSum Aggregates = 1 << iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+
+	// AggAll requests every aggregate.
+	AggAll = AggSum | AggCount | AggMin | AggMax | AggAvg
+)
+
+// Has reports whether any of the bits in b are requested.
+func (a Aggregates) Has(b Aggregates) bool { return a&b != 0 }
+
+// NeedsMinMax reports whether the kernels must track extrema.
+func (a Aggregates) NeedsMinMax() bool { return a&(AggMin|AggMax) != 0 }
+
+// NeedsSum reports whether the kernels must accumulate a sum (requested
+// directly or needed to derive AVG).
+func (a Aggregates) NeedsSum() bool { return a&(AggSum|AggAvg) != 0 }
+
+// Normalize resolves the mask the kernels actually compute: the zero
+// value defaults to SUM+COUNT (the v1 Query contract), COUNT is always
+// carried (it is free in every kernel and gates MIN/MAX/AVG validity),
+// and AVG pulls in SUM.
+func (a Aggregates) Normalize() Aggregates {
+	if a == 0 {
+		a = AggSum | AggCount
+	}
+	a |= AggCount
+	if a.Has(AggAvg) {
+		a |= AggSum
+	}
+	return a
+}
+
+// Valid reports whether the mask only contains known aggregate bits.
+func (a Aggregates) Valid() bool { return a&^AggAll == 0 }
+
+// String implements fmt.Stringer, e.g. "SUM|COUNT".
+func (a Aggregates) String() string {
+	if a == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Aggregates
+		name string
+	}{
+		{AggSum, "SUM"}, {AggCount, "COUNT"}, {AggMin, "MIN"},
+		{AggMax, "MAX"}, {AggAvg, "AVG"},
+	}
+	s := ""
+	for _, n := range names {
+		if a.Has(n.bit) {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if rest := a &^ AggAll; rest != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += fmt.Sprintf("Aggregates(%#x)", uint8(rest))
+	}
+	return s
+}
+
+// Agg is the multi-aggregate accumulator every kernel fills. Sum and
+// Count are always maintained; Min and Max hold the extrema of matching
+// elements and are meaningful only when Count > 0 (empty accumulators
+// keep the +/-inf sentinels so Merge stays branch-free on validity).
+type Agg struct {
+	Sum   int64
+	Count int64
+	Min   int64
+	Max   int64
+}
+
+// NewAgg returns an empty accumulator with extrema sentinels.
+func NewAgg() Agg {
+	return Agg{Min: math.MaxInt64, Max: math.MinInt64}
+}
+
+// Merge accumulates another partial aggregate into a.
+func (a *Agg) Merge(o Agg) {
+	a.Sum += o.Sum
+	a.Count += o.Count
+	if o.Min < a.Min {
+		a.Min = o.Min
+	}
+	if o.Max > a.Max {
+		a.Max = o.Max
+	}
+}
+
+// Result projects the SUM/COUNT pair for the v1 compatibility surface.
+func (a Agg) Result() Result { return Result{Sum: a.Sum, Count: a.Count} }
+
 // Column is an immutable in-memory column of int64 values with zone
 // statistics. Immutability mirrors the paper's setting: the data is
 // loaded once and then queried; updates are future work (Section 6).
@@ -42,9 +148,13 @@ type Column struct {
 // ErrEmpty is returned when constructing a column with no rows.
 var ErrEmpty = errors.New("column: empty input")
 
-// MaxMagnitude bounds the absolute value of any element so that the
-// branch-free comparison kernels (which rely on subtraction not
-// overflowing) are safe. 2^62 leaves one bit of slack for v-lo.
+// MaxMagnitude bounds the absolute value of any element, exclusively:
+// values must lie strictly inside ±2^62 so that the branch-free
+// comparison kernels (which rely on the subtractions v-lo and hi-v not
+// overflowing) are safe. With |v| and |bound| both < 2^62 the
+// difference is at most 2^63-2, one bit inside the int64 range; at
+// exactly ±2^62 the difference would hit 2^63 and wrap, silently
+// dropping matches.
 const MaxMagnitude = int64(1) << 62
 
 // New builds a column from values, computing min/max zone statistics in
@@ -63,8 +173,8 @@ func New(values []int64) (*Column, error) {
 			mx = v
 		}
 	}
-	if mn < -MaxMagnitude || mx > MaxMagnitude {
-		return nil, fmt.Errorf("column: values outside ±2^62 are not supported (min=%d max=%d)", mn, mx)
+	if mn <= -MaxMagnitude || mx >= MaxMagnitude {
+		return nil, fmt.Errorf("column: values must lie strictly inside ±2^62 (min=%d max=%d)", mn, mx)
 	}
 	return &Column{values: values, min: mn, max: mx}, nil
 }
@@ -129,6 +239,85 @@ func SumRangeBranching(values []int64, lo, hi int64) Result {
 		}
 	}
 	return Result{Sum: sum, Count: count}
+}
+
+// AggRange computes the requested aggregates over values v with
+// lo <= v <= hi in one pass. The match decision is branch-free exactly
+// like SumRange, so the paper's selectivity-independence holds for every
+// aggregate combination; extrema tracking uses mask-selected candidates
+// and conditional moves, never a data-dependent branch on the match.
+func AggRange(values []int64, lo, hi int64, aggs Aggregates) Agg {
+	a := NewAgg()
+	if !aggs.NeedsMinMax() {
+		// SUM/COUNT-only fast path: identical code to the v1 kernel.
+		r := SumRange(values, lo, hi)
+		a.Sum, a.Count = r.Sum, r.Count
+		return a
+	}
+	var sum, count int64
+	mn, mx := a.Min, a.Max
+	for _, v := range values {
+		ge := ^((v - lo) >> 63) & 1 // 1 iff v >= lo
+		le := ^((hi - v) >> 63) & 1 // 1 iff v <= hi
+		m := ge & le
+		mask := -m
+		sum += v & mask
+		count += m
+		locand := (v & mask) | (mn &^ mask) // v when matching, else mn
+		if locand < mn {
+			mn = locand
+		}
+		hicand := (v & mask) | (mx &^ mask)
+		if hicand > mx {
+			mx = hicand
+		}
+	}
+	a.Sum, a.Count, a.Min, a.Max = sum, count, mn, mx
+	return a
+}
+
+// AggRangeBranching is the naive branching multi-aggregate kernel: the
+// correctness oracle for AggRange and every Execute implementation in
+// the property tests. Index code never calls it.
+func AggRangeBranching(values []int64, lo, hi int64) Agg {
+	a := NewAgg()
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			a.Sum += v
+			a.Count++
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+		}
+	}
+	return a
+}
+
+// AggSorted computes the requested aggregates over a fully sorted slice.
+// The matching run is found by binary search; COUNT, MIN and MAX then
+// cost O(1), and the O(matches) pass is paid only when a SUM (or AVG)
+// was requested.
+func AggSorted(sorted []int64, lo, hi int64, aggs Aggregates) Agg {
+	a := NewAgg()
+	i := lowerBound(sorted, lo)
+	j := upperBound(sorted, hi)
+	if i >= j {
+		return a
+	}
+	a.Count = int64(j - i)
+	a.Min = sorted[i]
+	a.Max = sorted[j-1]
+	if aggs.NeedsSum() {
+		var sum int64
+		for _, v := range sorted[i:j] {
+			sum += v
+		}
+		a.Sum = sum
+	}
+	return a
 }
 
 // SumSorted computes the inclusive range aggregate over a fully sorted

@@ -16,14 +16,25 @@ func TestNewEmpty(t *testing.T) {
 }
 
 func TestNewRejectsHugeMagnitudes(t *testing.T) {
-	if _, err := New([]int64{MaxMagnitude + 1}); err == nil {
-		t.Fatal("New accepted value > 2^62")
+	// The bound is exclusive: at exactly ±2^62 the kernels' v-lo / hi-v
+	// subtractions can hit 2^63 and wrap, so those values are rejected.
+	if _, err := New([]int64{MaxMagnitude}); err == nil {
+		t.Fatal("New accepted value = 2^62")
 	}
-	if _, err := New([]int64{-MaxMagnitude - 1}); err == nil {
-		t.Fatal("New accepted value < -2^62")
+	if _, err := New([]int64{-MaxMagnitude}); err == nil {
+		t.Fatal("New accepted value = -2^62")
 	}
-	if _, err := New([]int64{MaxMagnitude, -MaxMagnitude}); err != nil {
-		t.Fatalf("New rejected boundary values: %v", err)
+	if _, err := New([]int64{MaxMagnitude - 1, -MaxMagnitude + 1}); err != nil {
+		t.Fatalf("New rejected in-domain extremes: %v", err)
+	}
+	// The extreme in-domain values must round-trip through the kernels.
+	got := SumRange([]int64{MaxMagnitude - 1, 0, -MaxMagnitude + 1}, -MaxMagnitude+1, MaxMagnitude-1)
+	if got.Count != 3 {
+		t.Fatalf("extreme-domain scan lost rows: %+v", got)
+	}
+	agg := AggRange([]int64{MaxMagnitude - 1, 0, -MaxMagnitude + 1}, -MaxMagnitude+1, MaxMagnitude-1, AggAll)
+	if agg.Count != 3 || agg.Min != -MaxMagnitude+1 || agg.Max != MaxMagnitude-1 {
+		t.Fatalf("extreme-domain aggregate wrong: %+v", agg)
 	}
 }
 
@@ -143,5 +154,93 @@ func TestResultAdd(t *testing.T) {
 	r.Add(Result{Sum: -3, Count: 1})
 	if r.Sum != 2 || r.Count != 3 {
 		t.Fatalf("Add got %+v", r)
+	}
+}
+
+func TestAggRangeMatchesBranchingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	masks := []Aggregates{AggSum | AggCount, AggAll, AggMin | AggCount, AggMax | AggCount}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(2000) - 1000
+		}
+		lo := rng.Int63n(2400) - 1200
+		hi := lo + rng.Int63n(800) - 100 // sometimes inverted (empty)
+		want := AggRangeBranching(vals, lo, hi)
+		for _, m := range masks {
+			got := AggRange(vals, lo, hi, m)
+			if got.Sum != want.Sum || got.Count != want.Count {
+				t.Fatalf("AggRange(%v) sum/count: got %+v want %+v", m, got, want)
+			}
+			if m.NeedsMinMax() && (got.Min != want.Min || got.Max != want.Max) {
+				t.Fatalf("AggRange(%v) min/max: got %+v want %+v", m, got, want)
+			}
+		}
+	}
+}
+
+func TestAggSortedMatchesBranchingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		vals := make([]int64, n)
+		v := rng.Int63n(100) - 500
+		for i := range vals {
+			vals[i] = v
+			v += rng.Int63n(5)
+		}
+		lo := rng.Int63n(1200) - 600
+		hi := lo + rng.Int63n(400) - 50
+		want := AggRangeBranching(vals, lo, hi)
+		got := AggSorted(vals, lo, hi, AggAll)
+		if got != want {
+			t.Fatalf("AggSorted: got %+v want %+v", got, want)
+		}
+		// Without SUM requested, the matching run is never scanned but
+		// COUNT/MIN/MAX must still be exact.
+		cheap := AggSorted(vals, lo, hi, AggCount|AggMin|AggMax)
+		if cheap.Count != want.Count || cheap.Min != want.Min || cheap.Max != want.Max {
+			t.Fatalf("AggSorted cheap: got %+v want %+v", cheap, want)
+		}
+	}
+}
+
+func TestAggMergeAndSentinels(t *testing.T) {
+	empty := NewAgg()
+	if empty.Count != 0 {
+		t.Fatal("fresh accumulator must be empty")
+	}
+	a := AggRangeBranching([]int64{5, -3}, -10, 10)
+	b := NewAgg()
+	b.Merge(a) // merging into empty must adopt a's extrema
+	if b != a {
+		t.Fatalf("merge into empty: got %+v want %+v", b, a)
+	}
+	a.Merge(empty) // merging an empty accumulator must be a no-op
+	if a.Min != -3 || a.Max != 5 || a.Count != 2 || a.Sum != 2 {
+		t.Fatalf("merge of empty changed result: %+v", a)
+	}
+	if r := a.Result(); r.Sum != 2 || r.Count != 2 {
+		t.Fatalf("Result projection: %+v", r)
+	}
+}
+
+func TestAggregatesNormalizeAndString(t *testing.T) {
+	if got := Aggregates(0).Normalize(); got != AggSum|AggCount {
+		t.Fatalf("zero mask normalizes to %v", got)
+	}
+	if got := AggAvg.Normalize(); !got.Has(AggSum) || !got.Has(AggCount) {
+		t.Fatalf("AVG must pull in SUM and COUNT, got %v", got)
+	}
+	if got := AggMin.Normalize(); !got.Has(AggCount) {
+		t.Fatalf("COUNT must always be carried, got %v", got)
+	}
+	if (AggSum | AggMax).String() != "SUM|MAX" {
+		t.Fatalf("String: %q", (AggSum | AggMax).String())
+	}
+	if !AggAll.Valid() || Aggregates(0x80).Valid() {
+		t.Fatal("Valid() mislabels masks")
 	}
 }

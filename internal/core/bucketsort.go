@@ -6,6 +6,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
 // bstate is the lifecycle of one equi-height bucket.
@@ -137,8 +138,21 @@ func (b *Bucketsort) Converged() bool { return b.phase == PhaseDone }
 // LastStats implements Index.
 func (b *Bucketsort) LastStats() Stats { return b.last }
 
-// Query implements Index.
+// Execute implements Index.
+func (b *Bucketsort) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, b.col.Min(), b.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		agg := b.execute(lo, hi, aggs) // sets b.last; keep the reads ordered
+		return agg, b.last
+	})
+}
+
+// Query implements Index (v1 compatibility surface, via Execute).
 func (b *Bucketsort) Query(lo, hi int64) column.Result {
+	ans, _ := b.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if b.bks == nil {
 		b.initBuckets()
 	}
@@ -146,7 +160,7 @@ func (b *Bucketsort) Query(lo, hi int64) column.Result {
 	base, alpha := b.predictBase(lo, hi)
 	planned := b.budget.plan(base, b.unitFull())
 
-	var res column.Result
+	res := column.NewAgg()
 	consumed := 0.0
 	deltaOverride := -1.0
 	if b.phase == PhaseCreation {
@@ -165,11 +179,11 @@ func (b *Bucketsort) Query(lo, hi int64) column.Result {
 		}
 		iLo, iHi := b.bucketRange(lo, hi)
 		for i := iLo; i <= iHi; i++ {
-			res.Add(b.bks[i].list.SumRange(lo, hi))
+			res.Merge(b.bks[i].list.AggRange(lo, hi, aggs))
 		}
-		seg, did := b.createStepSum(units, lo, hi)
-		res.Add(seg)
-		res.Add(column.SumRange(b.col.Slice(b.copied, b.n), lo, hi))
+		seg, did := b.createStep(units, lo, hi, aggs)
+		res.Merge(seg)
+		res.Merge(column.AggRange(b.col.Slice(b.copied, b.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(b.n)
 		if b.copied == b.n {
@@ -179,7 +193,7 @@ func (b *Bucketsort) Query(lo, hi int64) column.Result {
 			}
 		}
 	} else {
-		res = b.answer(lo, hi)
+		res = b.answer(lo, hi, aggs)
 		consumed = b.work(planned)
 	}
 
@@ -262,43 +276,43 @@ func (b *Bucketsort) predictBase(lo, hi int64) (float64, int) {
 	}
 }
 
-func (b *Bucketsort) answer(lo, hi int64) column.Result {
+func (b *Bucketsort) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	switch b.phase {
 	case PhaseCreation:
-		var res column.Result
+		res := column.NewAgg()
 		iLo, iHi := b.bucketRange(lo, hi)
 		for i := iLo; i <= iHi; i++ {
-			res.Add(b.bks[i].list.SumRange(lo, hi))
+			res.Merge(b.bks[i].list.AggRange(lo, hi, aggs))
 		}
-		res.Add(column.SumRange(b.col.Slice(b.copied, b.n), lo, hi))
+		res.Merge(column.AggRange(b.col.Slice(b.copied, b.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
-		var res column.Result
+		res := column.NewAgg()
 		iLo, iHi := b.bucketRange(lo, hi)
 		for i := iLo; i <= iHi; i++ {
-			res.Add(b.queryBucket(b.bks[i], lo, hi))
+			res.Merge(b.queryBucket(b.bks[i], lo, hi, aggs))
 		}
 		return res
 	default:
-		return b.cons.answer(lo, hi)
+		return b.cons.answer(lo, hi, aggs)
 	}
 }
 
-func (b *Bucketsort) queryBucket(bk *bbucket, lo, hi int64) column.Result {
+func (b *Bucketsort) queryBucket(bk *bbucket, lo, hi int64, aggs column.Aggregates) column.Agg {
 	switch bk.state {
 	case bPending:
-		return bk.list.SumRange(lo, hi)
+		return bk.list.AggRange(lo, hi, aggs)
 	case bCopying:
 		// Copied parts sit at the two ends of the region; the rest is
 		// still in the block list.
-		res := column.SumRange(b.final[bk.regStart:bk.top], lo, hi)
-		res.Add(column.SumRange(b.final[bk.bottom+1:bk.regEnd], lo, hi))
-		res.Add(bk.cur.SumRangeRemaining(bk.list, lo, hi))
+		res := column.AggRange(b.final[bk.regStart:bk.top], lo, hi, aggs)
+		res.Merge(column.AggRange(b.final[bk.bottom+1:bk.regEnd], lo, hi, aggs))
+		res.Merge(bk.cur.AggRemaining(bk.list, lo, hi, aggs))
 		return res
 	case bRefining:
-		return bk.tree.query(bk.tree.root, lo, hi)
+		return bk.tree.query(bk.tree.root, lo, hi, aggs)
 	default: // bDone
-		return column.SumSorted(b.final[bk.regStart:bk.regEnd], lo, hi)
+		return column.AggSorted(b.final[bk.regStart:bk.regEnd], lo, hi, aggs)
 	}
 }
 
@@ -334,17 +348,18 @@ func (b *Bucketsort) work(sec float64) float64 {
 	return consumed
 }
 
-// createStepSum inserts up to units elements into their buckets (binary
+// createStep inserts up to units elements into their buckets (binary
 // search over the separators per element) while accumulating the
-// predicated sum of the segment for the in-flight query.
-func (b *Bucketsort) createStepSum(units int, lo, hi int64) (column.Result, int) {
-	end := b.copied + units
+// predicated aggregates of the segment for the in-flight query.
+func (b *Bucketsort) createStep(units int, lo, hi int64, aggs column.Aggregates) (column.Agg, int) {
+	start := b.copied
+	end := start + units
 	if end > b.n {
 		end = b.n
 	}
 	vals := b.col.Values()
 	var sum, count int64
-	for i := b.copied; i < end; i++ {
+	for i := start; i < end; i++ {
 		v := vals[i]
 		b.bks[b.bucketIndexOf(v)].list.Append(v)
 		ge := ^((v - lo) >> 63) & 1
@@ -353,9 +368,8 @@ func (b *Bucketsort) createStepSum(units int, lo, hi int64) (column.Result, int)
 		sum += v & -m
 		count += m
 	}
-	did := end - b.copied
 	b.copied = end
-	return column.Result{Sum: sum, Count: count}, did
+	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 // startRefinement fixes the final-array regions from the (now final)

@@ -50,7 +50,7 @@ func CalibrateParams() costmodel.Params {
 	pivotPerElem := bestOf(3, func() {
 		q = NewQuicksort(col, Config{Mode: FixedDelta, Delta: 1})
 	}, func() {
-		seg, _ := q.createStepSum(n, int64(n)/4, int64(3*n)/4)
+		seg, _ := q.createStep(n, int64(n)/4, int64(3*n)/4, column.AggSum|column.AggCount)
 		calSink = seg.Sum
 	}) / n
 
@@ -77,7 +77,7 @@ func CalibrateParams() costmodel.Params {
 	bucketPerElem := bestOf(3, func() {
 		r = NewRadixMSD(col, Config{Mode: FixedDelta, Delta: 1, BlockSize: sb})
 	}, func() {
-		seg, _ := r.createStepSum(n, int64(n)/4, int64(3*n)/4)
+		seg, _ := r.createStep(n, int64(n)/4, int64(3*n)/4, column.AggSum|column.AggCount)
 		calSink = seg.Sum
 	}) / n
 

@@ -25,34 +25,21 @@ import (
 	"repro/internal/btree"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
-// Phase identifies where an index is in its lifecycle.
-type Phase int
+// Phase identifies where an index is in its lifecycle. It is an alias
+// of the query package's Phase so that Stats can travel inline in
+// query.Answer without an import cycle.
+type Phase = query.Phase
 
 // Lifecycle phases, in order.
 const (
-	PhaseCreation Phase = iota
-	PhaseRefinement
-	PhaseConsolidation
-	PhaseDone
+	PhaseCreation      = query.PhaseCreation
+	PhaseRefinement    = query.PhaseRefinement
+	PhaseConsolidation = query.PhaseConsolidation
+	PhaseDone          = query.PhaseDone
 )
-
-// String implements fmt.Stringer.
-func (p Phase) String() string {
-	switch p {
-	case PhaseCreation:
-		return "creation"
-	case PhaseRefinement:
-		return "refinement"
-	case PhaseConsolidation:
-		return "consolidation"
-	case PhaseDone:
-		return "done"
-	default:
-		return fmt.Sprintf("Phase(%d)", int(p))
-	}
-}
 
 // BudgetMode selects how the per-query indexing budget is derived.
 type BudgetMode int
@@ -154,39 +141,31 @@ func (c Config) normalize() Config {
 	return c
 }
 
-// Stats reports what a single Query call did, for the harness and the
-// cost-model validation experiments (Figures 8 and 9).
-type Stats struct {
-	// Phase the index was in when the query started.
-	Phase Phase
-	// Delta is the fraction of a full indexing pass performed.
-	Delta float64
-	// WorkSeconds is the cost-model value of the indexing work done.
-	WorkSeconds float64
-	// BaseSeconds is the cost-model prediction for answering the query
-	// from the current index state, without any indexing work.
-	BaseSeconds float64
-	// Predicted is the cost-model prediction for the whole call:
-	// BaseSeconds + WorkSeconds.
-	Predicted float64
-	// AlphaElems is how many index-resident elements the answer
-	// scanned (the α of Table 1, in elements).
-	AlphaElems int
-}
+// Stats reports what a single query call did, for the harness and the
+// cost-model validation experiments (Figures 8 and 9). Alias of
+// query.Stats so answers can carry it inline.
+type Stats = query.Stats
 
 // Index is the behaviour shared by all progressive indexes.
 type Index interface {
 	// Name returns the algorithm's short name (PQ, PMSD, PB, PLSD).
 	Name() string
-	// Query answers SUM/COUNT over the inclusive range [lo, hi] and
-	// performs one budget's worth of indexing work.
+	// Execute answers the request's predicate with the requested
+	// aggregates and performs one budget's worth of indexing work. The
+	// returned Answer carries the per-query work Stats inline.
+	Execute(req query.Request) (query.Answer, error)
+	// Query answers SUM/COUNT over the inclusive range [lo, hi]; it is
+	// the v1 compatibility surface, implemented via Execute.
 	Query(lo, hi int64) column.Result
 	// Converged reports whether the index has reached its final state
 	// (B+-tree complete).
 	Converged() bool
 	// Phase returns the current lifecycle phase.
 	Phase() Phase
-	// LastStats describes the most recent Query call.
+	// LastStats describes the most recent query call.
+	//
+	// Deprecated: Execute returns the same Stats inline in the Answer;
+	// prefer that, especially with concurrent callers.
 	LastStats() Stats
 }
 
@@ -290,11 +269,11 @@ func (c *consolidator) finished() bool { return c.tree != nil }
 // answer resolves the query against the tree if complete, otherwise by
 // binary search on the sorted array (the paper's consolidation-phase
 // behaviour).
-func (c *consolidator) answer(lo, hi int64) column.Result {
+func (c *consolidator) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if c.tree != nil {
-		return c.tree.SumRange(lo, hi)
+		return c.tree.AggRange(lo, hi, aggs)
 	}
-	return column.SumSorted(c.sorted, lo, hi)
+	return column.AggSorted(c.sorted, lo, hi, aggs)
 }
 
 // matched returns how many elements the answer will touch, for α.
@@ -302,6 +281,23 @@ func (c *consolidator) matched(lo, hi int64) int {
 	i := column.LowerBound(c.sorted, lo)
 	j := column.UpperBound(c.sorted, hi)
 	return j - i
+}
+
+// segmentExtrema assembles the accumulator a fused creation kernel
+// returns: the SUM/COUNT it computed inline plus, only when the query
+// asked for extrema, one AggRange pass over the just-copied segment.
+// Keeping the min/max logic in the single canonical kernel (instead of
+// copy-pasting the mask-select updates into every fused loop) costs one
+// extra pass over δ·N elements on MIN/MAX queries and nothing on the
+// paper's SUM workload.
+func segmentExtrema(seg []int64, lo, hi int64, aggs column.Aggregates, sum, count int64) column.Agg {
+	acc := column.NewAgg()
+	acc.Sum, acc.Count = sum, count
+	if aggs.NeedsMinMax() && count > 0 {
+		mm := column.AggRange(seg, lo, hi, aggs)
+		acc.Min, acc.Max = mm.Min, mm.Max
+	}
+	return acc
 }
 
 // midpoint returns vmin + (vmax-vmin)/2 without overflow; the paper's

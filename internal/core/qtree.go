@@ -181,32 +181,33 @@ func (t *qtree) promote(n *qnode) {
 	}
 }
 
-// query answers the inclusive range aggregate from the current tree
-// state, exactly, scanning as little as the region invariants allow.
-func (t *qtree) query(n *qnode, lo, hi int64) column.Result {
+// query answers the requested aggregates over the inclusive range from
+// the current tree state, exactly, scanning as little as the region
+// invariants allow.
+func (t *qtree) query(n *qnode, lo, hi int64, aggs column.Aggregates) column.Agg {
 	if n == nil || n.end == n.start || n.vmax < lo || n.vmin > hi {
-		return column.Result{}
+		return column.NewAgg()
 	}
 	arr := t.arr
 	switch n.state {
 	case qSorted:
-		return column.SumSorted(arr[n.start:n.end], lo, hi)
+		return column.AggSorted(arr[n.start:n.end], lo, hi, aggs)
 	case qSplit:
-		r := t.query(n.left, lo, hi)
-		r.Add(t.query(n.right, lo, hi))
+		r := t.query(n.left, lo, hi, aggs)
+		r.Merge(t.query(n.right, lo, hi, aggs))
 		return r
 	case qPartitioning:
 		// arr[start:pl] <= pivot, arr[pr+1:end] > pivot, middle unknown.
 		switch {
 		case hi <= n.pivot:
-			return column.SumRange(arr[n.start:min(n.pr+1, n.end)], lo, hi)
+			return column.AggRange(arr[n.start:min(n.pr+1, n.end)], lo, hi, aggs)
 		case lo > n.pivot:
-			return column.SumRange(arr[n.pl:n.end], lo, hi)
+			return column.AggRange(arr[n.pl:n.end], lo, hi, aggs)
 		default:
-			return column.SumRange(arr[n.start:n.end], lo, hi)
+			return column.AggRange(arr[n.start:n.end], lo, hi, aggs)
 		}
 	default: // qUnstarted
-		return column.SumRange(arr[n.start:n.end], lo, hi)
+		return column.AggRange(arr[n.start:n.end], lo, hi, aggs)
 	}
 }
 

@@ -46,7 +46,7 @@ func TestQTreeQueryExactMidPartition(t *testing.T) {
 		tr.refine(tr.root, 177, 1) // odd budget: pause in all states
 		lo := rng.Int63n(domain)
 		hi := lo + rng.Int63n(domain/4)
-		got := tr.query(tr.root, lo, hi)
+		got := tr.query(tr.root, lo, hi, column.AggSum|column.AggCount).Result()
 		want := column.SumRangeBranching(orig, lo, hi)
 		if got != want {
 			t.Fatalf("mid-refinement query [%d,%d]: got %+v want %+v", lo, hi, got, want)

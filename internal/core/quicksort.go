@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
 // Quicksort is Progressive Quicksort (Section 3.1).
@@ -71,16 +72,35 @@ func (q *Quicksort) Converged() bool { return q.phase == PhaseDone }
 // LastStats implements Index.
 func (q *Quicksort) LastStats() Stats { return q.last }
 
-// Query implements Index: answer [lo, hi] inclusive while performing
-// one budget's worth of indexing work (creation copying interleaved
-// with the scan, refinement pivoting, or consolidation B+-tree
-// building, spilling across phase transitions).
+// Execute implements Index: answer the request's predicate with the
+// requested aggregates while performing one budget's worth of indexing
+// work; the work Stats travel inline in the Answer.
+func (q *Quicksort) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, q.col.Min(), q.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		agg := q.execute(lo, hi, aggs) // sets q.last; keep the reads ordered
+		return agg, q.last
+	})
+}
+
+// Query implements Index: the v1 compatibility surface, answering
+// SUM/COUNT over [lo, hi] inclusive via Execute (so extreme bounds get
+// the same domain clamping).
 func (q *Quicksort) Query(lo, hi int64) column.Result {
+	ans, _ := q.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+// execute answers the clamped inclusive range [lo, hi] with the
+// requested aggregates while performing one budget's worth of indexing
+// work (creation copying interleaved with the scan, refinement
+// pivoting, or consolidation B+-tree building, spilling across phase
+// transitions).
+func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	startPhase := q.phase
 	base, alpha := q.predictBase(lo, hi)
 	planned := q.budget.plan(base, q.unitFull())
 
-	var res column.Result
+	res := column.NewAgg()
 	consumed := 0.0
 	deltaOverride := -1.0
 	if q.phase == PhaseCreation {
@@ -99,17 +119,17 @@ func (q *Quicksort) Query(lo, hi int64) column.Result {
 			units = 1
 		}
 		oldLo, oldHi, oldCopied := q.loCur, q.hiCur, q.copied
-		seg, did := q.createStepSum(units, lo, hi)
+		seg, did := q.createStep(units, lo, hi, aggs)
 		if oldCopied > 0 {
 			if lo <= q.pivot {
-				res.Add(column.SumRange(q.index[:oldLo], lo, hi))
+				res.Merge(column.AggRange(q.index[:oldLo], lo, hi, aggs))
 			}
 			if hi > q.pivot {
-				res.Add(column.SumRange(q.index[oldHi+1:], lo, hi))
+				res.Merge(column.AggRange(q.index[oldHi+1:], lo, hi, aggs))
 			}
 		}
-		res.Add(seg)
-		res.Add(column.SumRange(q.col.Slice(q.copied, q.n), lo, hi))
+		res.Merge(seg)
+		res.Merge(column.AggRange(q.col.Slice(q.copied, q.n), lo, hi, aggs))
 		consumed = float64(did) * q.model.WriteTime(1)
 		deltaOverride = float64(did) / float64(q.n) // δ = fraction indexed
 		if q.copied == q.n {
@@ -119,7 +139,7 @@ func (q *Quicksort) Query(lo, hi int64) column.Result {
 			}
 		}
 	} else {
-		res = q.answer(lo, hi)
+		res = q.answer(lo, hi, aggs)
 		consumed = q.work(planned, lo, hi)
 	}
 
@@ -198,24 +218,24 @@ func (q *Quicksort) creationAlpha(lo, hi int64) int {
 }
 
 // answer resolves the query exactly from the current index state.
-func (q *Quicksort) answer(lo, hi int64) column.Result {
+func (q *Quicksort) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	switch q.phase {
 	case PhaseCreation:
-		var r column.Result
+		r := column.NewAgg()
 		if q.copied > 0 {
 			if lo <= q.pivot {
-				r.Add(column.SumRange(q.index[:q.loCur], lo, hi))
+				r.Merge(column.AggRange(q.index[:q.loCur], lo, hi, aggs))
 			}
 			if hi > q.pivot {
-				r.Add(column.SumRange(q.index[q.hiCur+1:], lo, hi))
+				r.Merge(column.AggRange(q.index[q.hiCur+1:], lo, hi, aggs))
 			}
 		}
-		r.Add(column.SumRange(q.col.Slice(q.copied, q.n), lo, hi))
+		r.Merge(column.AggRange(q.col.Slice(q.copied, q.n), lo, hi, aggs))
 		return r
 	case PhaseRefinement:
-		return q.tree.query(q.tree.root, lo, hi)
+		return q.tree.query(q.tree.root, lo, hi, aggs)
 	default:
-		return q.cons.answer(lo, hi)
+		return q.cons.answer(lo, hi, aggs)
 	}
 }
 
@@ -261,16 +281,20 @@ func (q *Quicksort) work(sec float64, lo, hi int64) float64 {
 	return consumed
 }
 
-// createStepSum copies up to units elements from the base column into
+// createStep copies up to units elements from the base column into
 // the index, partitioning around the root pivot, while accumulating the
-// predicated sum of the copied segment for the in-flight query. This is
-// the paper's creation kernel: each value is written to both frontier
-// positions and only the matching cursor advances.
-func (q *Quicksort) createStepSum(units int, lo, hi int64) (column.Result, int) {
+// predicated SUM/COUNT of the copied segment for the in-flight query.
+// This is the paper's creation kernel: each value is written to both
+// frontier positions and only the matching cursor advances. Extrema,
+// when requested, come from one extra AggRange pass over the segment
+// (see segmentExtrema), so the fused loop — the paper's SUM workload —
+// is byte-identical to v1.
+func (q *Quicksort) createStep(units int, lo, hi int64, aggs column.Aggregates) (column.Agg, int) {
 	if q.index == nil {
 		q.index = make([]int64, q.n)
 	}
-	end := q.copied + units
+	start := q.copied
+	end := start + units
 	if end > q.n {
 		end = q.n
 	}
@@ -279,7 +303,7 @@ func (q *Quicksort) createStepSum(units int, lo, hi int64) (column.Result, int) 
 	lc, hc := q.loCur, q.hiCur
 	idx := q.index
 	var sum, count int64
-	for i := q.copied; i < end; i++ {
+	for i := start; i < end; i++ {
 		v := vals[i]
 		idx[lc] = v
 		idx[hc] = v
@@ -294,10 +318,9 @@ func (q *Quicksort) createStepSum(units int, lo, hi int64) (column.Result, int) 
 		sum += v & -m
 		count += m
 	}
-	did := end - q.copied
 	q.loCur, q.hiCur = lc, hc
 	q.copied = end
-	return column.Result{Sum: sum, Count: count}, did
+	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 // startRefinement seeds the pivot tree from the creation result: the

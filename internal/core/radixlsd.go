@@ -6,6 +6,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
 // RadixLSD is Progressive Radixsort (LSD), Section 3.4.
@@ -126,13 +127,29 @@ func (r *RadixLSD) Converged() bool { return r.phase == PhaseDone }
 // LastStats implements Index.
 func (r *RadixLSD) LastStats() Stats { return r.last }
 
-// Query implements Index.
+// Execute implements Index. Point and very narrow range predicates hit
+// the intermediate buckets directly (the strategy's fast path); wide
+// ranges fall back to scanning the original column per the paper's
+// "when α == ρ" rule.
+func (r *RadixLSD) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, r.col.Min(), r.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		agg := r.execute(lo, hi, aggs) // sets r.last; keep the reads ordered
+		return agg, r.last
+	})
+}
+
+// Query implements Index (v1 compatibility surface, via Execute).
 func (r *RadixLSD) Query(lo, hi int64) column.Result {
+	ans, _ := r.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	startPhase := r.phase
 	base, alpha := r.predictBase(lo, hi)
 	planned := r.budget.plan(base, r.unitFull())
 
-	var res column.Result
+	res := column.NewAgg()
 	consumed := 0.0
 	deltaOverride := -1.0
 	if r.phase == PhaseCreation {
@@ -151,18 +168,18 @@ func (r *RadixLSD) Query(lo, hi int64) column.Result {
 		if !fb {
 			idxs, _ := r.digitBuckets(lo, hi, 0)
 			for _, i := range idxs {
-				res.Add(r.old.Bucket(i).SumRange(lo, hi))
+				res.Merge(r.old.Bucket(i).AggRange(lo, hi, aggs))
 			}
 		}
-		seg, did := r.createStepSum(units, lo, hi)
-		res.Add(seg)
+		seg, did := r.createStep(units, lo, hi, aggs)
+		res.Merge(seg)
 		if fb {
 			// Fallback (α == ρ): the indexed prefix is re-read from the
 			// original column, which together with the segment and the
 			// tail is exactly one full predicated scan.
-			res.Add(column.SumRange(r.col.Slice(0, oldCopied), lo, hi))
+			res.Merge(column.AggRange(r.col.Slice(0, oldCopied), lo, hi, aggs))
 		}
-		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(r.n)
 		if r.copied == r.n {
@@ -172,7 +189,7 @@ func (r *RadixLSD) Query(lo, hi int64) column.Result {
 			}
 		}
 	} else {
-		res = r.answer(lo, hi)
+		res = r.answer(lo, hi, aggs)
 		consumed = r.work(planned)
 	}
 
@@ -315,47 +332,47 @@ func (r *RadixLSD) creationAlpha(lo, hi int64) (int, bool) {
 	return alpha, false
 }
 
-func (r *RadixLSD) answer(lo, hi int64) column.Result {
+func (r *RadixLSD) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	switch r.phase {
 	case PhaseCreation:
 		idxs, all := r.digitBuckets(lo, hi, 0)
 		if all {
-			return r.col.Sum(lo, hi)
+			return column.AggRange(r.col.Values(), lo, hi, aggs)
 		}
-		var res column.Result
+		res := column.NewAgg()
 		for _, i := range idxs {
-			res.Add(r.old.Bucket(i).SumRange(lo, hi))
+			res.Merge(r.old.Bucket(i).AggRange(lo, hi, aggs))
 		}
-		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
-		return r.answerRefinement(lo, hi)
+		return r.answerRefinement(lo, hi, aggs)
 	default:
-		return r.cons.answer(lo, hi)
+		return r.cons.answer(lo, hi, aggs)
 	}
 }
 
-func (r *RadixLSD) answerRefinement(lo, hi int64) column.Result {
+func (r *RadixLSD) answerRefinement(lo, hi int64, aggs column.Aggregates) column.Agg {
 	// The fallback decision must match the one the cost prediction took
 	// (refinementAlpha), so both use the same cost comparison.
 	if _, fb := r.refinementAlpha(lo, hi); fb {
-		return r.col.Sum(lo, hi)
+		return column.AggRange(r.col.Values(), lo, hi, aggs)
 	}
 	if r.merging {
 		idxs, all := r.digitBuckets(lo, hi, r.passes-1)
 		if all {
-			return r.col.Sum(lo, hi)
+			return column.AggRange(r.col.Values(), lo, hi, aggs)
 		}
 		// Sorted prefix covers all fully merged buckets (and part of
 		// the active one); the rest is still bucket-resident.
-		res := column.SumSorted(r.final[:r.writeOff], lo, hi)
+		res := column.AggSorted(r.final[:r.writeOff], lo, hi, aggs)
 		for _, i := range idxs {
 			switch {
 			case i < r.mergeIdx:
 			case i == r.mergeIdx:
-				res.Add(r.mergeCur.SumRangeRemaining(r.old.Bucket(i), lo, hi))
+				res.Merge(r.mergeCur.AggRemaining(r.old.Bucket(i), lo, hi, aggs))
 			default:
-				res.Add(r.old.Bucket(i).SumRange(lo, hi))
+				res.Merge(r.old.Bucket(i).AggRange(lo, hi, aggs))
 			}
 		}
 		return res
@@ -363,20 +380,20 @@ func (r *RadixLSD) answerRefinement(lo, hi int64) column.Result {
 	oldIdxs, allOld := r.digitBuckets(lo, hi, r.passesDone-1)
 	newIdxs, allNew := r.digitBuckets(lo, hi, r.passesDone)
 	if allOld || allNew {
-		return r.col.Sum(lo, hi)
+		return column.AggRange(r.col.Values(), lo, hi, aggs)
 	}
-	var res column.Result
+	res := column.NewAgg()
 	for _, i := range oldIdxs {
 		switch {
 		case i < r.oldIdx:
 		case i == r.oldIdx:
-			res.Add(r.oldCur.SumRangeRemaining(r.old.Bucket(i), lo, hi))
+			res.Merge(r.oldCur.AggRemaining(r.old.Bucket(i), lo, hi, aggs))
 		default:
-			res.Add(r.old.Bucket(i).SumRange(lo, hi))
+			res.Merge(r.old.Bucket(i).AggRange(lo, hi, aggs))
 		}
 	}
 	for _, i := range newIdxs {
-		res.Add(r.next.Bucket(i).SumRange(lo, hi))
+		res.Merge(r.next.Bucket(i).AggRange(lo, hi, aggs))
 	}
 	return res
 }
@@ -424,16 +441,17 @@ func (r *RadixLSD) work(sec float64) float64 {
 	return consumed
 }
 
-// createStepSum performs distribute pass 0 over up to units base-column
-// elements, summing the segment for the in-flight query.
-func (r *RadixLSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
-	end := r.copied + units
+// createStep performs distribute pass 0 over up to units base-column
+// elements, aggregating the segment for the in-flight query.
+func (r *RadixLSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (column.Agg, int) {
+	start := r.copied
+	end := start + units
 	if end > r.n {
 		end = r.n
 	}
 	vals := r.col.Values()
 	var sum, count int64
-	for i := r.copied; i < end; i++ {
+	for i := start; i < end; i++ {
 		v := vals[i]
 		r.old.Bucket(r.digit(v, 0)).Append(v)
 		ge := ^((v - lo) >> 63) & 1
@@ -442,9 +460,8 @@ func (r *RadixLSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
 		sum += v & -m
 		count += m
 	}
-	did := end - r.copied
 	r.copied = end
-	return column.Result{Sum: sum, Count: count}, did
+	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 func (r *RadixLSD) startRefinement() {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
 // rstate is the lifecycle of one radix-tree node.
@@ -134,13 +135,26 @@ func (r *RadixMSD) Converged() bool { return r.phase == PhaseDone }
 // LastStats implements Index.
 func (r *RadixMSD) LastStats() Stats { return r.last }
 
-// Query implements Index.
+// Execute implements Index.
+func (r *RadixMSD) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, r.col.Min(), r.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		agg := r.execute(lo, hi, aggs) // sets r.last; keep the reads ordered
+		return agg, r.last
+	})
+}
+
+// Query implements Index (v1 compatibility surface, via Execute).
 func (r *RadixMSD) Query(lo, hi int64) column.Result {
+	ans, _ := r.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	startPhase := r.phase
 	base, alpha := r.predictBase(lo, hi)
 	planned := r.budget.plan(base, r.unitFull())
 
-	var res column.Result
+	res := column.NewAgg()
 	consumed := 0.0
 	deltaOverride := -1.0
 	if r.phase == PhaseCreation {
@@ -160,12 +174,12 @@ func (r *RadixMSD) Query(lo, hi int64) column.Result {
 		}
 		if iLo, iHi, ok := r.childRange(r.root, lo, hi); ok {
 			for i := iLo; i <= iHi; i++ {
-				res.Add(r.root.children[i].list.SumRange(lo, hi))
+				res.Merge(r.root.children[i].list.AggRange(lo, hi, aggs))
 			}
 		}
-		seg, did := r.createStepSum(units, lo, hi)
-		res.Add(seg)
-		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		seg, did := r.createStep(units, lo, hi, aggs)
+		res.Merge(seg)
+		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(r.n)
 		if r.copied == r.n {
@@ -175,7 +189,7 @@ func (r *RadixMSD) Query(lo, hi int64) column.Result {
 			}
 		}
 	} else {
-		res = r.answer(lo, hi)
+		res = r.answer(lo, hi, aggs)
 		consumed = r.work(planned)
 	}
 
@@ -312,57 +326,57 @@ func (r *RadixMSD) alphaTree(n *rnode, lo, hi int64) (int, int) {
 }
 
 // answer resolves the query exactly from the current state.
-func (r *RadixMSD) answer(lo, hi int64) column.Result {
+func (r *RadixMSD) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	switch r.phase {
 	case PhaseCreation:
-		var res column.Result
+		res := column.NewAgg()
 		if iLo, iHi, ok := r.childRange(r.root, lo, hi); ok {
 			for i := iLo; i <= iHi; i++ {
-				res.Add(r.root.children[i].list.SumRange(lo, hi))
+				res.Merge(r.root.children[i].list.AggRange(lo, hi, aggs))
 			}
 		}
-		res.Add(column.SumRange(r.col.Slice(r.copied, r.n), lo, hi))
+		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
-		return r.queryNode(r.root, lo, hi)
+		return r.queryNode(r.root, lo, hi, aggs)
 	default:
-		return r.cons.answer(lo, hi)
+		return r.cons.answer(lo, hi, aggs)
 	}
 }
 
 // queryNode answers from the radix tree; every element lives in exactly
 // one place (a bucket suffix, a child, or a final-array region).
-func (r *RadixMSD) queryNode(n *rnode, lo, hi int64) column.Result {
+func (r *RadixMSD) queryNode(n *rnode, lo, hi int64, aggs column.Aggregates) column.Agg {
 	if n == nil || hi < n.lo || lo > n.hi {
-		return column.Result{}
+		return column.NewAgg()
 	}
 	switch n.state {
 	case rBucket:
-		return n.list.SumRange(lo, hi)
+		return n.list.AggRange(lo, hi, aggs)
 	case rMerging:
 		// Copied prefix lives in final[start:writeOff], sorted only
 		// after completion, so scan it predicated; remainder in list.
-		res := column.SumRange(r.final[n.start:r.writeOff], lo, hi)
-		res.Add(n.cur.SumRangeRemaining(n.list, lo, hi))
+		res := column.AggRange(r.final[n.start:r.writeOff], lo, hi, aggs)
+		res.Merge(n.cur.AggRemaining(n.list, lo, hi, aggs))
 		return res
 	case rSplitting:
-		res := n.cur.SumRangeRemaining(n.list, lo, hi)
+		res := n.cur.AggRemaining(n.list, lo, hi, aggs)
 		if iLo, iHi, ok := r.childRange(n, lo, hi); ok {
 			for i := iLo; i <= iHi; i++ {
-				res.Add(r.queryNode(n.children[i], lo, hi))
+				res.Merge(r.queryNode(n.children[i], lo, hi, aggs))
 			}
 		}
 		return res
 	case rInternal:
-		var res column.Result
+		res := column.NewAgg()
 		if iLo, iHi, ok := r.childRange(n, lo, hi); ok {
 			for i := iLo; i <= iHi; i++ {
-				res.Add(r.queryNode(n.children[i], lo, hi))
+				res.Merge(r.queryNode(n.children[i], lo, hi, aggs))
 			}
 		}
 		return res
 	default: // rMerged
-		return column.SumSorted(r.final[n.start:n.end], lo, hi)
+		return column.AggSorted(r.final[n.start:n.end], lo, hi, aggs)
 	}
 }
 
@@ -405,18 +419,20 @@ func (r *RadixMSD) work(sec float64) float64 {
 	return consumed
 }
 
-// createStepSum appends up to units elements from the base column into
-// the root buckets, accumulating the predicated sum of the segment for
-// the in-flight query, and returns how many elements it moved.
-func (r *RadixMSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
-	end := r.copied + units
+// createStep appends up to units elements from the base column into
+// the root buckets, accumulating the predicated aggregates of the
+// segment for the in-flight query, and returns how many elements it
+// moved.
+func (r *RadixMSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (column.Agg, int) {
+	start := r.copied
+	end := start + units
 	if end > r.n {
 		end = r.n
 	}
 	vals := r.col.Values()
 	root := r.root
 	var sum, count int64
-	for i := r.copied; i < end; i++ {
+	for i := start; i < end; i++ {
 		v := vals[i]
 		root.children[r.bucketOf(root, v)].list.Append(v)
 		ge := ^((v - lo) >> 63) & 1
@@ -425,9 +441,8 @@ func (r *RadixMSD) createStepSum(units int, lo, hi int64) (column.Result, int) {
 		sum += v & -m
 		count += m
 	}
-	did := end - r.copied
 	r.copied = end
-	return column.Result{Sum: sum, Count: count}, did
+	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 func (r *RadixMSD) startRefinement() {

@@ -1,6 +1,9 @@
 package cracking
 
-import "repro/internal/column"
+import (
+	"repro/internal/column"
+	"repro/internal/query"
+)
 
 // AdaptiveAdaptive approximates Adaptive Adaptive Indexing (Schuhknecht
 // et al., ICDE 2018) with the manual configuration the paper uses. The
@@ -37,9 +40,23 @@ func (a *AdaptiveAdaptive) Name() string { return "AA" }
 // Converged reports false (adaptive indexes never finalize).
 func (a *AdaptiveAdaptive) Converged() bool { return false }
 
+// Execute refines the boundary pieces (radix for large, crack-in-two
+// for small), then answers the requested aggregates.
+func (a *AdaptiveAdaptive) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, a.col.Min(), a.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return a.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
 // Query refines the boundary pieces (radix for large, crack-in-two for
-// small), then answers from the crack state.
+// small), then answers from the crack state (v1 compatibility surface,
+// via Execute).
 func (a *AdaptiveAdaptive) Query(lo, hi int64) column.Result {
+	ans, _ := a.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (a *AdaptiveAdaptive) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !a.cc.ready() {
 		a.cc.kernel = a.cfg.Kernel
 		a.cc.init(a.col)
@@ -56,7 +73,7 @@ func (a *AdaptiveAdaptive) Query(lo, hi int64) column.Result {
 			a.cc.crackAt(v)
 		}
 	}
-	return a.cc.answer(lo, hi)
+	return a.cc.answer(lo, hi, aggs)
 }
 
 // Cracks returns the number of cracks in the index (tests/metrics).

@@ -96,21 +96,37 @@ func (c *crackerColumn) crackAt(v int64) int {
 	return split
 }
 
-// answer resolves the inclusive range aggregate from the current crack
-// state: predicated scans of the two boundary pieces plus a direct sum
-// of the interior, which by the crack invariants matches entirely.
-func (c *crackerColumn) answer(lo, hi int64) column.Result {
+// answer resolves the requested aggregates from the current crack
+// state: predicated scans of the two boundary pieces plus a direct pass
+// over the interior, which by the crack invariants matches entirely.
+func (c *crackerColumn) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	aLo, bLo, _, _ := c.piece(lo)
 	aHi, bHi, _, _ := c.piece(hi + 1)
 	if aLo == aHi {
-		return column.SumRange(c.arr[aLo:bLo], lo, hi)
+		return column.AggRange(c.arr[aLo:bLo], lo, hi, aggs)
 	}
-	res := column.SumRange(c.arr[aLo:bLo], lo, hi)
-	for _, v := range c.arr[bLo:aHi] {
-		res.Sum += v
+	res := column.AggRange(c.arr[aLo:bLo], lo, hi, aggs)
+	interior := c.arr[bLo:aHi]
+	switch {
+	case aggs.NeedsMinMax():
+		for _, v := range interior {
+			res.Sum += v
+			if v < res.Min {
+				res.Min = v
+			}
+			if v > res.Max {
+				res.Max = v
+			}
+		}
+	case aggs.NeedsSum():
+		for _, v := range interior {
+			res.Sum += v
+		}
+	default:
+		// COUNT-only: the interior matches entirely, no pass needed.
 	}
-	res.Count += int64(aHi - bLo)
-	res.Add(column.SumRange(c.arr[aHi:bHi], lo, hi))
+	res.Count += int64(len(interior))
+	res.Merge(column.AggRange(c.arr[aHi:bHi], lo, hi, aggs))
 	return res
 }
 

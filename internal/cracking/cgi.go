@@ -1,6 +1,9 @@
 package cracking
 
-import "repro/internal/column"
+import (
+	"repro/internal/column"
+	"repro/internal/query"
+)
 
 // CoarseGranular is the Coarse Granular Index (Schuhknecht et al.
 // 2013): the first query pays for an out-of-place equal-width range
@@ -25,9 +28,23 @@ func (c *CoarseGranular) Name() string { return "CGI" }
 // Converged reports false (cracking never finalizes).
 func (c *CoarseGranular) Converged() bool { return false }
 
+// Execute initializes with the coarse partition on the first call, then
+// cracks at the predicate bounds and answers the requested aggregates.
+func (c *CoarseGranular) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, c.col.Min(), c.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return c.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
 // Query initializes with the coarse partition on the first call, then
-// cracks at the bounds like Standard Cracking.
+// cracks at the bounds like Standard Cracking (v1 compatibility
+// surface, via Execute).
 func (c *CoarseGranular) Query(lo, hi int64) column.Result {
+	ans, _ := c.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (c *CoarseGranular) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !c.cc.ready() {
 		c.cc.kernel = c.cfg.Kernel
 		c.cc.init(c.col)
@@ -35,7 +52,7 @@ func (c *CoarseGranular) Query(lo, hi int64) column.Result {
 	}
 	c.cc.crackAt(lo)
 	c.cc.crackAt(hi + 1)
-	return c.cc.answer(lo, hi)
+	return c.cc.answer(lo, hi, aggs)
 }
 
 // Cracks returns the number of cracks in the index (tests/metrics).

@@ -1,6 +1,9 @@
 package cracking
 
-import "repro/internal/column"
+import (
+	"repro/internal/column"
+	"repro/internal/query"
+)
 
 // Standard is Standard Cracking (Idreos et al. 2007): every query
 // cracks the column at both predicate bounds, so the cracker column
@@ -25,15 +28,29 @@ func (s *Standard) Name() string { return "STD" }
 // never finalizes an index (Table 2 reports "x").
 func (s *Standard) Converged() bool { return false }
 
-// Query cracks at lo and hi+1, then answers from the crack state.
+// Execute cracks at the predicate bounds, then answers the requested
+// aggregates from the crack state.
+func (s *Standard) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, s.col.Min(), s.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return s.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
+// Query cracks at lo and hi+1, then answers from the crack state (v1
+// compatibility surface, via Execute).
 func (s *Standard) Query(lo, hi int64) column.Result {
+	ans, _ := s.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (s *Standard) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !s.cc.ready() {
 		s.cc.kernel = s.cfg.Kernel
 		s.cc.init(s.col)
 	}
 	s.cc.crackAt(lo)
 	s.cc.crackAt(hi + 1)
-	return s.cc.answer(lo, hi)
+	return s.cc.answer(lo, hi, aggs)
 }
 
 // Cracks returns the number of cracks in the index (tests/metrics).

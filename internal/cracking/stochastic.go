@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/column"
+	"repro/internal/query"
 )
 
 // Stochastic is Stochastic Cracking (Halim et al. 2012, the DD1R
@@ -31,9 +32,23 @@ func (s *Stochastic) Name() string { return "STC" }
 // Converged reports false (see Standard.Converged).
 func (s *Stochastic) Converged() bool { return false }
 
+// Execute performs one random crack per boundary piece (exact crack for
+// small pieces), then answers the requested aggregates.
+func (s *Stochastic) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, s.col.Min(), s.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return s.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
 // Query performs one random crack per boundary piece (exact crack for
-// small pieces), then answers with predicated boundary scans.
+// small pieces), then answers with predicated boundary scans (v1
+// compatibility surface, via Execute).
 func (s *Stochastic) Query(lo, hi int64) column.Result {
+	ans, _ := s.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (s *Stochastic) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !s.cc.ready() {
 		s.cc.kernel = s.cfg.Kernel
 		s.cc.init(s.col)
@@ -55,7 +70,7 @@ func (s *Stochastic) Query(lo, hi int64) column.Result {
 			}
 		}
 	}
-	return s.cc.answer(lo, hi)
+	return s.cc.answer(lo, hi, aggs)
 }
 
 // Cracks returns the number of cracks in the index (tests/metrics).
@@ -98,9 +113,22 @@ func (p *ProgressiveStochastic) Name() string { return "PSTC" }
 // Converged reports false (see Standard.Converged).
 func (p *ProgressiveStochastic) Converged() bool { return false }
 
+// Execute advances at most SwapFraction·N swaps of cracking work, then
+// answers the requested aggregates from the crack state.
+func (p *ProgressiveStochastic) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, p.col.Min(), p.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return p.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
 // Query advances at most SwapFraction·N swaps of cracking work, then
-// answers from the crack state.
+// answers from the crack state (v1 compatibility surface, via Execute).
 func (p *ProgressiveStochastic) Query(lo, hi int64) column.Result {
+	ans, _ := p.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (p *ProgressiveStochastic) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !p.cc.ready() {
 		p.cc.kernel = p.cfg.Kernel
 		p.cc.init(p.col)
@@ -138,7 +166,7 @@ func (p *ProgressiveStochastic) Query(lo, hi int64) column.Result {
 			}
 		}
 	}
-	return p.cc.answer(lo, hi)
+	return p.cc.answer(lo, hi, aggs)
 }
 
 // advance runs the job's partition for at most maxSwaps swaps; on

@@ -16,6 +16,7 @@ import (
 	"slices"
 
 	"repro/internal/column"
+	"repro/internal/query"
 )
 
 // lineSize is the number of int64 values per imprinted cacheline
@@ -76,8 +77,12 @@ func (ix *Index) binOf(v int64) int {
 	return column.UpperBound(ix.bounds[:], v)
 }
 
-// binMask returns the bitmask of bins intersecting [lo, hi].
+// binMask returns the bitmask of bins intersecting [lo, hi]. Inverted
+// ranges (lo > hi, the canonical empty predicate) intersect nothing.
 func (ix *Index) binMask(lo, hi int64) uint64 {
+	if lo > hi {
+		return 0
+	}
 	bLo, bHi := ix.binOf(lo), ix.binOf(hi)
 	if bHi-bLo == bins-1 {
 		return ^uint64(0)
@@ -91,11 +96,24 @@ func (ix *Index) Name() string { return "PIMP" }
 // Converged reports whether every cacheline has an imprint.
 func (ix *Index) Converged() bool { return ix.lines == len(ix.marks) }
 
-// Query answers the inclusive range aggregate: imprinted cachelines are
-// skipped unless their imprint intersects the query's bin mask, the
-// tail is scanned, and another δ·N elements are imprinted.
+// Execute answers the request: imprinted cachelines are skipped unless
+// their imprint intersects the predicate's bin mask, the tail is
+// scanned, and another δ·N elements are imprinted.
+func (ix *Index) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, ix.col.Min(), ix.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return ix.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
+// Query answers the inclusive range aggregate (v1 compatibility
+// surface, via Execute).
 func (ix *Index) Query(lo, hi int64) column.Result {
-	var res column.Result
+	ans, _ := ix.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+	res := column.NewAgg()
 	vals := ix.col.Values()
 	mask := ix.binMask(lo, hi)
 	for l := 0; l < ix.lines; l++ {
@@ -107,9 +125,15 @@ func (ix *Index) Query(lo, hi int64) column.Result {
 		if end > ix.n {
 			end = ix.n
 		}
-		res.Add(column.SumRange(vals[start:end], lo, hi))
+		res.Merge(column.AggRange(vals[start:end], lo, hi, aggs))
 	}
-	res.Add(column.SumRange(vals[ix.lines*lineSize:], lo, hi))
+	// The unimprinted tail starts after the last imprinted cacheline,
+	// which overshoots n when the final line is partial.
+	tail := ix.lines * lineSize
+	if tail > ix.n {
+		tail = ix.n
+	}
+	res.Merge(column.AggRange(vals[tail:], lo, hi, aggs))
 
 	ix.imprint(int(ix.delta * float64(ix.n)))
 	return res

@@ -13,6 +13,7 @@ package phash
 import (
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/query"
 )
 
 // Index is a progressively built hash index over a column.
@@ -46,22 +47,45 @@ func (ix *Index) Name() string { return "PHASH" }
 // Converged reports whether the whole column has been inserted.
 func (ix *Index) Converged() bool { return ix.copied == ix.n }
 
-// Query answers the inclusive range aggregate. Point queries (lo == hi)
-// use the hash table for the indexed prefix; other queries scan. Either
-// way another δ·N elements are inserted.
+// Execute answers the request. Point predicates — Point(v) or a
+// degenerate range — use the hash table for the indexed prefix, an O(1)
+// lookup instead of a scan; other predicates scan. Either way another
+// δ·N elements are inserted.
+func (ix *Index) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, ix.col.Min(), ix.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		return ix.execute(lo, hi, aggs), query.Stats{}
+	})
+}
+
+// Query answers the inclusive range aggregate (v1 compatibility
+// surface, via Execute). Point queries (lo == hi) use the hash table
+// for the indexed prefix; other queries scan.
 func (ix *Index) Query(lo, hi int64) column.Result {
-	var res column.Result
+	ans, _ := ix.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return ans.Result()
+}
+
+func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+	res := column.NewAgg()
+	if lo > hi {
+		// Empty predicate (e.g. an out-of-domain point probe): nothing
+		// can match, so skip the scan entirely — a hash index should
+		// answer existence misses in O(1) — but still extend the table.
+		ix.insert(int(ix.delta * float64(ix.n)))
+		return res
+	}
 	if lo == hi {
 		if c := ix.counts[lo]; c > 0 {
-			res = column.Result{Sum: lo * c, Count: c}
+			res.Sum, res.Count = lo*c, c
+			res.Min, res.Max = lo, lo
 		}
-		res.Add(column.SumRange(ix.col.Slice(ix.copied, ix.n), lo, hi))
+		res.Merge(column.AggRange(ix.col.Slice(ix.copied, ix.n), lo, hi, aggs))
 		ix.insert(int(ix.delta * float64(ix.n)))
 		return res
 	}
 	// Range queries cannot use a hash table; scan the column and use
 	// the pass to extend the index for free on the copied segment.
-	res = ix.col.Sum(lo, hi)
+	res = column.AggRange(ix.col.Values(), lo, hi, aggs)
 	ix.insert(int(ix.delta * float64(ix.n)))
 	return res
 }

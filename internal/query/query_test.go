@@ -1,0 +1,128 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/column"
+)
+
+func TestPredicateConstructorsAndMatches(t *testing.T) {
+	cases := []struct {
+		p       Predicate
+		in, out int64
+	}{
+		{Range(2, 5), 3, 6},
+		{Range(2, 5), 2, 1},
+		{Point(7), 7, 8},
+		{AtLeast(0), math.MaxInt64, -1},
+		{AtMost(0), math.MinInt64, 1},
+	}
+	for _, c := range cases {
+		if !c.p.Matches(c.in) {
+			t.Fatalf("%v must match %d", c.p, c.in)
+		}
+		if c.p.Matches(c.out) {
+			t.Fatalf("%v must not match %d", c.p, c.out)
+		}
+	}
+	if !Point(4).IsPoint() || !Range(4, 4).IsPoint() || AtLeast(4).IsPoint() {
+		t.Fatal("IsPoint misclassifies")
+	}
+}
+
+func TestPredicateBoundsClamping(t *testing.T) {
+	const mn, mx = -100, 100
+	cases := []struct {
+		p         Predicate
+		lo, hi    int64
+		wantEmpty bool
+	}{
+		{Range(-5, 5), -5, 5, false},
+		{Range(math.MinInt64, math.MaxInt64), mn, mx, false},
+		{Range(5, -5), 0, 0, true},      // inverted
+		{Range(200, 300), 0, 0, true},   // above the domain
+		{Range(-300, -200), 0, 0, true}, // below the domain
+		{Point(mx), mx, mx, false},
+		{Point(math.MaxInt64), 0, 0, true},
+		{AtLeast(0), 0, mx, false},
+		{AtLeast(mx + 1), 0, 0, true},
+		{AtMost(0), mn, 0, false},
+		{AtMost(mn - 1), 0, 0, true},
+	}
+	for _, c := range cases {
+		lo, hi, empty := c.p.Bounds(mn, mx)
+		if empty != c.wantEmpty {
+			t.Fatalf("%v: empty=%v want %v", c.p, empty, c.wantEmpty)
+		}
+		if !empty && (lo != c.lo || hi != c.hi) {
+			t.Fatalf("%v: bounds (%d,%d) want (%d,%d)", c.p, lo, hi, c.lo, c.hi)
+		}
+		if !empty && (lo < mn || hi > mx) {
+			t.Fatalf("%v: bounds (%d,%d) escape the domain", c.p, lo, hi)
+		}
+	}
+}
+
+func TestPrepareEmptyPredicateStaysInDomain(t *testing.T) {
+	lo, hi, aggs, err := Prepare(Request{Pred: Range(5, -5)}, -100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= hi {
+		t.Fatalf("canonical empty range (%d,%d) is not empty", lo, hi)
+	}
+	if lo < -101 || hi > 101 {
+		t.Fatalf("canonical empty range (%d,%d) escapes the domain", lo, hi)
+	}
+	if aggs != column.AggSum|column.AggCount {
+		t.Fatalf("default aggregates = %v", aggs)
+	}
+}
+
+func TestPrepareRejectsMalformed(t *testing.T) {
+	if _, _, _, err := Prepare(Request{Pred: Predicate{Kind: 42}}, 0, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, _, _, err := Prepare(Request{Pred: Point(0), Aggs: 0x40}, 0, 1); err == nil {
+		t.Fatal("unknown aggregate bits accepted")
+	}
+}
+
+func TestNewAnswerFieldGating(t *testing.T) {
+	agg := column.Agg{Sum: 10, Count: 4, Min: -2, Max: 7}
+	ans := NewAnswer(agg, (column.AggAvg).Normalize(), Stats{Phase: PhaseRefinement})
+	if ans.Avg != 2.5 || ans.Sum != 10 || ans.Count != 4 {
+		t.Fatalf("avg answer: %+v", ans)
+	}
+	if _, ok := ans.MinOk(); ok {
+		t.Fatal("Min was not requested but reports ok")
+	}
+	if ans.Stats.Phase != PhaseRefinement {
+		t.Fatalf("stats not carried: %+v", ans.Stats)
+	}
+
+	empty := NewAnswer(column.NewAgg(), column.AggAll, Stats{})
+	if _, ok := empty.MinOk(); ok {
+		t.Fatal("empty answer must not report a Min")
+	}
+	if _, ok := empty.AvgOk(); ok {
+		t.Fatal("empty answer must not report an Avg")
+	}
+	if empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty answer leaks sentinels: %+v", empty)
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	for p, want := range map[Predicate]string{
+		Range(1, 2): "1 <= v <= 2",
+		Point(3):    "v = 3",
+		AtLeast(4):  "v >= 4",
+		AtMost(5):   "v <= 5",
+	} {
+		if p.String() != want {
+			t.Fatalf("%v.String() = %q want %q", p.Kind, p.String(), want)
+		}
+	}
+}

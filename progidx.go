@@ -12,18 +12,33 @@
 // adaptive-indexing baselines the paper compares against (database
 // cracking variants) and the Full Scan / Full Index reference points.
 //
-// Quick start:
+// Quick start (v2 request/response API):
 //
 //	idx, err := progidx.New(values, progidx.Options{
 //	    Strategy: progidx.StrategyRadixMSD,
 //	    Budget:   2 * time.Millisecond, // extra indexing time per query
 //	    Adaptive: true,                 // keep total query time constant
 //	})
+//	ans, err := idx.Execute(progidx.Request{
+//	    Pred: progidx.Range(lo, hi),            // or Point, AtLeast, AtMost
+//	    Aggs: progidx.Sum | progidx.Avg,        // any aggregate combination
+//	})
+//	// ans.Sum, ans.Avg, ans.Count — plus ans.Stats describing the
+//	// indexing work this call performed (phase, δ, predicted cost).
+//
+// Every Execute call answers the predicate exactly with the requested
+// aggregates (SUM, COUNT, MIN, MAX, AVG, combinable as a bitmask) and
+// may reorganize the index internally; the per-query work Stats travel
+// inline in the Answer, so there is no stateful side channel and
+// concurrent callers (see Synchronize) always observe coherent
+// (answer, stats) pairs.
+//
+// The v1 surface remains:
+//
 //	res := idx.Query(lo, hi) // SUM/COUNT over lo <= v <= hi, inclusive
 //
-// Queries are inclusive range aggregates, matching the paper's
-// SELECT SUM(A) WHERE A BETWEEN lo AND hi workload. Every Query call
-// may reorganize the index internally; answers are always exact.
+// Query is a thin wrapper over the same execution path, matching the
+// paper's SELECT SUM(A) WHERE A BETWEEN lo AND hi workload.
 //
 // Use Recommend to pick a strategy via the paper's Figure 11 decision
 // tree.
@@ -41,14 +56,57 @@ import (
 	"repro/internal/cracking"
 	"repro/internal/imprints"
 	"repro/internal/phash"
+	"repro/internal/query"
 )
 
-// Result is the answer to a range aggregate: the SUM and COUNT of the
-// matching values.
+// Result is the answer to a v1 range aggregate: the SUM and COUNT of
+// the matching values.
 type Result = column.Result
 
-// Stats describes the work a progressive index performed on the most
-// recent query (phase, δ, cost-model prediction).
+// Request is one v2 query: a predicate plus the set of aggregates to
+// compute over the matching rows. The zero Aggs defaults to SUM+COUNT.
+type Request = query.Request
+
+// Answer is the response to a Request: the requested aggregate values
+// plus the per-query work Stats, inline.
+type Answer = query.Answer
+
+// Predicate describes which rows a Request touches. Construct with
+// Range, Point, AtLeast or AtMost.
+type Predicate = query.Predicate
+
+// Range matches lo <= v <= hi, both inclusive (the paper's BETWEEN
+// workload). An inverted range is a valid, empty predicate.
+func Range(lo, hi int64) Predicate { return query.Range(lo, hi) }
+
+// Point matches v exactly. Strategies with point fast paths
+// (StrategyProgressiveHash, StrategyRadixLSD) answer it without
+// degenerating to a [v, v] range scan.
+func Point(v int64) Predicate { return query.Point(v) }
+
+// AtLeast matches every value >= v (open-ended upper bound).
+func AtLeast(v int64) Predicate { return query.AtLeast(v) }
+
+// AtMost matches every value <= v (open-ended lower bound).
+func AtMost(v int64) Predicate { return query.AtMost(v) }
+
+// Aggregates is a bitmask of aggregate functions a Request computes.
+type Aggregates = column.Aggregates
+
+// Aggregate functions, combinable as a bitmask (e.g. Sum|Min|Max).
+const (
+	Sum   = column.AggSum
+	Count = column.AggCount
+	Min   = column.AggMin
+	Max   = column.AggMax
+	Avg   = column.AggAvg
+
+	// AllAggregates requests every aggregate.
+	AllAggregates = column.AggAll
+)
+
+// Stats describes the work a progressive index performed on one query
+// (phase, δ, cost-model prediction). It travels inline in Answer.
 type Stats = core.Stats
 
 // Phase is a progressive index's lifecycle phase.
@@ -62,11 +120,13 @@ const (
 	PhaseDone          = core.PhaseDone
 )
 
-// Index is the behaviour shared by every index in this module. Query
-// answers the inclusive range [lo, hi] exactly and may spend budgeted
-// work refining the index as a side effect.
+// Index is the behaviour shared by every index in this module. Execute
+// answers a Request exactly and may spend budgeted work refining the
+// index as a side effect; Query is the v1 compatibility wrapper over
+// the same execution path.
 type Index interface {
 	Name() string
+	Execute(req Request) (Answer, error)
 	Query(lo, hi int64) Result
 	Converged() bool
 }
@@ -76,6 +136,10 @@ type Index interface {
 type ProgressiveIndex interface {
 	Index
 	Phase() Phase
+	// LastStats describes the most recent query call.
+	//
+	// Deprecated: Execute returns the same Stats inline in the Answer;
+	// prefer that, especially with concurrent callers.
 	LastStats() Stats
 }
 
