@@ -1,0 +1,26 @@
+# Development entry points. CI runs test and race; bench is run
+# manually (or on a perf host) and its JSON artifacts are committed so
+# the performance trajectory is tracked across PRs.
+
+GO ?= go
+
+.PHONY: test race bench microbench fmt vet
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Emits BENCH_kernels.json and BENCH_convergence.json in the repo root.
+bench:
+	$(GO) run ./cmd/bench
+
+microbench:
+	$(GO) test -bench 'AggRange|SumRange' -benchtime 2x ./internal/column
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,269 @@
+// Command bench is the repository's reproducible performance runner
+// (`make bench`). It emits two JSON artifacts tracked across PRs:
+//
+//	BENCH_kernels.json     — ns/op of the serial scan kernels vs the
+//	                         parallel kernels at 1/2/4/8 workers on a
+//	                         10M-row column, with answer-identity
+//	                         verification baked in;
+//	BENCH_convergence.json — wall-clock time and query count to
+//	                         convergence per progressive strategy,
+//	                         serial vs all-core.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # both suites, default sizes
+//	go run ./cmd/bench -n 20000000      # bigger kernel column
+//	go run ./cmd/bench -suite kernels   # one suite only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/column"
+	"repro/internal/parallel"
+)
+
+// Host describes the machine a run happened on; speedups are
+// meaningless without it (a 1-core container cannot show one).
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+func host() Host {
+	return Host{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// KernelResult is one (kernel, workers) measurement.
+type KernelResult struct {
+	Kernel       string  `json:"kernel"`
+	Workers      int     `json:"workers"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	ElemsPerSec  float64 `json:"elems_per_sec"`
+	SpeedupVsSer float64 `json:"speedup_vs_serial"`
+	Identical    bool    `json:"identical_answer"`
+}
+
+type kernelsReport struct {
+	Host      Host           `json:"host"`
+	N         int            `json:"n"`
+	Reps      int            `json:"reps"`
+	Timestamp string         `json:"timestamp"`
+	Results   []KernelResult `json:"results"`
+}
+
+// ConvergenceResult is one (strategy, workers) run to convergence.
+type ConvergenceResult struct {
+	Strategy       string  `json:"strategy"`
+	Workers        int     `json:"workers"`
+	N              int     `json:"n"`
+	Delta          float64 `json:"delta"`
+	Queries        int     `json:"queries_run"`
+	ConvergedAt    int     `json:"converged_at"` // 1-based; -1 = never
+	CumulativeSec  float64 `json:"cumulative_seconds"`
+	MeanQueryMs    float64 `json:"mean_query_ms"`
+	FirstQueryMs   float64 `json:"first_query_ms"`
+	MaxQueryMs     float64 `json:"max_query_ms"`
+	FinalSum       int64   `json:"final_sum"` // cross-worker identity check
+	FinalSumAgrees bool    `json:"final_sum_agrees_with_serial"`
+}
+
+type convergenceReport struct {
+	Host      Host                `json:"host"`
+	Timestamp string              `json:"timestamp"`
+	Results   []ConvergenceResult `json:"results"`
+}
+
+// timeBest returns the fastest of reps timings of fn, in seconds.
+func timeBest(reps int, fn func()) float64 {
+	best := 1e300
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		start := time.Now()
+		fn()
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runKernels(n, reps int) kernelsReport {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(int64(n))
+	}
+	lo, hi := int64(n)/4, 3*int64(n)/4
+	want := column.AggRange(vals, lo, hi, column.AggAll)
+	wantSum := column.SumRange(vals, lo, hi)
+
+	rep := kernelsReport{Host: host(), N: n, Reps: reps, Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	var sink column.Agg
+	var sinkRes column.Result
+
+	serialAgg := timeBest(reps, func() { sink = column.AggRange(vals, lo, hi, column.AggAll) })
+	rep.Results = append(rep.Results, KernelResult{
+		Kernel: "AggRange", Workers: 1,
+		NsPerOp:      serialAgg * 1e9,
+		ElemsPerSec:  float64(n) / serialAgg,
+		SpeedupVsSer: 1, Identical: sink == want,
+	})
+	serialSum := timeBest(reps, func() { sinkRes = column.SumRange(vals, lo, hi) })
+	rep.Results = append(rep.Results, KernelResult{
+		Kernel: "SumRange", Workers: 1,
+		NsPerOp:      serialSum * 1e9,
+		ElemsPerSec:  float64(n) / serialSum,
+		SpeedupVsSer: 1, Identical: sinkRes == wantSum,
+	})
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := parallel.New(workers)
+		t := timeBest(reps, func() { sink = column.ParAggRange(p, vals, lo, hi, column.AggAll) })
+		rep.Results = append(rep.Results, KernelResult{
+			Kernel: "ParAggRange", Workers: workers,
+			NsPerOp:      t * 1e9,
+			ElemsPerSec:  float64(n) / t,
+			SpeedupVsSer: serialAgg / t,
+			Identical:    sink == want,
+		})
+		t = timeBest(reps, func() { sinkRes = column.ParSumRange(p, vals, lo, hi) })
+		rep.Results = append(rep.Results, KernelResult{
+			Kernel: "ParSumRange", Workers: workers,
+			NsPerOp:      t * 1e9,
+			ElemsPerSec:  float64(n) / t,
+			SpeedupVsSer: serialSum / t,
+			Identical:    sinkRes == wantSum,
+		})
+	}
+	return rep
+}
+
+func runConvergence(n, maxQueries int, delta float64) convergenceReport {
+	rep := convergenceReport{Host: host(), Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	strategies := []progidx.Strategy{
+		progidx.StrategyQuicksort,
+		progidx.StrategyRadixMSD,
+		progidx.StrategyBucketsort,
+		progidx.StrategyRadixLSD,
+	}
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(int64(n))
+	}
+	type qr struct{ lo, hi int64 }
+	qrs := make([]qr, maxQueries)
+	qrng := rand.New(rand.NewSource(8))
+	for i := range qrs {
+		a := qrng.Int63n(int64(n))
+		qrs[i] = qr{a, a + qrng.Int63n(int64(n)/10)}
+	}
+
+	workerSets := []int{1, runtime.GOMAXPROCS(0)}
+	if workerSets[1] == 1 {
+		workerSets = workerSets[:1] // single-core host: nothing to compare
+	}
+	serialSums := map[progidx.Strategy]int64{}
+	for _, s := range strategies {
+		for _, workers := range workerSets {
+			idx := progidx.MustNew(vals, progidx.Options{Strategy: s, Delta: delta, Workers: workers})
+			res := ConvergenceResult{
+				Strategy: s.String(), Workers: workers, N: n, Delta: delta, ConvergedAt: -1,
+			}
+			var finalSum int64
+			for i := 0; i < maxQueries; i++ {
+				start := time.Now()
+				ans, err := idx.Execute(progidx.Request{Pred: progidx.Range(qrs[i].lo, qrs[i].hi)})
+				dt := time.Since(start).Seconds()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				res.CumulativeSec += dt
+				if i == 0 {
+					res.FirstQueryMs = dt * 1000
+				}
+				if ms := dt * 1000; ms > res.MaxQueryMs {
+					res.MaxQueryMs = ms
+				}
+				finalSum += ans.Sum
+				res.Queries = i + 1
+				if res.ConvergedAt < 0 && idx.Converged() {
+					res.ConvergedAt = i + 1
+				}
+			}
+			res.MeanQueryMs = res.CumulativeSec / float64(res.Queries) * 1000
+			res.FinalSum = finalSum
+			if workers == 1 {
+				serialSums[s] = finalSum
+				res.FinalSumAgrees = true
+			} else {
+				res.FinalSumAgrees = finalSum == serialSums[s]
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 10_000_000, "kernel benchmark column size")
+		convN   = flag.Int("convn", 1_000_000, "convergence benchmark column size")
+		queries = flag.Int("queries", 200, "convergence benchmark query count")
+		delta   = flag.Float64("delta", 0.25, "convergence benchmark delta")
+		reps    = flag.Int("reps", 3, "timing repetitions (best-of)")
+		outDir  = flag.String("out", ".", "output directory for the JSON artifacts")
+		suite   = flag.String("suite", "all", "kernels|convergence|all")
+	)
+	flag.Parse()
+
+	if *suite == "all" || *suite == "kernels" {
+		rep := runKernels(*n, *reps)
+		writeJSON(filepath.Join(*outDir, "BENCH_kernels.json"), rep)
+		for _, r := range rep.Results {
+			fmt.Printf("  %-12s workers=%d  %8.2f ms/op  %6.2fx  identical=%v\n",
+				r.Kernel, r.Workers, r.NsPerOp/1e6, r.SpeedupVsSer, r.Identical)
+		}
+	}
+	if *suite == "all" || *suite == "convergence" {
+		rep := runConvergence(*convN, *queries, *delta)
+		writeJSON(filepath.Join(*outDir, "BENCH_convergence.json"), rep)
+		for _, r := range rep.Results {
+			fmt.Printf("  %-5s workers=%d  converged_at=%-3d cumulative=%7.3fs  mean=%6.3fms  agrees=%v\n",
+				r.Strategy, r.Workers, r.ConvergedAt, r.CumulativeSec, r.MeanQueryMs, r.FinalSumAgrees)
+		}
+	}
+}

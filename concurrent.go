@@ -5,11 +5,13 @@ import "sync"
 // Synchronized serializes access to an Index so multiple goroutines can
 // share it. Progressive and adaptive indexes reorganize themselves on
 // every Query call, so the underlying types are deliberately not safe
-// for concurrent use (DESIGN.md); this wrapper provides the coarse
-// exclusive lock that matches the paper's single-session execution
-// model. For read-mostly workloads after convergence a finer scheme is
-// possible, but a converged query costs microseconds, so contention on
-// one mutex is rarely the bottleneck.
+// for concurrent use (DESIGN.md section 7); this wrapper provides the
+// coarse exclusive lock that matches the paper's single-session
+// execution model. For read-mostly workloads after convergence a finer
+// scheme is possible, but a converged query costs microseconds, so
+// contention on one mutex is rarely the bottleneck. The parallel scan
+// engine (Options.Workers) composes with this wrapper: it fans one
+// call's work across cores inside the lock.
 type Synchronized struct {
 	mu    sync.Mutex
 	inner Index

@@ -212,14 +212,19 @@ func TestExecuteStatsInline(t *testing.T) {
 			t.Fatalf("%v never converged under Execute", s)
 		}
 	}
-	// Non-progressive strategies answer with zero Stats.
+	// Non-progressive strategies answer with zero work Stats; only the
+	// worker count of the scan kernels is reported.
 	fs := MustNew(vals, Options{Strategy: StrategyFullScan})
 	ans, err := fs.Execute(Request{Pred: Point(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ans.Stats.Workers < 1 {
+		t.Fatalf("FullScan Stats.Workers = %d, want >= 1", ans.Stats.Workers)
+	}
+	ans.Stats.Workers = 0
 	if ans.Stats != (Stats{}) {
-		t.Fatalf("FullScan Stats = %+v, want zero", ans.Stats)
+		t.Fatalf("FullScan Stats = %+v, want zero work stats", ans.Stats)
 	}
 }
 

@@ -11,17 +11,26 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/column"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
 // FullScan answers every query with a predicated scan of the base
 // column. Maximally robust (cost never varies), never converges.
 type FullScan struct {
-	col *column.Column
+	col  *column.Column
+	pool *parallel.Pool
 }
 
-// NewFullScan builds the FS baseline over col.
-func NewFullScan(col *column.Column) *FullScan { return &FullScan{col: col} }
+// NewFullScan builds the FS baseline over col, scanning with every
+// available core (the default pool sizes itself at GOMAXPROCS).
+func NewFullScan(col *column.Column) *FullScan { return NewFullScanWorkers(col, 0) }
+
+// NewFullScanWorkers is NewFullScan with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial).
+func NewFullScanWorkers(col *column.Column, workers int) *FullScan {
+	return &FullScan{col: col, pool: parallel.New(workers)}
+}
 
 // Name implements the harness index interface.
 func (f *FullScan) Name() string { return "FS" }
@@ -30,10 +39,11 @@ func (f *FullScan) Name() string { return "FS" }
 func (f *FullScan) Converged() bool { return false }
 
 // Execute scans the whole column with the predicated multi-aggregate
-// kernel.
+// kernel, chunked across the pool's workers.
 func (f *FullScan) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, f.col.Min(), f.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return column.AggRange(f.col.Values(), lo, hi, aggs), query.Stats{}
+		return column.ParAggRange(f.pool, f.col.Values(), lo, hi, aggs),
+			query.Stats{Workers: f.pool.Workers()}
 	})
 }
 
@@ -74,7 +84,7 @@ func (f *FullIndex) Converged() bool { return f.tree != nil }
 func (f *FullIndex) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, f.col.Min(), f.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
 		f.build()
-		return f.tree.AggRange(lo, hi, aggs), query.Stats{}
+		return f.tree.AggRange(lo, hi, aggs), query.Stats{Workers: 1}
 	})
 }
 

@@ -61,6 +61,27 @@ func (l *List) Append(v int64) bool {
 	return allocated
 }
 
+// AppendSlice adds all of vs to the bucket in order, block by block.
+// Equivalent to calling Append per element (same final layout, same
+// allocation accounting) but amortizes the tail-block bookkeeping over
+// whole copies; the parallel creation paths feed it pre-grouped runs.
+func (l *List) AppendSlice(vs []int64) {
+	for len(vs) > 0 {
+		if n := len(l.blocks); n == 0 || len(l.blocks[n-1]) == l.blockSize {
+			l.blocks = append(l.blocks, make([]int64, 0, l.blockSize))
+			l.allocs++
+		}
+		last := len(l.blocks) - 1
+		k := l.blockSize - len(l.blocks[last])
+		if k > len(vs) {
+			k = len(vs)
+		}
+		l.blocks[last] = append(l.blocks[last], vs[:k]...)
+		l.count += k
+		vs = vs[k:]
+	}
+}
+
 // Blocks exposes the underlying blocks for read-only scans.
 func (l *List) Blocks() [][]int64 { return l.blocks }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -48,6 +49,7 @@ type Bucketsort struct {
 	cfg   Config
 	model *costmodel.Model
 	col   *column.Column
+	pool  *parallel.Pool
 	n     int
 
 	phase  Phase
@@ -58,6 +60,7 @@ type Bucketsort struct {
 	sep         []int64 // bucketCount-1 separators
 	bks         []*bbucket
 	copied      int
+	scratch     []int64 // parBucketize grouping buffer, creation only
 
 	final  []int64
 	active int // index of the bucket currently being merged
@@ -77,10 +80,11 @@ func NewBucketsort(col *column.Column, cfg Config) *Bucketsort {
 		cfg:         cfg,
 		model:       m,
 		col:         col,
+		pool:        parallel.New(cfg.Workers),
 		n:           col.Len(),
 		bucketCount: 1 << cfg.RadixBits,
 	}
-	b.budget = newBudgeter(cfg, m.ScanTime(b.n))
+	b.budget = newBudgeter(cfg, m.ParScanTime(b.n, b.pool.Workers()))
 	return b
 }
 
@@ -173,6 +177,11 @@ func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		if b.budget.mode == AdaptiveTime {
 			perUnitPlan = marginal
 		}
+		if b.budget.mode != FixedDelta {
+			// Wall-clock budgets plan against the parallel creation
+			// kernel's per-element cost (DESIGN.md section 3).
+			perUnitPlan /= b.model.Speedup(b.pool.Workers())
+		}
 		units := int(planned / perUnitPlan)
 		if units < 1 {
 			units = 1
@@ -183,7 +192,7 @@ func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		}
 		seg, did := b.createStep(units, lo, hi, aggs)
 		res.Merge(seg)
-		res.Merge(column.AggRange(b.col.Slice(b.copied, b.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(b.pool, b.col.Slice(b.copied, b.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(b.n)
 		if b.copied == b.n {
@@ -212,6 +221,7 @@ func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		BaseSeconds: base,
 		Predicted:   base + consumed,
 		AlphaElems:  alpha,
+		Workers:     b.pool.Workers(),
 	}
 	return res
 }
@@ -245,7 +255,7 @@ func (b *Bucketsort) predictBase(lo, hi int64) (float64, int) {
 		for i := iLo; i <= iHi; i++ {
 			alpha += b.bks[i].list.Count()
 		}
-		return b.model.ScanTime(b.n-b.copied) +
+		return b.model.ParScanTime(b.n-b.copied, b.pool.Workers()) +
 			b.model.BucketScanTime(alpha, b.cfg.BlockSize), alpha
 	case PhaseRefinement:
 		inBuckets, inArray := 0, 0
@@ -267,7 +277,7 @@ func (b *Bucketsort) predictBase(lo, hi int64) (float64, int) {
 		}
 		return b.model.TreeLookupTime(7) + // log2(64)+1 levels of bucket lookup
 			b.model.BucketScanTime(inBuckets, b.cfg.BlockSize) +
-			b.model.ScanTime(inArray), inBuckets + inArray
+			b.model.ParScanTime(inArray, b.pool.Workers()), inBuckets + inArray
 	case PhaseConsolidation, PhaseDone:
 		alpha := b.cons.matched(lo, hi)
 		return b.model.BinarySearchTime(b.n) + b.model.ScanTime(alpha), alpha
@@ -284,7 +294,7 @@ func (b *Bucketsort) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 		for i := iLo; i <= iHi; i++ {
 			res.Merge(b.bks[i].list.AggRange(lo, hi, aggs))
 		}
-		res.Merge(column.AggRange(b.col.Slice(b.copied, b.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(b.pool, b.col.Slice(b.copied, b.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
 		res := column.NewAgg()
@@ -305,8 +315,8 @@ func (b *Bucketsort) queryBucket(bk *bbucket, lo, hi int64, aggs column.Aggregat
 	case bCopying:
 		// Copied parts sit at the two ends of the region; the rest is
 		// still in the block list.
-		res := column.AggRange(b.final[bk.regStart:bk.top], lo, hi, aggs)
-		res.Merge(column.AggRange(b.final[bk.bottom+1:bk.regEnd], lo, hi, aggs))
+		res := column.ParAggRange(b.pool, b.final[bk.regStart:bk.top], lo, hi, aggs)
+		res.Merge(column.ParAggRange(b.pool, b.final[bk.bottom+1:bk.regEnd], lo, hi, aggs))
 		res.Merge(bk.cur.AggRemaining(bk.list, lo, hi, aggs))
 		return res
 	case bRefining:
@@ -358,6 +368,19 @@ func (b *Bucketsort) createStep(units int, lo, hi int64, aggs column.Aggregates)
 		end = b.n
 	}
 	vals := b.col.Values()
+	if parCreateChunks(b.pool, end-start) > 1 {
+		// The equi-height bucket choice is a binary search over the
+		// separators, the priciest per-element digit function of the
+		// three bucketing algorithms — exactly what the parallel
+		// counting pass amortizes best.
+		lists := make([]*blocks.List, len(b.bks))
+		for i, bk := range b.bks {
+			lists[i] = bk.list
+		}
+		sum, count := parBucketize(b.pool, vals[start:end], lists, b.bucketIndexOf, lo, hi, &b.scratch)
+		b.copied = end
+		return segmentExtrema(b.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
+	}
 	var sum, count int64
 	for i := start; i < end; i++ {
 		v := vals[i]
@@ -369,12 +392,13 @@ func (b *Bucketsort) createStep(units int, lo, hi int64, aggs column.Aggregates)
 		count += m
 	}
 	b.copied = end
-	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
+	return segmentExtrema(b.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 // startRefinement fixes the final-array regions from the (now final)
 // bucket counts.
 func (b *Bucketsort) startRefinement() {
+	b.scratch = nil
 	b.final = make([]int64, b.n)
 	off := 0
 	for _, bk := range b.bks {
@@ -459,7 +483,7 @@ func (b *Bucketsort) seedBucketTree(bk *bbucket) {
 	root.left = newQNode(bk.regStart, bk.top, bk.lo, bk.pivot)
 	root.right = newQNode(bk.top, bk.regEnd, bk.pivot+1, bk.hi)
 	root.state = qSplit
-	bk.tree = newQTree(b.final, b.cfg.L1Elements, root)
+	bk.tree = newQTree(b.final, b.cfg.L1Elements, root, b.pool)
 	bk.tree.promote(root)
 	bk.state = bRefining
 	if bk.tree.sorted() {

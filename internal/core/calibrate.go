@@ -46,9 +46,12 @@ func CalibrateParams() costmodel.Params {
 
 	// κ from the creation kernel (copy + frontier writes + in-flight
 	// predicated sum), run against a fresh Quicksort each rep.
+	// Workers: 1 everywhere below: the constants are per-element serial
+	// costs; a parallel creation kernel would deflate them by the core
+	// count and break the model's serial terms.
 	var q *Quicksort
 	pivotPerElem := bestOf(3, func() {
-		q = NewQuicksort(col, Config{Mode: FixedDelta, Delta: 1})
+		q = NewQuicksort(col, Config{Mode: FixedDelta, Delta: 1, Workers: 1})
 	}, func() {
 		seg, _ := q.createStep(n, int64(n)/4, int64(3*n)/4, column.AggSum|column.AggCount)
 		calSink = seg.Sum
@@ -62,7 +65,7 @@ func CalibrateParams() costmodel.Params {
 	sigma := bestOf(2, func() {
 		arr := make([]int64, n)
 		copy(arr, vals)
-		tree = newQTree(arr, 4096, newQNode(0, n, 0, int64(n)))
+		tree = newQTree(arr, 4096, newQNode(0, n, 0, int64(n)), nil)
 		visits = 0
 	}, func() {
 		for !tree.sorted() {
@@ -75,7 +78,7 @@ func CalibrateParams() costmodel.Params {
 	// over the quicksort copy becomes τ (per block of sb elements).
 	var r *RadixMSD
 	bucketPerElem := bestOf(3, func() {
-		r = NewRadixMSD(col, Config{Mode: FixedDelta, Delta: 1, BlockSize: sb})
+		r = NewRadixMSD(col, Config{Mode: FixedDelta, Delta: 1, BlockSize: sb, Workers: 1})
 	}, func() {
 		seg, _ := r.createStep(n, int64(n)/4, int64(3*n)/4, column.AggSum|column.AggCount)
 		calSink = seg.Sum

@@ -25,6 +25,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -97,6 +98,12 @@ type Config struct {
 	// L1Elements is the node size below which refinement sorts a node
 	// outright instead of recursing (paper: nodes smaller than L1).
 	L1Elements int
+
+	// Workers sizes the parallel scan/partition kernels: 0 means
+	// GOMAXPROCS, 1 forces the serial code paths (bit-for-bit the
+	// pre-parallel behavior), larger values cap the chunk fan-out.
+	// Answers are identical for every value; only wall-clock changes.
+	Workers int
 }
 
 // Defaults returns the configuration used throughout the paper's
@@ -290,11 +297,11 @@ func (c *consolidator) matched(lo, hi int64) int {
 // copy-pasting the mask-select updates into every fused loop) costs one
 // extra pass over δ·N elements on MIN/MAX queries and nothing on the
 // paper's SUM workload.
-func segmentExtrema(seg []int64, lo, hi int64, aggs column.Aggregates, sum, count int64) column.Agg {
+func segmentExtrema(p *parallel.Pool, seg []int64, lo, hi int64, aggs column.Aggregates, sum, count int64) column.Agg {
 	acc := column.NewAgg()
 	acc.Sum, acc.Count = sum, count
 	if aggs.NeedsMinMax() && count > 0 {
-		mm := column.AggRange(seg, lo, hi, aggs)
+		mm := column.ParAggRange(p, seg, lo, hi, aggs)
 		acc.Min, acc.Max = mm.Min, mm.Max
 	}
 	return acc

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/column"
+	"repro/internal/parallel"
 )
 
 // sortCost is the work-unit charge for sorting a node of n elements
@@ -65,11 +66,12 @@ type qtree struct {
 	arr    []int64
 	l1     int // sort nodes smaller than this outright
 	root   *qnode
-	height int // tracked upper bound on tree height, for t_lookup
+	height int            // tracked upper bound on tree height, for t_lookup
+	pool   *parallel.Pool // sizes the leftover-region scan kernels
 }
 
-func newQTree(arr []int64, l1 int, root *qnode) *qtree {
-	return &qtree{arr: arr, l1: l1, root: root, height: 1}
+func newQTree(arr []int64, l1 int, root *qnode, pool *parallel.Pool) *qtree {
+	return &qtree{arr: arr, l1: l1, root: root, height: 1, pool: pool}
 }
 
 func (t *qtree) sorted() bool { return t.root.state == qSorted }
@@ -200,14 +202,14 @@ func (t *qtree) query(n *qnode, lo, hi int64, aggs column.Aggregates) column.Agg
 		// arr[start:pl] <= pivot, arr[pr+1:end] > pivot, middle unknown.
 		switch {
 		case hi <= n.pivot:
-			return column.AggRange(arr[n.start:min(n.pr+1, n.end)], lo, hi, aggs)
+			return column.ParAggRange(t.pool, arr[n.start:min(n.pr+1, n.end)], lo, hi, aggs)
 		case lo > n.pivot:
-			return column.AggRange(arr[n.pl:n.end], lo, hi, aggs)
+			return column.ParAggRange(t.pool, arr[n.pl:n.end], lo, hi, aggs)
 		default:
-			return column.AggRange(arr[n.start:n.end], lo, hi, aggs)
+			return column.ParAggRange(t.pool, arr[n.start:n.end], lo, hi, aggs)
 		}
 	default: // qUnstarted
-		return column.AggRange(arr[n.start:n.end], lo, hi, aggs)
+		return column.ParAggRange(t.pool, arr[n.start:n.end], lo, hi, aggs)
 	}
 }
 

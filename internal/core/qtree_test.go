@@ -20,7 +20,7 @@ func TestQTreeRefineToCompletion(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 2, 100, 5000} {
 		arr := shuffled(rng, n, int64(n))
-		tr := newQTree(arr, 64, newQNode(0, n, 0, int64(n)))
+		tr := newQTree(arr, 64, newQNode(0, n, 0, int64(n)), nil)
 		steps := 0
 		for !tr.sorted() {
 			tr.refine(tr.root, 500, 1)
@@ -41,7 +41,7 @@ func TestQTreeQueryExactMidPartition(t *testing.T) {
 	arr := shuffled(rng, n, domain)
 	orig := make([]int64, n)
 	copy(orig, arr)
-	tr := newQTree(arr, 128, newQNode(0, n, 0, domain))
+	tr := newQTree(arr, 128, newQNode(0, n, 0, domain), nil)
 	for !tr.sorted() {
 		tr.refine(tr.root, 177, 1) // odd budget: pause in all states
 		lo := rng.Int63n(domain)
@@ -57,7 +57,7 @@ func TestQTreeQueryExactMidPartition(t *testing.T) {
 func TestQTreeBudgetOfOneStillProgresses(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	arr := shuffled(rng, 2000, 2000)
-	tr := newQTree(arr, 32, newQNode(0, len(arr), 0, 2000))
+	tr := newQTree(arr, 32, newQNode(0, len(arr), 0, 2000), nil)
 	for i := 0; i < 5_000_000 && !tr.sorted(); i++ {
 		tr.refine(tr.root, 1, 1)
 	}
@@ -70,7 +70,7 @@ func TestQTreeRangePrioritization(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	const n, domain = 50_000, 50_000
 	arr := shuffled(rng, n, domain)
-	tr := newQTree(arr, 256, newQNode(0, n, 0, domain))
+	tr := newQTree(arr, 256, newQNode(0, n, 0, domain), nil)
 	// Refine only the low tenth of the value domain with a bounded
 	// budget; α for queries in that range should shrink much faster
 	// than for the untouched top of the domain.
@@ -90,7 +90,7 @@ func TestQTreeAlphaNeverUnderestimatesMatches(t *testing.T) {
 	arr := shuffled(rng, n, domain)
 	orig := make([]int64, n)
 	copy(orig, arr)
-	tr := newQTree(arr, 64, newQNode(0, n, 0, domain))
+	tr := newQTree(arr, 64, newQNode(0, n, 0, domain), nil)
 	for round := 0; round < 50; round++ {
 		tr.refine(tr.root, 997, 1)
 		lo := rng.Int63n(domain)

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -22,6 +23,7 @@ type Quicksort struct {
 	cfg   Config
 	model *costmodel.Model
 	col   *column.Column
+	pool  *parallel.Pool
 	n     int
 
 	phase  Phase
@@ -52,11 +54,12 @@ func NewQuicksort(col *column.Column, cfg Config) *Quicksort {
 		cfg:   cfg,
 		model: m,
 		col:   col,
+		pool:  parallel.New(cfg.Workers),
 		n:     col.Len(),
 		pivot: midpoint(col.Min(), col.Max()),
 		hiCur: col.Len() - 1,
 	}
-	q.budget = newBudgeter(cfg, m.ScanTime(q.n))
+	q.budget = newBudgeter(cfg, m.ParScanTime(q.n, q.pool.Workers()))
 	return q
 }
 
@@ -114,6 +117,12 @@ func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		if q.budget.mode == AdaptiveTime {
 			perUnitPlan = q.model.WriteTime(1) // marginal seconds per element
 		}
+		if q.budget.mode != FixedDelta {
+			// Wall-clock budgets size the step against the parallel
+			// creation kernel's cost; δ budgets keep their fraction-of-
+			// data meaning and stay unscaled.
+			perUnitPlan /= q.model.Speedup(q.pool.Workers())
+		}
 		units := int(planned / perUnitPlan)
 		if units < 1 {
 			units = 1
@@ -122,14 +131,14 @@ func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		seg, did := q.createStep(units, lo, hi, aggs)
 		if oldCopied > 0 {
 			if lo <= q.pivot {
-				res.Merge(column.AggRange(q.index[:oldLo], lo, hi, aggs))
+				res.Merge(column.ParAggRange(q.pool, q.index[:oldLo], lo, hi, aggs))
 			}
 			if hi > q.pivot {
-				res.Merge(column.AggRange(q.index[oldHi+1:], lo, hi, aggs))
+				res.Merge(column.ParAggRange(q.pool, q.index[oldHi+1:], lo, hi, aggs))
 			}
 		}
 		res.Merge(seg)
-		res.Merge(column.AggRange(q.col.Slice(q.copied, q.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(q.pool, q.col.Slice(q.copied, q.n), lo, hi, aggs))
 		consumed = float64(did) * q.model.WriteTime(1)
 		deltaOverride = float64(did) / float64(q.n) // δ = fraction indexed
 		if q.copied == q.n {
@@ -158,6 +167,7 @@ func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		BaseSeconds: base,
 		Predicted:   base + consumed,
 		AlphaElems:  alpha,
+		Workers:     q.pool.Workers(),
 	}
 	return res
 }
@@ -186,14 +196,16 @@ func (q *Quicksort) unitFullFor(p Phase) float64 {
 // from the current state (the non-δ terms of the t_total formulas) and
 // the α element count it used.
 func (q *Quicksort) predictBase(lo, hi int64) (float64, int) {
+	w := q.pool.Workers()
 	switch q.phase {
 	case PhaseCreation:
 		alpha := q.creationAlpha(lo, hi)
-		// (1 - ρ + α) · t_scan: tail scan plus index lookup.
-		return q.model.ScanTime(q.n-q.copied) + q.model.ScanTime(alpha), alpha
+		// (1 - ρ + α) · t_scan: tail scan plus index lookup; both scans
+		// run on the parallel kernels.
+		return q.model.ParScanTime(q.n-q.copied, w) + q.model.ParScanTime(alpha, w), alpha
 	case PhaseRefinement:
 		alpha := q.tree.alphaElems(q.tree.root, lo, hi)
-		return q.model.TreeLookupTime(q.tree.height) + q.model.ScanTime(alpha), alpha
+		return q.model.TreeLookupTime(q.tree.height) + q.model.ParScanTime(alpha, w), alpha
 	case PhaseConsolidation, PhaseDone:
 		alpha := q.cons.matched(lo, hi)
 		return q.model.BinarySearchTime(q.n) + q.model.ScanTime(alpha), alpha
@@ -224,13 +236,13 @@ func (q *Quicksort) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 		r := column.NewAgg()
 		if q.copied > 0 {
 			if lo <= q.pivot {
-				r.Merge(column.AggRange(q.index[:q.loCur], lo, hi, aggs))
+				r.Merge(column.ParAggRange(q.pool, q.index[:q.loCur], lo, hi, aggs))
 			}
 			if hi > q.pivot {
-				r.Merge(column.AggRange(q.index[q.hiCur+1:], lo, hi, aggs))
+				r.Merge(column.ParAggRange(q.pool, q.index[q.hiCur+1:], lo, hi, aggs))
 			}
 		}
-		r.Merge(column.AggRange(q.col.Slice(q.copied, q.n), lo, hi, aggs))
+		r.Merge(column.ParAggRange(q.pool, q.col.Slice(q.copied, q.n), lo, hi, aggs))
 		return r
 	case PhaseRefinement:
 		return q.tree.query(q.tree.root, lo, hi, aggs)
@@ -299,6 +311,11 @@ func (q *Quicksort) createStep(units int, lo, hi int64, aggs column.Aggregates) 
 		end = q.n
 	}
 	vals := q.col.Values()
+	if parCreateChunks(q.pool, end-start) > 1 {
+		sum, count := q.createStepParallel(vals[start:end], lo, hi)
+		q.copied = end
+		return segmentExtrema(q.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
+	}
 	pivot := q.pivot
 	lc, hc := q.loCur, q.hiCur
 	idx := q.index
@@ -320,7 +337,79 @@ func (q *Quicksort) createStep(units int, lo, hi int64, aggs column.Aggregates) 
 	}
 	q.loCur, q.hiCur = lc, hc
 	q.copied = end
-	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
+	return segmentExtrema(q.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
+}
+
+// createStepParallel is the multi-core creation kernel (DESIGN.md
+// section 6): a two-pass stable partition of seg around the root pivot
+// into the index's two frontiers. Pass 1 counts each chunk's <= pivot
+// elements (and computes the chunk's predicated query aggregate); the
+// prefix sums of those counts give every chunk a private, disjoint
+// write window at each frontier, so pass 2 copies with no
+// synchronization. The visible layout — values <= pivot at
+// [0, loCur) in column order, values > pivot at (hiCur, n) in reverse
+// column order — is exactly what the serial fused loop produces; only
+// the dead middle zone [loCur, hiCur] (never read by queries) differs,
+// because the serial kernel's double-frontier writes leak stale copies
+// into it and the parallel kernel writes each element once.
+func (q *Quicksort) createStepParallel(seg []int64, lo, hi int64) (sum, count int64) {
+	pivot := q.pivot
+	chunks := q.pool.Chunks(len(seg), minChunkCreate)
+	size := (len(seg) + chunks - 1) / chunks
+	les := make([]int, chunks)
+	sums := make([]int64, chunks)
+	counts := make([]int64, chunks)
+
+	q.pool.Run(len(seg), minChunkCreate, func(c, a, b int) {
+		le := 0
+		var s, cnt int64
+		for _, v := range seg[a:b] {
+			le += int(^((pivot - v) >> 63) & 1) // 1 iff v <= pivot
+			ge := ^((v - lo) >> 63) & 1
+			leq := ^((hi - v) >> 63) & 1
+			m := ge & leq
+			s += v & -m
+			cnt += m
+		}
+		les[c], sums[c], counts[c] = le, s, cnt
+	})
+
+	// Chunk c's windows: ascending from loBase[c] for <= pivot,
+	// descending from hiBase[c] for > pivot (prefix sums reproduce the
+	// serial cursors' positions after every earlier chunk).
+	loBase := make([]int, chunks)
+	hiBase := make([]int, chunks)
+	lc, hc := q.loCur, q.hiCur
+	for c := 0; c < chunks; c++ {
+		loBase[c], hiBase[c] = lc, hc
+		a, b := c*size, (c+1)*size
+		if b > len(seg) {
+			b = len(seg)
+		}
+		lc += les[c]
+		hc -= (b - a) - les[c]
+	}
+
+	idx := q.index
+	q.pool.Run(len(seg), minChunkCreate, func(c, a, b int) {
+		wl, wh := loBase[c], hiBase[c]
+		for _, v := range seg[a:b] {
+			if v <= pivot {
+				idx[wl] = v
+				wl++
+			} else {
+				idx[wh] = v
+				wh--
+			}
+		}
+	})
+
+	q.loCur, q.hiCur = lc, hc
+	for c := 0; c < chunks; c++ {
+		sum += sums[c]
+		count += counts[c]
+	}
+	return sum, count
 }
 
 // startRefinement seeds the pivot tree from the creation result: the
@@ -331,7 +420,7 @@ func (q *Quicksort) startRefinement() {
 	root.left = newQNode(0, q.loCur, q.col.Min(), q.pivot)
 	root.right = newQNode(q.loCur, q.n, q.pivot+1, q.col.Max())
 	root.state = qSplit
-	q.tree = newQTree(q.index, q.cfg.L1Elements, root)
+	q.tree = newQTree(q.index, q.cfg.L1Elements, root, q.pool)
 	q.tree.promote(root)
 	q.phase = PhaseRefinement
 	if q.tree.sorted() {

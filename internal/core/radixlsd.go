@@ -6,6 +6,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -30,6 +31,7 @@ type RadixLSD struct {
 	cfg   Config
 	model *costmodel.Model
 	col   *column.Column
+	pool  *parallel.Pool
 	n     int
 
 	phase  Phase
@@ -41,6 +43,7 @@ type RadixLSD struct {
 	passes  int // total distribute passes, including creation's pass 0
 
 	copied     int
+	scratch    []int64 // parBucketize grouping buffer, creation only
 	passesDone int
 	old        *blocks.Set // keyed by digit passesDone-1
 	oldIdx     int         // bucket currently being consumed
@@ -69,12 +72,13 @@ func NewRadixLSD(col *column.Column, cfg Config) *RadixLSD {
 		cfg:     cfg,
 		model:   m,
 		col:     col,
+		pool:    parallel.New(cfg.Workers),
 		n:       col.Len(),
 		buckets: 1 << cfg.RadixBits,
 		min:     col.Min(),
 		passes:  passes,
 	}
-	r.budget = newBudgeter(cfg, m.ScanTime(r.n))
+	r.budget = newBudgeter(cfg, m.ParScanTime(r.n, r.pool.Workers()))
 	r.old = blocks.NewSet(r.buckets, cfg.BlockSize)
 	return r
 }
@@ -159,6 +163,11 @@ func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		if r.budget.mode == AdaptiveTime {
 			perUnitPlan = marginal
 		}
+		if r.budget.mode != FixedDelta {
+			// Wall-clock budgets plan against the parallel creation
+			// kernel's per-element cost (DESIGN.md section 3).
+			perUnitPlan /= r.model.Speedup(r.pool.Workers())
+		}
 		units := int(planned / perUnitPlan)
 		if units < 1 {
 			units = 1
@@ -177,9 +186,9 @@ func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 			// Fallback (α == ρ): the indexed prefix is re-read from the
 			// original column, which together with the segment and the
 			// tail is exactly one full predicated scan.
-			res.Merge(column.AggRange(r.col.Slice(0, oldCopied), lo, hi, aggs))
+			res.Merge(column.ParAggRange(r.pool, r.col.Slice(0, oldCopied), lo, hi, aggs))
 		}
-		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(r.pool, r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(r.n)
 		if r.copied == r.n {
@@ -208,6 +217,7 @@ func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		BaseSeconds: base,
 		Predicted:   base + consumed,
 		AlphaElems:  alpha,
+		Workers:     r.pool.Workers(),
 	}
 	return res
 }
@@ -233,15 +243,15 @@ func (r *RadixLSD) predictBase(lo, hi int64) (float64, int) {
 	case PhaseCreation:
 		alpha, fb := r.creationAlpha(lo, hi)
 		if fb {
-			// Fallback: one predicated scan of the whole column.
-			return r.model.ScanTime(r.n), r.copied
+			// Fallback: one predicated (parallel) scan of the column.
+			return r.model.ParScanTime(r.n, r.pool.Workers()), r.copied
 		}
-		return r.model.ScanTime(r.n-r.copied) +
+		return r.model.ParScanTime(r.n-r.copied, r.pool.Workers()) +
 			r.model.BucketScanTime(alpha, r.cfg.BlockSize), alpha
 	case PhaseRefinement:
 		alpha, all := r.refinementAlpha(lo, hi)
 		if all {
-			return r.model.ScanTime(r.n), r.n
+			return r.model.ParScanTime(r.n, r.pool.Workers()), r.n
 		}
 		return r.model.TreeLookupTime(1) +
 			r.model.BucketScanTime(alpha, r.cfg.BlockSize), alpha
@@ -308,10 +318,12 @@ func (r *RadixLSD) refinementAlpha(lo, hi int64) (int, bool) {
 }
 
 // bucketScanSlower reports whether scanning alpha bucket-resident
-// elements costs at least as much as one sequential pass over the
-// original column.
+// elements costs at least as much as one pass over the original
+// column. The column pass runs on the parallel kernels while bucket
+// scans are serial, so more workers shift the tradeoff toward the
+// fallback.
 func (r *RadixLSD) bucketScanSlower(alpha int) bool {
-	return r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ScanTime(r.n)
+	return r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ParScanTime(r.n, r.pool.Workers())
 }
 
 // creationAlpha counts the bucket-resident elements a creation-phase
@@ -326,7 +338,7 @@ func (r *RadixLSD) creationAlpha(lo, hi int64) (int, bool) {
 	for _, i := range idxs {
 		alpha += r.old.Bucket(i).Count()
 	}
-	if r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ScanTime(r.copied) {
+	if r.model.BucketScanTime(alpha, r.cfg.BlockSize) >= r.model.ParScanTime(r.copied, r.pool.Workers()) {
 		return r.copied, true
 	}
 	return alpha, false
@@ -337,13 +349,13 @@ func (r *RadixLSD) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	case PhaseCreation:
 		idxs, all := r.digitBuckets(lo, hi, 0)
 		if all {
-			return column.AggRange(r.col.Values(), lo, hi, aggs)
+			return column.ParAggRange(r.pool, r.col.Values(), lo, hi, aggs)
 		}
 		res := column.NewAgg()
 		for _, i := range idxs {
 			res.Merge(r.old.Bucket(i).AggRange(lo, hi, aggs))
 		}
-		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(r.pool, r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
 		return r.answerRefinement(lo, hi, aggs)
@@ -356,12 +368,12 @@ func (r *RadixLSD) answerRefinement(lo, hi int64, aggs column.Aggregates) column
 	// The fallback decision must match the one the cost prediction took
 	// (refinementAlpha), so both use the same cost comparison.
 	if _, fb := r.refinementAlpha(lo, hi); fb {
-		return column.AggRange(r.col.Values(), lo, hi, aggs)
+		return column.ParAggRange(r.pool, r.col.Values(), lo, hi, aggs)
 	}
 	if r.merging {
 		idxs, all := r.digitBuckets(lo, hi, r.passes-1)
 		if all {
-			return column.AggRange(r.col.Values(), lo, hi, aggs)
+			return column.ParAggRange(r.pool, r.col.Values(), lo, hi, aggs)
 		}
 		// Sorted prefix covers all fully merged buckets (and part of
 		// the active one); the rest is still bucket-resident.
@@ -380,7 +392,7 @@ func (r *RadixLSD) answerRefinement(lo, hi int64, aggs column.Aggregates) column
 	oldIdxs, allOld := r.digitBuckets(lo, hi, r.passesDone-1)
 	newIdxs, allNew := r.digitBuckets(lo, hi, r.passesDone)
 	if allOld || allNew {
-		return column.AggRange(r.col.Values(), lo, hi, aggs)
+		return column.ParAggRange(r.pool, r.col.Values(), lo, hi, aggs)
 	}
 	res := column.NewAgg()
 	for _, i := range oldIdxs {
@@ -450,6 +462,16 @@ func (r *RadixLSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (
 		end = r.n
 	}
 	vals := r.col.Values()
+	if parCreateChunks(r.pool, end-start) > 1 {
+		lists := make([]*blocks.List, r.buckets)
+		for i := range lists {
+			lists[i] = r.old.Bucket(i)
+		}
+		sum, count := parBucketize(r.pool, vals[start:end], lists,
+			func(v int64) int { return r.digit(v, 0) }, lo, hi, &r.scratch)
+		r.copied = end
+		return segmentExtrema(r.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
+	}
 	var sum, count int64
 	for i := start; i < end; i++ {
 		v := vals[i]
@@ -461,10 +483,11 @@ func (r *RadixLSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (
 		count += m
 	}
 	r.copied = end
-	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
+	return segmentExtrema(r.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 func (r *RadixLSD) startRefinement() {
+	r.scratch = nil
 	r.phase = PhaseRefinement
 	r.passesDone = 1
 	if r.passesDone >= r.passes {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -62,6 +63,7 @@ type RadixMSD struct {
 	cfg   Config
 	model *costmodel.Model
 	col   *column.Column
+	pool  *parallel.Pool
 	n     int
 
 	phase  Phase
@@ -72,7 +74,8 @@ type RadixMSD struct {
 	mask    int64
 
 	root     *rnode
-	copied   int // creation progress into the base column
+	copied   int     // creation progress into the base column
+	scratch  []int64 // parBucketize grouping buffer, creation only
 	final    []int64
 	writeOff int
 
@@ -87,11 +90,12 @@ func NewRadixMSD(col *column.Column, cfg Config) *RadixMSD {
 		cfg:     cfg,
 		model:   m,
 		col:     col,
+		pool:    parallel.New(cfg.Workers),
 		n:       col.Len(),
 		buckets: 1 << cfg.RadixBits,
 		mask:    int64(1<<cfg.RadixBits) - 1,
 	}
-	r.budget = newBudgeter(cfg, m.ScanTime(r.n))
+	r.budget = newBudgeter(cfg, m.ParScanTime(r.n, r.pool.Workers()))
 	r.root = &rnode{lo: col.Min(), hi: col.Max(), state: rInternal}
 	r.root.childShift = childShiftFor(r.root.lo, r.root.hi, cfg.RadixBits)
 	r.root.children = r.makeChildren(r.root)
@@ -168,6 +172,11 @@ func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		if r.budget.mode == AdaptiveTime {
 			perUnitPlan = marginal
 		}
+		if r.budget.mode != FixedDelta {
+			// Wall-clock budgets plan against the parallel creation
+			// kernel's per-element cost (DESIGN.md section 3).
+			perUnitPlan /= r.model.Speedup(r.pool.Workers())
+		}
 		units := int(planned / perUnitPlan)
 		if units < 1 {
 			units = 1
@@ -179,7 +188,7 @@ func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		}
 		seg, did := r.createStep(units, lo, hi, aggs)
 		res.Merge(seg)
-		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(r.pool, r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		consumed = float64(did) * marginal
 		deltaOverride = float64(did) / float64(r.n)
 		if r.copied == r.n {
@@ -208,6 +217,7 @@ func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		BaseSeconds: base,
 		Predicted:   base + consumed,
 		AlphaElems:  alpha,
+		Workers:     r.pool.Workers(),
 	}
 	return res
 }
@@ -233,13 +243,13 @@ func (r *RadixMSD) predictBase(lo, hi int64) (float64, int) {
 	switch r.phase {
 	case PhaseCreation:
 		inBuckets := r.alphaBuckets(lo, hi)
-		return r.model.ScanTime(r.n-r.copied) +
+		return r.model.ParScanTime(r.n-r.copied, r.pool.Workers()) +
 			r.model.BucketScanTime(inBuckets, r.cfg.BlockSize), inBuckets
 	case PhaseRefinement:
 		inBuckets, inSorted := r.alphaTree(r.root, lo, hi)
 		return r.model.TreeLookupTime(r.treeDepth()) +
 			r.model.BucketScanTime(inBuckets, r.cfg.BlockSize) +
-			r.model.ScanTime(inSorted), inBuckets + inSorted
+			r.model.ParScanTime(inSorted, r.pool.Workers()), inBuckets + inSorted
 	case PhaseConsolidation, PhaseDone:
 		alpha := r.cons.matched(lo, hi)
 		return r.model.BinarySearchTime(r.n) + r.model.ScanTime(alpha), alpha
@@ -335,7 +345,7 @@ func (r *RadixMSD) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 				res.Merge(r.root.children[i].list.AggRange(lo, hi, aggs))
 			}
 		}
-		res.Merge(column.AggRange(r.col.Slice(r.copied, r.n), lo, hi, aggs))
+		res.Merge(column.ParAggRange(r.pool, r.col.Slice(r.copied, r.n), lo, hi, aggs))
 		return res
 	case PhaseRefinement:
 		return r.queryNode(r.root, lo, hi, aggs)
@@ -356,7 +366,7 @@ func (r *RadixMSD) queryNode(n *rnode, lo, hi int64, aggs column.Aggregates) col
 	case rMerging:
 		// Copied prefix lives in final[start:writeOff], sorted only
 		// after completion, so scan it predicated; remainder in list.
-		res := column.AggRange(r.final[n.start:r.writeOff], lo, hi, aggs)
+		res := column.ParAggRange(r.pool, r.final[n.start:r.writeOff], lo, hi, aggs)
 		res.Merge(n.cur.AggRemaining(n.list, lo, hi, aggs))
 		return res
 	case rSplitting:
@@ -431,6 +441,16 @@ func (r *RadixMSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (
 	}
 	vals := r.col.Values()
 	root := r.root
+	if parCreateChunks(r.pool, end-start) > 1 {
+		lists := make([]*blocks.List, len(root.children))
+		for i, c := range root.children {
+			lists[i] = c.list
+		}
+		sum, count := parBucketize(r.pool, vals[start:end], lists,
+			func(v int64) int { return r.bucketOf(root, v) }, lo, hi, &r.scratch)
+		r.copied = end
+		return segmentExtrema(r.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
+	}
 	var sum, count int64
 	for i := start; i < end; i++ {
 		v := vals[i]
@@ -442,10 +462,11 @@ func (r *RadixMSD) createStep(units int, lo, hi int64, aggs column.Aggregates) (
 		count += m
 	}
 	r.copied = end
-	return segmentExtrema(vals[start:end], lo, hi, aggs, sum, count), end - start
+	return segmentExtrema(r.pool, vals[start:end], lo, hi, aggs, sum, count), end - start
 }
 
 func (r *RadixMSD) startRefinement() {
+	r.scratch = nil
 	r.final = make([]int64, r.n)
 	r.writeOff = 0
 	r.phase = PhaseRefinement

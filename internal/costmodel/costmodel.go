@@ -29,7 +29,9 @@ import (
 	"time"
 )
 
-// Params holds the hardware constants of Table 1.
+// Params holds the hardware constants of Table 1, plus the parallel
+// scaling constant of the multi-core scan kernels (not in the paper;
+// the paper's §6 names multi-threading as future work).
 type Params struct {
 	OmegaReadPage  float64 // ω: seconds to read one page sequentially
 	KappaWritePage float64 // κ: seconds to write one page sequentially
@@ -37,7 +39,18 @@ type Params struct {
 	Gamma          int     // γ: elements per page
 	SigmaSwap      float64 // σ: seconds to swap two elements
 	TauAlloc       float64 // τ: seconds for one block allocation
+
+	// ParEfficiency ε is the fraction of linear scaling each extra scan
+	// worker contributes: a parallel scan over w workers is modeled as
+	// t_scan / (1 + ε·(w-1)). Memory-bandwidth-bound kernels never
+	// scale linearly, so ε < 1. Zero means DefaultParEfficiency.
+	ParEfficiency float64
 }
+
+// DefaultParEfficiency is the assumed per-extra-worker scaling of the
+// scan kernels when none was calibrated: 70% of linear, a conservative
+// figure for a bandwidth-bound predicated scan on commodity cores.
+const DefaultParEfficiency = 0.7
 
 // Validate reports whether the parameters are usable.
 func (p Params) Validate() error {
@@ -49,6 +62,8 @@ func (p Params) Validate() error {
 			p.OmegaReadPage, p.KappaWritePage, p.PhiRandomPage)
 	case p.SigmaSwap <= 0 || p.TauAlloc <= 0:
 		return fmt.Errorf("costmodel: σ and τ must be positive (σ=%g τ=%g)", p.SigmaSwap, p.TauAlloc)
+	case p.ParEfficiency < 0 || p.ParEfficiency > 1:
+		return fmt.Errorf("costmodel: ε must lie in [0, 1] (0 = default), got %g", p.ParEfficiency)
 	}
 	return nil
 }
@@ -91,6 +106,28 @@ func (m *Model) pages(n int) float64 { return float64(n) / float64(m.P.Gamma) }
 
 // ScanTime is t_scan = ω·N/γ: one sequential pass over n elements.
 func (m *Model) ScanTime(n int) float64 { return m.P.OmegaReadPage * m.pages(n) }
+
+// Speedup models the scaling of a chunked parallel scan over w
+// workers: 1 + ε·(w-1), where ε is Params.ParEfficiency (zero falls
+// back to DefaultParEfficiency). Always >= 1.
+func (m *Model) Speedup(workers int) float64 {
+	if workers <= 1 {
+		return 1
+	}
+	eff := m.P.ParEfficiency
+	if eff == 0 {
+		eff = DefaultParEfficiency
+	}
+	return 1 + eff*float64(workers-1)
+}
+
+// ParScanTime is ScanTime for the chunked parallel kernels: the serial
+// pass cost divided by the modeled speedup of w workers. The fixed and
+// adaptive time budgets use it so that their wall-clock targets stay
+// true when the scans they predict actually run in parallel.
+func (m *Model) ParScanTime(n, workers int) float64 {
+	return m.ScanTime(n) / m.Speedup(workers)
+}
 
 // WriteTime is κ·N/γ: one sequential write pass over n elements.
 func (m *Model) WriteTime(n int) float64 { return m.P.KappaWritePage * m.pages(n) }

@@ -44,7 +44,7 @@ func (a *AdaptiveAdaptive) Converged() bool { return false }
 // for small), then answers the requested aggregates.
 func (a *AdaptiveAdaptive) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, a.col.Min(), a.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return a.execute(lo, hi, aggs), query.Stats{}
+		return a.execute(lo, hi, aggs), query.Stats{Workers: a.cc.pool.Workers()}
 	})
 }
 
@@ -59,7 +59,7 @@ func (a *AdaptiveAdaptive) Query(lo, hi int64) column.Result {
 func (a *AdaptiveAdaptive) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !a.cc.ready() {
 		a.cc.kernel = a.cfg.Kernel
-		a.cc.init(a.col)
+		a.cc.init(a.col, a.cfg.Workers)
 		a.cc.partitionRadix(0, a.col.Len(), a.col.Min(), a.col.Max()+1, a.cfg.Partitions)
 	}
 	for _, v := range [2]int64{lo, hi + 1} {

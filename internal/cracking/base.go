@@ -2,6 +2,7 @@ package cracking
 
 import (
 	"repro/internal/column"
+	"repro/internal/parallel"
 )
 
 // Config carries the tunables shared by the cracking baselines.
@@ -27,6 +28,10 @@ type Config struct {
 	// SubPartitions is AA's per-query radix refinement fanout
 	// (default 16).
 	SubPartitions int
+	// Workers sizes the parallel piece-scan kernels: 0 means
+	// GOMAXPROCS, 1 forces serial scans. Cracks themselves stay
+	// single-threaded (they are in-place partitions).
+	Workers int
 }
 
 func (c Config) normalize() Config {
@@ -55,14 +60,16 @@ type crackerColumn struct {
 	arr    []int64
 	idx    avlTree
 	kernel Kernel
-	swaps  int // total swaps performed, for bookkeeping/tests
+	pool   *parallel.Pool // sizes the piece-scan kernels
+	swaps  int            // total swaps performed, for bookkeeping/tests
 }
 
 // init copies the base column into the cracker column. Called on the
 // first query; the copy is the dominant share of cracking's expensive
 // first query (Table 2).
-func (c *crackerColumn) init(col *column.Column) {
+func (c *crackerColumn) init(col *column.Column, workers int) {
 	c.col = col
+	c.pool = parallel.New(workers)
 	c.arr = make([]int64, col.Len())
 	copy(c.arr, col.Values())
 }
@@ -103,30 +110,22 @@ func (c *crackerColumn) answer(lo, hi int64, aggs column.Aggregates) column.Agg 
 	aLo, bLo, _, _ := c.piece(lo)
 	aHi, bHi, _, _ := c.piece(hi + 1)
 	if aLo == aHi {
-		return column.AggRange(c.arr[aLo:bLo], lo, hi, aggs)
+		return column.ParAggRange(c.pool, c.arr[aLo:bLo], lo, hi, aggs)
 	}
-	res := column.AggRange(c.arr[aLo:bLo], lo, hi, aggs)
+	res := column.ParAggRange(c.pool, c.arr[aLo:bLo], lo, hi, aggs)
 	interior := c.arr[bLo:aHi]
 	switch {
 	case aggs.NeedsMinMax():
-		for _, v := range interior {
-			res.Sum += v
-			if v < res.Min {
-				res.Min = v
-			}
-			if v > res.Max {
-				res.Max = v
-			}
-		}
+		res.Merge(column.ParAggFull(c.pool, interior, aggs))
 	case aggs.NeedsSum():
-		for _, v := range interior {
-			res.Sum += v
-		}
+		full := column.ParAggFull(c.pool, interior, aggs)
+		res.Sum += full.Sum
+		res.Count += full.Count
 	default:
 		// COUNT-only: the interior matches entirely, no pass needed.
+		res.Count += int64(len(interior))
 	}
-	res.Count += int64(len(interior))
-	res.Merge(column.AggRange(c.arr[aHi:bHi], lo, hi, aggs))
+	res.Merge(column.ParAggRange(c.pool, c.arr[aHi:bHi], lo, hi, aggs))
 	return res
 }
 

@@ -32,7 +32,7 @@ func (c *CoarseGranular) Converged() bool { return false }
 // cracks at the predicate bounds and answers the requested aggregates.
 func (c *CoarseGranular) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, c.col.Min(), c.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return c.execute(lo, hi, aggs), query.Stats{}
+		return c.execute(lo, hi, aggs), query.Stats{Workers: c.cc.pool.Workers()}
 	})
 }
 
@@ -47,7 +47,7 @@ func (c *CoarseGranular) Query(lo, hi int64) column.Result {
 func (c *CoarseGranular) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !c.cc.ready() {
 		c.cc.kernel = c.cfg.Kernel
-		c.cc.init(c.col)
+		c.cc.init(c.col, c.cfg.Workers)
 		c.cc.partitionRadix(0, c.col.Len(), c.col.Min(), c.col.Max()+1, c.cfg.Partitions)
 	}
 	c.cc.crackAt(lo)

@@ -32,7 +32,7 @@ func (s *Standard) Converged() bool { return false }
 // aggregates from the crack state.
 func (s *Standard) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, s.col.Min(), s.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return s.execute(lo, hi, aggs), query.Stats{}
+		return s.execute(lo, hi, aggs), query.Stats{Workers: s.cc.pool.Workers()}
 	})
 }
 
@@ -46,7 +46,7 @@ func (s *Standard) Query(lo, hi int64) column.Result {
 func (s *Standard) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !s.cc.ready() {
 		s.cc.kernel = s.cfg.Kernel
-		s.cc.init(s.col)
+		s.cc.init(s.col, s.cfg.Workers)
 	}
 	s.cc.crackAt(lo)
 	s.cc.crackAt(hi + 1)

@@ -36,7 +36,7 @@ func (s *Stochastic) Converged() bool { return false }
 // small pieces), then answers the requested aggregates.
 func (s *Stochastic) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, s.col.Min(), s.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return s.execute(lo, hi, aggs), query.Stats{}
+		return s.execute(lo, hi, aggs), query.Stats{Workers: s.cc.pool.Workers()}
 	})
 }
 
@@ -51,7 +51,7 @@ func (s *Stochastic) Query(lo, hi int64) column.Result {
 func (s *Stochastic) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !s.cc.ready() {
 		s.cc.kernel = s.cfg.Kernel
-		s.cc.init(s.col)
+		s.cc.init(s.col, s.cfg.Workers)
 	}
 	for _, v := range [2]int64{lo, hi + 1} {
 		a, b, _, _ := s.cc.piece(v)
@@ -117,7 +117,7 @@ func (p *ProgressiveStochastic) Converged() bool { return false }
 // answers the requested aggregates from the crack state.
 func (p *ProgressiveStochastic) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, p.col.Min(), p.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return p.execute(lo, hi, aggs), query.Stats{}
+		return p.execute(lo, hi, aggs), query.Stats{Workers: p.cc.pool.Workers()}
 	})
 }
 
@@ -131,7 +131,7 @@ func (p *ProgressiveStochastic) Query(lo, hi int64) column.Result {
 func (p *ProgressiveStochastic) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if !p.cc.ready() {
 		p.cc.kernel = p.cfg.Kernel
-		p.cc.init(p.col)
+		p.cc.init(p.col, p.cfg.Workers)
 	}
 	allowance := int(p.cfg.SwapFraction * float64(len(p.cc.arr)))
 	if allowance < 1 {

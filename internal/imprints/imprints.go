@@ -101,7 +101,7 @@ func (ix *Index) Converged() bool { return ix.lines == len(ix.marks) }
 // scanned, and another δ·N elements are imprinted.
 func (ix *Index) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, ix.col.Min(), ix.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return ix.execute(lo, hi, aggs), query.Stats{}
+		return ix.execute(lo, hi, aggs), query.Stats{Workers: 1}
 	})
 }
 

@@ -53,7 +53,7 @@ func (ix *Index) Converged() bool { return ix.copied == ix.n }
 // δ·N elements are inserted.
 func (ix *Index) Execute(req query.Request) (query.Answer, error) {
 	return query.Run(req, ix.col.Min(), ix.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		return ix.execute(lo, hi, aggs), query.Stats{}
+		return ix.execute(lo, hi, aggs), query.Stats{Workers: 1}
 	})
 }
 

@@ -170,8 +170,8 @@ func (p Phase) String() string {
 
 // Stats reports what a single Execute call did, for the harness and the
 // cost-model validation experiments (Figures 8 and 9). Non-progressive
-// indexes (the scan/index baselines and the cracking family) leave it
-// zero.
+// indexes (the scan/index baselines and the cracking family) leave the
+// work fields zero and report only Workers.
 type Stats struct {
 	// Phase the index was in when the query started.
 	Phase Phase
@@ -188,6 +188,9 @@ type Stats struct {
 	// AlphaElems is how many index-resident elements the answer
 	// scanned (the α of Table 1, in elements).
 	AlphaElems int
+	// Workers is the parallel worker count the index's scan kernels
+	// were sized for on this call (1 = serial execution).
+	Workers int
 }
 
 // Answer is the response to a Request: the requested aggregate values

@@ -245,6 +245,15 @@ type Options struct {
 	Fanout     int
 	L1Elements int
 
+	// Workers sizes the parallel execution engine: the chunked
+	// scan/aggregate kernels and the creation-phase partition/bucketize
+	// passes run across this many workers. 0 means GOMAXPROCS; 1 forces
+	// the serial code paths, which are bit-for-bit the pre-parallel
+	// behavior. Answers are identical for every value (partial
+	// aggregates merge in deterministic chunk order); only wall-clock
+	// time changes. The worker count used is reported in Stats.Workers.
+	Workers int
+
 	// Seed drives the stochastic cracking baselines.
 	Seed int64
 }
@@ -270,6 +279,7 @@ func NewFromColumn(col *column.Column, opts Options) (Index, error) {
 		BlockSize:  opts.BlockSize,
 		Fanout:     opts.Fanout,
 		L1Elements: opts.L1Elements,
+		Workers:    opts.Workers,
 	}
 	switch {
 	case opts.Budget > 0 && opts.Adaptive:
@@ -285,7 +295,7 @@ func NewFromColumn(col *column.Column, opts Options) (Index, error) {
 		calibrateOnce.Do(func() { calibrated = core.CalibrateParams() })
 		ccfg.Params = calibrated
 	}
-	kcfg := cracking.Config{Seed: opts.Seed}
+	kcfg := cracking.Config{Seed: opts.Seed, Workers: opts.Workers}
 
 	switch opts.Strategy {
 	case StrategyQuicksort:
@@ -297,7 +307,7 @@ func NewFromColumn(col *column.Column, opts Options) (Index, error) {
 	case StrategyRadixLSD:
 		return core.NewRadixLSD(col, ccfg), nil
 	case StrategyFullScan:
-		return baseline.NewFullScan(col), nil
+		return baseline.NewFullScanWorkers(col, opts.Workers), nil
 	case StrategyFullIndex:
 		return baseline.NewFullIndex(col, ccfg.Fanout), nil
 	case StrategyStandardCracking:
