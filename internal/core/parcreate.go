@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/blocks"
+	"repro/internal/parallel"
+)
+
+// This file implements the parallel creation-phase kernels (DESIGN.md
+// section 6). The creation phase of every bucketing algorithm (PMSD,
+// PB, PLSD pass 0) moves a segment of δ·N base-column elements into
+// per-bucket block lists while computing the in-flight query's
+// predicated aggregate over the segment. The serial kernel does both
+// in one fused loop; the parallel kernel splits the work into
+//
+//	pass 1 (parallel over segment chunks): per-chunk bucket histogram
+//	        + chunk-local counting-sort into a grouped scratch buffer
+//	        + per-chunk predicated aggregate;
+//	pass 2 (parallel over buckets): per bucket, bulk-append the
+//	        chunks' groups in chunk order.
+//
+// Chunk-major append order preserves the segment's column order inside
+// every bucket, so the final bucket contents — and therefore every
+// answer, including PLSD's FIFO-stability-dependent ones — are
+// byte-identical to the serial kernel's for any worker count.
+
+// minChunkCreate is the minimum segment elements per creation chunk.
+// Creation does more work per element than a scan (digit computation,
+// scatter into scratch), so it pays off earlier than MinChunkScan.
+const minChunkCreate = 1 << 13
+
+// segChunk is one chunk's pass-1 output.
+type segChunk struct {
+	off    []int // per-bucket start offsets inside the chunk's scratch region
+	counts []int // per-bucket element counts (the chunk histogram)
+	sum    int64 // predicated query aggregate over the chunk
+	count  int64
+}
+
+// parBucketize distributes seg into buckets[digit(v)] in parallel and
+// returns the segment's predicated SUM/COUNT for [lo, hi]. The caller
+// guarantees digit(v) ∈ [0, len(buckets)) for every v in seg, and that
+// the pool produces at least two chunks (check parCreateChunks first).
+// scratchp is the caller-owned grouping buffer, grown here on demand
+// and reused across creation steps (segments are bounded by δ·N, so
+// one buffer per index amortizes to zero allocations per query); the
+// caller should drop it once creation completes.
+func parBucketize(p *parallel.Pool, seg []int64, buckets []*blocks.List,
+	digit func(int64) int, lo, hi int64, scratchp *[]int64) (sum, count int64) {
+	nb := len(buckets)
+	chunks := p.Chunks(len(seg), minChunkCreate)
+	if cap(*scratchp) < len(seg) {
+		*scratchp = make([]int64, len(seg))
+	}
+	scratch := (*scratchp)[:len(seg)]
+	parts := make([]segChunk, chunks)
+	size := (len(seg) + chunks - 1) / chunks
+
+	// Pass 1: histogram, chunk-local group-by-bucket, query aggregate.
+	p.Run(len(seg), minChunkCreate, func(c, a, b int) {
+		counts := make([]int, nb)
+		var s, cnt int64
+		for _, v := range seg[a:b] {
+			counts[digit(v)]++
+			ge := ^((v - lo) >> 63) & 1
+			le := ^((hi - v) >> 63) & 1
+			m := ge & le
+			s += v & -m
+			cnt += m
+		}
+		off := make([]int, nb)
+		run := 0
+		for d := 0; d < nb; d++ {
+			off[d] = run
+			run += counts[d]
+		}
+		cursor := make([]int, nb)
+		copy(cursor, off)
+		out := scratch[a:b]
+		for _, v := range seg[a:b] {
+			d := digit(v)
+			out[cursor[d]] = v
+			cursor[d]++
+		}
+		parts[c] = segChunk{off: off, counts: counts, sum: s, count: cnt}
+	})
+
+	// Pass 2: per bucket, append every chunk's group in chunk order.
+	// Buckets are disjoint, so splitting the bucket index range across
+	// workers shares nothing; static splitting tolerates skew poorly
+	// but keeps the chunking deterministic.
+	p.Run(nb, 1, func(_, dLo, dHi int) {
+		for d := dLo; d < dHi; d++ {
+			for c := 0; c < chunks; c++ {
+				a := c * size
+				pc := &parts[c]
+				if pc.counts[d] == 0 {
+					continue
+				}
+				g := a + pc.off[d]
+				buckets[d].AppendSlice(scratch[g : g+pc.counts[d]])
+			}
+		}
+	})
+
+	for _, pc := range parts {
+		sum += pc.sum
+		count += pc.count
+	}
+	return sum, count
+}
+
+// parCreateChunks reports how many chunks the parallel creation kernel
+// would use for a segment; 1 means the caller should stay on its
+// serial fused loop.
+func parCreateChunks(p *parallel.Pool, segLen int) int {
+	return p.Chunks(segLen, minChunkCreate)
+}
