@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -32,23 +33,40 @@ import (
 )
 
 // Host describes the machine a run happened on; speedups are
-// meaningless without it (a 1-core container cannot show one).
+// meaningless without it (a 1-core container cannot show one). The
+// hostname hash distinguishes artifacts from different machines —
+// e.g. a 1-core CI container vs a real multi-core perf host — without
+// leaking the actual hostname into a committed file.
 type Host struct {
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	NumCPU       int    `json:"num_cpu"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	GoVersion    string `json:"go_version"`
+	HostnameHash string `json:"hostname_hash"`
 }
 
 func host() Host {
 	return Host{
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		HostnameHash: hostnameHash(),
 	}
+}
+
+// hostnameHash returns an 8-hex-digit FNV-1a of the hostname, or
+// "unknown" when the hostname is unavailable.
+func hostnameHash() string {
+	name, err := os.Hostname()
+	if err != nil || name == "" {
+		return "unknown"
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("%08x", h.Sum32())
 }
 
 // KernelResult is one (kernel, workers) measurement.

@@ -1,0 +1,252 @@
+// Command loadgen drives a running progidxd with N concurrent query
+// sessions against one table, verifying every server answer against
+// the library executed locally (the data is generated from a shared
+// seed, so client and server hold identical columns). It is both the
+// demo client for the serving layer and the CI end-to-end smoke test:
+// it exits non-zero on any transport error or answer mismatch.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7171 -n 200000 -sessions 8 -queries 50
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/data"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7171", "progidxd address (host:port)")
+		table    = flag.String("table", "loadgen", "table name to create and query")
+		n        = flag.Int("n", 200_000, "rows in the generated table")
+		seed     = flag.Int64("seed", 7, "data generator seed (shared with the server)")
+		strategy = flag.String("strategy", "PQ", "index strategy abbreviation")
+		delta    = flag.Float64("delta", 0.25, "indexing fraction per query")
+		sessions = flag.Int("sessions", 8, "concurrent query sessions")
+		queries  = flag.Int("queries", 50, "queries per session")
+		check    = flag.Bool("check", true, "verify every answer against the local library oracle")
+		keep     = flag.Bool("keep", false, "leave the table loaded when done")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Load the table server-side from the shared generator spec, and
+	// build the local oracle over the identical column.
+	vals := data.Uniform(*n, *seed)
+	loadBody := server.LoadRequest{
+		Name:     *table,
+		Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
+		Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta},
+	}
+	if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
+		fatal("load table: %v", err)
+	}
+	fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g) on %s\n", *table, *n, *strategy, *delta, *addr)
+
+	var oracle progidx.Index
+	if *check {
+		oracle = progidx.Synchronize(progidx.MustNew(vals, progidx.Options{Strategy: progidx.StrategyFullScan}))
+	}
+
+	var (
+		wg         sync.WaitGroup
+		mismatches atomic.Uint64
+		failures   atomic.Uint64
+		latMu      sync.Mutex
+		latencies  []time.Duration
+		batchSum   atomic.Uint64
+	)
+	start := time.Now()
+	for g := 0; g < *sessions; g++ {
+		wg.Add(1)
+		go func(session int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*1000 + int64(session)))
+			local := make([]time.Duration, 0, *queries)
+			for q := 0; q < *queries; q++ {
+				req, wire := randomQuery(rng, int64(*n))
+				qs := time.Now()
+				var resp server.QueryResponse
+				err := postJSON(client, base+"/tables/"+*table+"/query", wire, &resp, http.StatusOK)
+				local = append(local, time.Since(qs))
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: session %d query %d: %v\n", session, q, err)
+					continue
+				}
+				batchSum.Add(uint64(resp.BatchSize))
+				if oracle != nil && !matches(oracle, req, resp) {
+					mismatches.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: session %d query %d: answer mismatch for %v\n",
+						session, q, req.Pred)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := *sessions * *queries
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("loadgen: %d sessions × %d queries in %v (%.0f qps)\n",
+		*sessions, *queries, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("loadgen: latency p50=%v p95=%v p99=%v max=%v  mean batch=%.2f\n",
+			pct(latencies, 0.50), pct(latencies, 0.95), pct(latencies, 0.99),
+			latencies[len(latencies)-1],
+			float64(batchSum.Load())/float64(total-int(failures.Load())))
+	}
+
+	var info struct {
+		Converged  bool    `json:"converged"`
+		Progress   float64 `json:"convergence"`
+		Phase      string  `json:"phase"`
+		IdleRefine bool    `json:"idle_refine"`
+	}
+	if err := getJSON(client, base+"/tables/"+*table, &info); err == nil {
+		fmt.Printf("loadgen: table phase=%s convergence=%.2f converged=%v idle_refine=%v\n",
+			info.Phase, info.Progress, info.Converged, info.IdleRefine)
+	}
+
+	if !*keep {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/tables/"+*table, nil)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	if failures.Load() > 0 || mismatches.Load() > 0 {
+		fatal("%d transport failures, %d answer mismatches", failures.Load(), mismatches.Load())
+	}
+	if oracle != nil {
+		fmt.Printf("loadgen: all %d answers match the library oracle\n", total)
+	}
+}
+
+// randomQuery builds one request in both library and wire forms: a mix
+// of range scans of varying selectivity, open-ended ranges, and point
+// probes, with varying aggregate sets.
+func randomQuery(rng *rand.Rand, n int64) (progidx.Request, server.QueryRequest) {
+	var (
+		pred progidx.Predicate
+		spec server.PredSpec
+	)
+	switch rng.Intn(8) {
+	case 0:
+		v := rng.Int63n(n)
+		pred, spec = progidx.Point(v), server.PredSpec{Kind: "point", Value: &v}
+	case 1:
+		v := rng.Int63n(n)
+		pred, spec = progidx.AtLeast(v), server.PredSpec{Kind: "atleast", Value: &v}
+	case 2:
+		v := rng.Int63n(n)
+		pred, spec = progidx.AtMost(v), server.PredSpec{Kind: "atmost", Value: &v}
+	default:
+		lo := rng.Int63n(n)
+		hi := lo + rng.Int63n(n/4+1)
+		pred, spec = progidx.Range(lo, hi), server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi}
+	}
+	var (
+		aggs  progidx.Aggregates
+		names []string
+	)
+	if rng.Intn(2) == 0 {
+		aggs, names = progidx.Sum|progidx.Count, []string{"sum", "count"}
+	} else {
+		aggs, names = progidx.AllAggregates, []string{"sum", "count", "min", "max", "avg"}
+	}
+	return progidx.Request{Pred: pred, Aggs: aggs}, server.QueryRequest{Pred: spec, Aggs: names}
+}
+
+// matches replays req on the local oracle index and compares every
+// requested aggregate with the server's response.
+func matches(oracle progidx.Index, req progidx.Request, resp server.QueryResponse) bool {
+	want, err := oracle.Execute(req)
+	if err != nil {
+		return false
+	}
+	if resp.Count != want.Count {
+		return false
+	}
+	if want.Aggs.Has(progidx.Sum) && (resp.Sum == nil || *resp.Sum != want.Sum) {
+		return false
+	}
+	if v, ok := want.MinOk(); ok && (resp.Min == nil || *resp.Min != v) {
+		return false
+	}
+	if v, ok := want.MaxOk(); ok && (resp.Max == nil || *resp.Max != v) {
+		return false
+	}
+	if v, ok := want.AvgOk(); ok && (resp.Avg == nil || *resp.Avg != v) {
+		return false
+	}
+	return true
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}
+
+func postJSON(client *http.Client, url string, body, out any, wantStatus int) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	if out != nil {
+		return json.Unmarshal(payload, out)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

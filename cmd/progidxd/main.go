@@ -1,0 +1,120 @@
+// Command progidxd is the progressive-index serving daemon: it exposes
+// the table catalog and the per-table batching/idle-refining schedulers
+// of internal/server over HTTP/JSON.
+//
+// Usage:
+//
+//	progidxd                          # listen on :7171
+//	progidxd -addr 127.0.0.1:0        # ephemeral port (printed, and
+//	                                  # written to -addrfile if set)
+//	progidxd -preload demo:1000000    # load a uniform demo table at boot
+//
+// Load a table and query it:
+//
+//	curl -s localhost:7171/tables -d '{"name":"demo","generate":{"n":1000000,"seed":42},"options":{"strategy":"PQ","delta":0.25}}'
+//	curl -s localhost:7171/tables/demo/query -d '{"pred":{"kind":"range","lo":1000,"hi":50000},"aggs":["sum","count","avg"]}'
+//	curl -s localhost:7171/stats
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight requests finish (up to a timeout), then
+// the per-table schedulers stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/data"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7171", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile = flag.String("addrfile", "", "write the resolved listen address to this file (for scripts wrapping an ephemeral port)")
+		queue    = flag.Int("queue", 0, "per-table admission queue depth (0 = default)")
+		maxBatch = flag.Int("maxbatch", 0, "max requests amortized into one indexing step (0 = default)")
+		preload  = flag.String("preload", "", "comma-separated name:rows tables to load at boot with uniform data, e.g. demo:1000000")
+		grace    = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{QueueDepth: *queue, MaxBatch: *maxBatch})
+	if err := preloadTables(srv, *preload); err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd:", err)
+		os.Exit(1)
+	}
+	resolved := ln.Addr().String()
+	fmt.Printf("progidxd listening on %s\n", resolved)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "progidxd:", err)
+			os.Exit(1)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("progidxd: shutting down")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "progidxd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd: shutdown:", err)
+	}
+	srv.Close()
+}
+
+// preloadTables loads "name:rows" specs with deterministic uniform data
+// (seed = 42) and default options, so a demo instance is queryable the
+// moment it prints its listen address.
+func preloadTables(srv *server.Server, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rows, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return fmt.Errorf("bad -preload entry %q (want name:rows)", part)
+		}
+		n, err := strconv.Atoi(rows)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -preload rows in %q", part)
+		}
+		if _, err := srv.Load(name, data.Uniform(n, 42), catalog.Options{}); err != nil {
+			return err
+		}
+		fmt.Printf("progidxd: preloaded table %q (%d rows)\n", name, n)
+	}
+	return nil
+}

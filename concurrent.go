@@ -1,20 +1,43 @@
 package progidx
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// Synchronized serializes access to an Index so multiple goroutines can
-// share it. Progressive and adaptive indexes reorganize themselves on
-// every Query call, so the underlying types are deliberately not safe
-// for concurrent use (DESIGN.md section 7); this wrapper provides the
-// coarse exclusive lock that matches the paper's single-session
-// execution model. For read-mostly workloads after convergence a finer
-// scheme is possible, but a converged query costs microseconds, so
-// contention on one mutex is rarely the bottleneck. The parallel scan
-// engine (Options.Workers) composes with this wrapper: it fans one
-// call's work across cores inside the lock.
+// Synchronized makes an Index safe for concurrent use. Progressive and
+// adaptive indexes reorganize themselves on every Execute call, so the
+// underlying types are deliberately not safe for concurrent use
+// (DESIGN.md section 7); this wrapper provides the locking.
+//
+// Before convergence every call holds an exclusive lock, matching the
+// paper's single-session execution model: each query both answers and
+// reorganizes, so two cannot overlap. Once the index reports Converged
+// — a terminal state for every index in this module — Execute performs
+// no reorganization at all, and the wrapper switches permanently to a
+// shared (read) lock, letting any number of goroutines query a
+// converged index in parallel. A converged query costs microseconds,
+// so this removes the serialization bottleneck exactly where traffic
+// can actually exploit it.
+//
+// Beyond plain Execute, the wrapper is the serving layer's scheduler
+// hook: ExecuteBatch amortizes one indexing budget across a batch of
+// queued requests, TryExecute is the non-blocking variant, and
+// RefineStep spends one budget slice with no client query attached so
+// a scheduler can converge the index during idle time.
+//
+// Custom Index implementations wrapped here must uphold the same
+// contract as the in-module ones: once Converged() reports true it
+// stays true, and Execute no longer mutates internal state.
 type Synchronized struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	inner Index
+
+	// converged is the sticky read-path switch. It is set only while
+	// holding the write lock (or under RLock via an idempotent store of
+	// true), after observing inner.Converged(); once true, all calls
+	// use the shared lock.
+	converged atomic.Bool
 }
 
 // Synchronize wraps idx. The inner index must not be used directly
@@ -26,41 +49,197 @@ func Synchronize(idx Index) *Synchronized {
 // Name implements Index.
 func (s *Synchronized) Name() string { return s.inner.Name() }
 
-// Execute implements Index, holding the lock across the answer and the
-// indexing work it triggers. Because the Answer carries the per-query
-// Stats inline, concurrent callers always observe the (answer, stats)
-// pair of their own call — there is no cross-goroutine stats race to
-// worry about.
+// noteConverged records the inner index's terminal state. The caller
+// must hold the lock (either mode; the store is idempotent).
+func (s *Synchronized) noteConverged() {
+	if !s.converged.Load() && s.inner.Converged() {
+		s.converged.Store(true)
+	}
+}
+
+// Execute implements Index, holding the exclusive lock across the
+// answer and the indexing work it triggers — or, once the index has
+// converged, only a shared lock, since a converged Execute is
+// read-only. Because the Answer carries the per-query Stats inline,
+// concurrent callers always observe the (answer, stats) pair of their
+// own call.
 func (s *Synchronized) Execute(req Request) (Answer, error) {
+	if s.converged.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.inner.Execute(req)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.inner.Execute(req)
+	ans, err := s.inner.Execute(req)
+	s.noteConverged()
+	return ans, err
 }
 
-// Query implements Index, holding the lock across the answer and the
-// indexing work it triggers.
+// TryExecute is the non-blocking Execute: if another goroutine holds
+// the exclusive lock it returns ok == false without waiting (and
+// without touching the index). On a converged index it always
+// succeeds — readers share the lock.
+func (s *Synchronized) TryExecute(req Request) (ans Answer, ok bool, err error) {
+	if s.converged.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		ans, err = s.inner.Execute(req)
+		return ans, true, err
+	}
+	if !s.mu.TryLock() {
+		return Answer{}, false, nil
+	}
+	defer s.mu.Unlock()
+	ans, err = s.inner.Execute(req)
+	s.noteConverged()
+	return ans, true, err
+}
+
+// ExecuteBatch executes several requests under one lock acquisition,
+// paying one indexing budget for the whole batch instead of one per
+// request: the first request runs with the budget enabled, and the
+// remainder with indexing suspended when the index supports it (the
+// four progressive algorithms, the progressive hash table and the
+// progressive imprints all do; for other strategies the batch degrades
+// to per-request work, still under a single lock acquisition). Answers
+// are exact either way and positionally match reqs, as do the errors.
+func (s *Synchronized) ExecuteBatch(reqs []Request) ([]Answer, []error) {
+	answers := make([]Answer, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return answers, errs
+	}
+	if s.converged.Load() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for i, req := range reqs {
+			answers[i], errs[i] = s.inner.Execute(req)
+		}
+		return answers, errs
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	answers[0], errs[0] = s.inner.Execute(reqs[0])
+	if len(reqs) > 1 {
+		if sp, suspendable := s.inner.(IndexingSuspender); suspendable {
+			sp.SetIndexingSuspended(true)
+			for i := 1; i < len(reqs); i++ {
+				answers[i], errs[i] = s.inner.Execute(reqs[i])
+			}
+			sp.SetIndexingSuspended(false)
+		} else {
+			for i := 1; i < len(reqs); i++ {
+				answers[i], errs[i] = s.inner.Execute(reqs[i])
+			}
+		}
+	}
+	s.noteConverged()
+	return answers, errs
+}
+
+// idleRequest is the canonical no-client-query request RefineStep
+// executes: an empty predicate (rewritten by query.Prepare to the
+// in-domain empty range) with the cheapest aggregate set, so the call
+// is almost pure indexing work.
+var idleRequest = Request{Pred: Range(1, 0), Aggs: Count}
+
+// RefineStep spends one indexing-budget slice with no client query
+// attached: it executes a canonical empty-range request, whose answer
+// is discarded, so the index performs exactly the budgeted work a real
+// query would have triggered — same budget→δ mapping, same cost-model
+// accounting (visible in the returned Stats). Serving-layer schedulers
+// call this in a loop while no requests are queued, converging the
+// index during user think-time; each step is budget-bounded, so the
+// loop yields to arriving requests at budget granularity.
+//
+// It returns the work Stats of the slice and whether the index is now
+// converged (in which case further calls are cheap no-ops).
+func (s *Synchronized) RefineStep() (Stats, bool) {
+	if s.converged.Load() {
+		return Stats{}, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inner.Converged() {
+		s.converged.Store(true)
+		return Stats{}, true
+	}
+	ans, err := s.inner.Execute(idleRequest)
+	if err != nil {
+		// idleRequest is statically valid; an error means a custom
+		// index rejected it — report no progress.
+		return Stats{}, false
+	}
+	s.noteConverged()
+	return ans.Stats, s.converged.Load()
+}
+
+// Query implements Index, with the same locking discipline as Execute.
 func (s *Synchronized) Query(lo, hi int64) Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inner.Query(lo, hi)
+	ans, _ := s.Execute(Request{Pred: Range(lo, hi)})
+	return ans.Result()
 }
 
-// Converged implements Index.
+// Converged implements Index. Once the index converges this is a
+// lock-free load.
 func (s *Synchronized) Converged() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inner.Converged()
+	if s.converged.Load() {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.noteConverged() // idempotent true-store; safe under the read lock
+	return s.converged.Load()
+}
+
+// Progress returns the index's convergence fraction in [0, 1]: exactly
+// 1 once converged, the wrapped index's Progressor estimate when it
+// provides one, and 0 otherwise (strategies like cracking and full
+// scan never converge and report no progress).
+func (s *Synchronized) Progress() float64 {
+	if s.converged.Load() {
+		return 1
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.inner.(Progressor); ok {
+		f := p.Progress()
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	if s.inner.Converged() {
+		return 1
+	}
+	return 0
+}
+
+// Phase returns the wrapped index's lifecycle phase when it is a
+// ProgressiveIndex (ok == false otherwise).
+func (s *Synchronized) Phase() (Phase, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.inner.(interface{ Phase() Phase }); ok {
+		return p.Phase(), true
+	}
+	return 0, false
 }
 
 // Stats returns the progressive per-query stats when the wrapped index
 // is a ProgressiveIndex.
 //
 // Deprecated: with concurrent callers the "last" stats may belong to
-// another goroutine's query by the time this method acquires the lock.
-// Use Execute, whose Answer carries the matching Stats inline.
+// another goroutine's query by the time this method acquires the lock
+// (and a converged index stops updating them entirely). Use Execute,
+// whose Answer carries the matching Stats inline.
 func (s *Synchronized) Stats() (Stats, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if p, ok := s.inner.(ProgressiveIndex); ok {
 		return p.LastStats(), true
 	}

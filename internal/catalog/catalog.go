@@ -1,0 +1,272 @@
+// Package catalog is the serving layer's table registry: named tables,
+// each holding one progressive-indexed column behind a Synchronized
+// handle, with a load → ready → dropped lifecycle and per-table
+// strategy/budget options. The catalog owns no goroutines and performs
+// no scheduling — it is the shared state the server's per-table
+// schedulers and the stats endpoints read — so its locking is a plain
+// RWMutex over the name → table map, never held across index work.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/column"
+)
+
+// Status is a table's lifecycle state.
+type Status int32
+
+// Lifecycle states, in order.
+const (
+	// StatusLoading: the column and index are being built; the table is
+	// visible in the catalog but not yet queryable.
+	StatusLoading Status = iota
+	// StatusReady: queryable.
+	StatusReady
+	// StatusDropped: removed from the catalog; handles still held by
+	// in-flight requests observe this state and fail cleanly.
+	StatusDropped
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusLoading:
+		return "loading"
+	case StatusReady:
+		return "ready"
+	case StatusDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("Status(%d)", int32(s))
+	}
+}
+
+// Options are the per-table indexing knobs, a serving-layer projection
+// of progidx.Options plus the idle-refinement switch.
+type Options struct {
+	// Strategy selects the indexing algorithm (default PQ).
+	Strategy progidx.Strategy
+	// Delta, Budget, Adaptive, Calibrate and Workers have the
+	// progidx.Options meanings.
+	Delta     float64
+	Budget    time.Duration
+	Adaptive  bool
+	Calibrate bool
+	Workers   int
+	// IdleRefine enables idle-time background refinement for this
+	// table's scheduler. nil means auto: on exactly when the strategy
+	// is convergent (refining a never-convergent index would spin).
+	IdleRefine *bool
+}
+
+// IdleRefineEnabled resolves the tri-state IdleRefine switch.
+func (o Options) IdleRefineEnabled() bool {
+	if o.IdleRefine != nil {
+		return *o.IdleRefine && o.Strategy.Convergent()
+	}
+	return o.Strategy.Convergent()
+}
+
+// progidxOptions projects the catalog options onto the library's.
+func (o Options) progidxOptions() progidx.Options {
+	return progidx.Options{
+		Strategy:  o.Strategy,
+		Delta:     o.Delta,
+		Budget:    o.Budget,
+		Adaptive:  o.Adaptive,
+		Calibrate: o.Calibrate,
+		Workers:   o.Workers,
+	}
+}
+
+// Table is one named, progressive-indexed column. The index handle is
+// a *progidx.Synchronized, so reads after convergence already share a
+// lock; the server's scheduler adds batching and idle refinement on
+// top of the same handle.
+type Table struct {
+	name    string
+	col     *column.Column
+	idx     *progidx.Synchronized
+	opts    Options
+	created time.Time
+	status  atomic.Int32
+}
+
+// Name returns the table's catalog name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the row count.
+func (t *Table) Len() int { return t.col.Len() }
+
+// MinValue and MaxValue bound the column's value domain.
+func (t *Table) MinValue() int64 { return t.col.Min() }
+
+// MaxValue returns the column's maximum value.
+func (t *Table) MaxValue() int64 { return t.col.Max() }
+
+// Values exposes the base column for oracle checks in tests and the
+// load generator. Callers must not mutate it.
+func (t *Table) Values() []int64 { return t.col.Values() }
+
+// Options returns the options the table was loaded with.
+func (t *Table) Options() Options { return t.opts }
+
+// Index returns the table's synchronized index handle.
+func (t *Table) Index() *progidx.Synchronized { return t.idx }
+
+// Status returns the lifecycle state.
+func (t *Table) Status() Status { return Status(t.status.Load()) }
+
+// Created returns the load time.
+func (t *Table) Created() time.Time { return t.created }
+
+// Info is a point-in-time JSON-friendly snapshot of a table.
+type Info struct {
+	Name      string  `json:"name"`
+	Rows      int     `json:"rows"`
+	MinValue  int64   `json:"min_value"`
+	MaxValue  int64   `json:"max_value"`
+	Strategy  string  `json:"strategy"`
+	Status    string  `json:"status"`
+	Phase     string  `json:"phase,omitempty"`
+	Converged bool    `json:"converged"`
+	Progress  float64 `json:"convergence"`
+	IdleInfo  bool    `json:"idle_refine"`
+	CreatedAt string  `json:"created_at"`
+}
+
+// Info snapshots the table's externally visible state. A table still
+// loading (index handle not yet attached) reports zero convergence.
+func (t *Table) Info() Info {
+	info := Info{
+		Name:      t.name,
+		Rows:      t.col.Len(),
+		MinValue:  t.col.Min(),
+		MaxValue:  t.col.Max(),
+		Strategy:  t.opts.Strategy.String(),
+		Status:    t.Status().String(),
+		IdleInfo:  t.opts.IdleRefineEnabled(),
+		CreatedAt: t.created.UTC().Format(time.RFC3339),
+	}
+	if t.Status() == StatusLoading {
+		return info
+	}
+	info.Converged = t.idx.Converged()
+	info.Progress = t.idx.Progress()
+	if p, ok := t.idx.Phase(); ok {
+		info.Phase = p.String()
+	}
+	return info
+}
+
+// Catalog is the name → table registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Load registers a new table over values and builds its index handle.
+// The values slice is retained as the base column and must not be
+// mutated afterwards. Loading an existing name is an error (drop
+// first); so are an empty name and an empty column.
+func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	col, err := column.New(values)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+
+	t := &Table{name: name, col: col, opts: opts, created: time.Now()}
+	t.status.Store(int32(StatusLoading))
+
+	// Reserve the name before building the index so two concurrent
+	// loads of the same name cannot both win.
+	c.mu.Lock()
+	if _, exists := c.tables[name]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	c.tables[name] = t
+	c.mu.Unlock()
+
+	idx, err := progidx.NewFromColumn(col, opts.progidxOptions())
+	if err != nil {
+		c.mu.Lock()
+		// Release only our own reservation: the name may have been
+		// dropped and reused by a concurrent loader in the meantime.
+		if c.tables[name] == t {
+			delete(c.tables, name)
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	}
+	t.idx = progidx.Synchronize(idx)
+	if !t.status.CompareAndSwap(int32(StatusLoading), int32(StatusReady)) {
+		// A concurrent Drop removed our reservation mid-build; honor it
+		// rather than resurrecting the status of a table that is no
+		// longer in the map.
+		return nil, fmt.Errorf("catalog: table %q dropped during load", name)
+	}
+	return t, nil
+}
+
+// Get returns the named table if it is present and queryable.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	t, ok := c.tables[name]
+	c.mu.RUnlock()
+	if !ok || t.Status() != StatusReady {
+		return nil, false
+	}
+	return t, true
+}
+
+// Drop removes the named table from the catalog and marks it dropped,
+// returning it so the caller can tear down attached resources (the
+// server stops the table's scheduler). In-flight queries holding the
+// table finish against the still-valid index; new lookups miss.
+func (c *Catalog) Drop(name string) (*Table, error) {
+	c.mu.Lock()
+	t, ok := c.tables[name]
+	if ok {
+		delete(c.tables, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q not found", name)
+	}
+	t.status.Store(int32(StatusDropped))
+	return t, nil
+}
+
+// List returns the catalog's tables sorted by name.
+func (c *Catalog) List() []*Table {
+	c.mu.RLock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len reports how many tables are registered.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -1,0 +1,122 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/data"
+)
+
+func TestLoadGetDropLifecycle(t *testing.T) {
+	c := New()
+	vals := data.Uniform(10_000, 1)
+	tbl, err := c.Load("t1", vals, Options{Strategy: progidx.StrategyRadixMSD, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Status() != StatusReady {
+		t.Fatalf("status = %v, want ready", tbl.Status())
+	}
+	if tbl.Len() != 10_000 || tbl.Name() != "t1" {
+		t.Fatalf("bad table identity: %q len %d", tbl.Name(), tbl.Len())
+	}
+
+	got, ok := c.Get("t1")
+	if !ok || got != tbl {
+		t.Fatal("Get should return the loaded table")
+	}
+	ans, err := tbl.Index().Execute(progidx.Request{Pred: progidx.Range(0, 5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count == 0 {
+		t.Fatal("query through the table handle returned nothing")
+	}
+
+	dropped, err := c.Drop("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Status() != StatusDropped {
+		t.Fatalf("dropped status = %v", dropped.Status())
+	}
+	if _, ok := c.Get("t1"); ok {
+		t.Fatal("Get should miss after Drop")
+	}
+	if _, err := c.Drop("t1"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestLoadRejectsDuplicatesAndBadInput(t *testing.T) {
+	c := New()
+	vals := data.Uniform(1000, 2)
+	if _, err := c.Load("dup", vals, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("dup", vals, Options{}); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate load error = %v", err)
+	}
+	if _, err := c.Load("", vals, Options{}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if _, err := c.Load("empty", nil, Options{}); err == nil {
+		t.Fatal("empty column should fail")
+	}
+	// The failed loads must not leave residue.
+	if c.Len() != 1 {
+		t.Fatalf("catalog has %d tables, want 1", c.Len())
+	}
+}
+
+func TestListSortedAndInfo(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Load(name, data.Uniform(5000, 3), Options{Strategy: progidx.StrategyBucketsort}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := c.List()
+	if len(list) != 3 || list[0].Name() != "alpha" || list[1].Name() != "mid" || list[2].Name() != "zeta" {
+		t.Fatalf("List order wrong: %v", []string{list[0].Name(), list[1].Name(), list[2].Name()})
+	}
+	info := list[0].Info()
+	if info.Strategy != "PB" || info.Status != "ready" || info.Rows != 5000 {
+		t.Fatalf("Info = %+v", info)
+	}
+	if info.Converged || info.Progress != 0 {
+		t.Fatalf("fresh index should report zero progress, got %+v", info)
+	}
+	if _, err := time.Parse(time.RFC3339, info.CreatedAt); err != nil {
+		t.Fatalf("CreatedAt %q not RFC3339: %v", info.CreatedAt, err)
+	}
+}
+
+func TestIdleRefineDefaults(t *testing.T) {
+	cases := []struct {
+		strategy progidx.Strategy
+		override *bool
+		want     bool
+	}{
+		{progidx.StrategyQuicksort, nil, true},
+		{progidx.StrategyRadixLSD, nil, true},
+		{progidx.StrategyProgressiveHash, nil, true},
+		{progidx.StrategyFullIndex, nil, true},
+		{progidx.StrategyStandardCracking, nil, false}, // never converges
+		{progidx.StrategyFullScan, nil, false},
+		{progidx.StrategyQuicksort, boolPtr(false), false},
+		// Opting in cannot force idle refinement onto a strategy that
+		// would spin forever.
+		{progidx.StrategyFullScan, boolPtr(true), false},
+	}
+	for _, tc := range cases {
+		opts := Options{Strategy: tc.strategy, IdleRefine: tc.override}
+		if got := opts.IdleRefineEnabled(); got != tc.want {
+			t.Errorf("IdleRefineEnabled(%v, %v) = %v, want %v", tc.strategy, tc.override, got, tc.want)
+		}
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }

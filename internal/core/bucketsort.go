@@ -142,12 +142,32 @@ func (b *Bucketsort) Converged() bool { return b.phase == PhaseDone }
 // LastStats implements Index.
 func (b *Bucketsort) LastStats() Stats { return b.last }
 
+// SetIndexingSuspended implements Suspender (the batching scheduler's
+// amortization hook).
+func (b *Bucketsort) SetIndexingSuspended(s bool) { b.budget.suspended = s }
+
+// Progress implements Progressor. Refinement merges buckets strictly in
+// order, so the finalized prefix is the active bucket's region start.
+func (b *Bucketsort) Progress() float64 {
+	switch b.phase {
+	case PhaseCreation:
+		return phaseProgress(b.phase, fraction(b.copied, b.n))
+	case PhaseRefinement:
+		done := b.n
+		if b.active < len(b.bks) {
+			done = b.bks[b.active].regStart
+		}
+		return phaseProgress(b.phase, fraction(done, b.n))
+	case PhaseConsolidation:
+		return phaseProgress(b.phase, b.cons.progress())
+	default:
+		return 1
+	}
+}
+
 // Execute implements Index.
 func (b *Bucketsort) Execute(req query.Request) (query.Answer, error) {
-	return query.Run(req, b.col.Min(), b.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		agg := b.execute(lo, hi, aggs) // sets b.last; keep the reads ordered
-		return agg, b.last
-	})
+	return query.Run(req, b.col.Min(), b.col.Max(), b.execute)
 }
 
 // Query implements Index (v1 compatibility surface, via Execute).
@@ -156,7 +176,7 @@ func (b *Bucketsort) Query(lo, hi int64) column.Result {
 	return ans.Result()
 }
 
-func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) (column.Agg, Stats) {
 	if b.bks == nil {
 		b.initBuckets()
 	}
@@ -214,7 +234,7 @@ func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if deltaOverride >= 0 {
 		delta = deltaOverride
 	}
-	b.last = Stats{
+	st := Stats{
 		Phase:       startPhase,
 		Delta:       delta,
 		WorkSeconds: consumed,
@@ -223,7 +243,10 @@ func (b *Bucketsort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		AlphaElems:  alpha,
 		Workers:     b.pool.Workers(),
 	}
-	return res
+	if startPhase != PhaseDone {
+		b.last = st // a Done call stays read-only for shared-lock readers
+	}
+	return res, st
 }
 
 func (b *Bucketsort) unitFull() float64 { return b.unitFullFor(b.phase) }
@@ -501,4 +524,8 @@ func (b *Bucketsort) startConsolidation() {
 	}
 }
 
-var _ Index = (*Bucketsort)(nil)
+var (
+	_ Index      = (*Bucketsort)(nil)
+	_ Suspender  = (*Bucketsort)(nil)
+	_ Progressor = (*Bucketsort)(nil)
+)

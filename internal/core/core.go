@@ -184,6 +184,7 @@ type budgeter struct {
 	budgetSec float64
 	target    float64 // t_adaptive for AdaptiveTime
 	resolved  bool
+	suspended bool // scheduler hook: plan no indexing work at all
 }
 
 func newBudgeter(cfg Config, scanTime float64) budgeter {
@@ -199,6 +200,14 @@ func newBudgeter(cfg Config, scanTime float64) budgeter {
 // predicted cost of answering the query as-is; unitFull is the cost of
 // a complete (δ=1) indexing pass in the current phase.
 func (b *budgeter) plan(base, unitFull float64) float64 {
+	if b.suspended {
+		// A batching scheduler pays the indexing budget on the first
+		// query of a batch and suspends it for the rest; a suspended
+		// call answers exactly but plans no work (creation still copies
+		// its minimum one element, since the creation step doubles as
+		// part of the answer path).
+		return 0
+	}
 	switch b.mode {
 	case FixedDelta:
 		return b.delta * unitFull
@@ -317,3 +326,70 @@ func midpoint(vmin, vmax int64) int64 {
 // into a phase work loop; below it the int conversions yield 0 units
 // everywhere and the loop would spin.
 const workEpsilon = 1e-12
+
+// Suspender is the scheduler hook implemented by the four progressive
+// algorithms: while suspended, Execute answers queries exactly but
+// plans no indexing work, so a batching scheduler can pay one indexing
+// budget per batch instead of one per caller.
+type Suspender interface {
+	// SetIndexingSuspended switches the per-query indexing budget off
+	// (true) or back on (false). Not safe for concurrent use with
+	// Execute; callers serialize access (e.g. progidx.Synchronized).
+	SetIndexingSuspended(bool)
+}
+
+// Progressor is implemented by indexes that can report how far along
+// they are toward convergence, for serving-layer observability.
+type Progressor interface {
+	// Progress returns the approximate fraction of total indexing work
+	// completed, in [0, 1]; exactly 1 once Converged.
+	Progress() float64
+}
+
+// phaseProgress maps a lifecycle phase plus its intra-phase completion
+// fraction to one overall convergence fraction in [0, 1]. The three
+// phases are weighted equally — a deliberate simplification (their true
+// cost ratios depend on the algorithm and the data) that keeps the
+// number monotone, comparable across strategies, and exactly 1 at
+// PhaseDone, which is all the serving layer's stats need.
+func phaseProgress(p Phase, frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch p {
+	case PhaseCreation:
+		return frac / 3
+	case PhaseRefinement:
+		return (1 + frac) / 3
+	case PhaseConsolidation:
+		return (2 + frac) / 3
+	case PhaseDone:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// fraction returns done/total clamped to [0, 1], treating an empty
+// denominator as complete.
+func fraction(done, total int) float64 {
+	if total <= 0 {
+		return 1
+	}
+	f := float64(done) / float64(total)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// progress reports the consolidator's completion fraction.
+func (c *consolidator) progress() float64 {
+	if c.finished() {
+		return 1
+	}
+	return fraction(c.done, c.total)
+}

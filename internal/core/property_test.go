@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/column"
+	"repro/internal/query"
 )
 
 // constructors for all four algorithms, shared by the property tests.
@@ -196,12 +197,16 @@ func TestConvergedIndexIsQuiescent(t *testing.T) {
 		}
 		for qn := 0; qn < 50; qn++ {
 			lo, hi := randQuery(rng, domain)
-			got := idx.Query(lo, hi)
-			if want := oracle(vals, lo, hi); got != want {
+			ans, err := idx.Execute(query.Request{Pred: query.Range(lo, hi)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := ans.Result(), oracle(vals, lo, hi); got != want {
 				t.Fatalf("%s post-convergence: got %+v want %+v", c.name, got, want)
 			}
-			st := idx.LastStats()
-			if st.WorkSeconds != 0 || st.Phase != PhaseDone {
+			// The inline stats (not LastStats, which a read-only Done
+			// call deliberately no longer touches) prove quiescence.
+			if st := ans.Stats; st.WorkSeconds != 0 || st.Phase != PhaseDone {
 				t.Fatalf("%s post-convergence still working: %+v", c.name, st)
 			}
 		}

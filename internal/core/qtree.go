@@ -239,6 +239,23 @@ func (t *qtree) alphaElems(n *qnode, lo, hi int64) int {
 	}
 }
 
+// sortedElems counts the elements of fully sorted regions under n, for
+// convergence-progress reporting. Partially partitioned nodes count as
+// zero: the walk is O(live nodes) and only needs to be monotone.
+func (t *qtree) sortedElems(n *qnode) int {
+	if n == nil {
+		return 0
+	}
+	switch n.state {
+	case qSorted:
+		return n.end - n.start
+	case qSplit:
+		return t.sortedElems(n.left) + t.sortedElems(n.right)
+	default:
+		return 0
+	}
+}
+
 // checkSorted reports whether the whole region is sorted; used only by
 // tests and debug assertions.
 func (t *qtree) checkSorted() bool {

@@ -75,14 +75,30 @@ func (q *Quicksort) Converged() bool { return q.phase == PhaseDone }
 // LastStats implements Index.
 func (q *Quicksort) LastStats() Stats { return q.last }
 
+// SetIndexingSuspended implements Suspender: while suspended, Execute
+// answers exactly but plans no indexing work (the batching scheduler's
+// amortization hook).
+func (q *Quicksort) SetIndexingSuspended(s bool) { q.budget.suspended = s }
+
+// Progress implements Progressor.
+func (q *Quicksort) Progress() float64 {
+	switch q.phase {
+	case PhaseCreation:
+		return phaseProgress(q.phase, fraction(q.copied, q.n))
+	case PhaseRefinement:
+		return phaseProgress(q.phase, fraction(q.tree.sortedElems(q.tree.root), q.n))
+	case PhaseConsolidation:
+		return phaseProgress(q.phase, q.cons.progress())
+	default:
+		return 1
+	}
+}
+
 // Execute implements Index: answer the request's predicate with the
 // requested aggregates while performing one budget's worth of indexing
 // work; the work Stats travel inline in the Answer.
 func (q *Quicksort) Execute(req query.Request) (query.Answer, error) {
-	return query.Run(req, q.col.Min(), q.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		agg := q.execute(lo, hi, aggs) // sets q.last; keep the reads ordered
-		return agg, q.last
-	})
+	return query.Run(req, q.col.Min(), q.col.Max(), q.execute)
 }
 
 // Query implements Index: the v1 compatibility surface, answering
@@ -97,8 +113,10 @@ func (q *Quicksort) Query(lo, hi int64) column.Result {
 // requested aggregates while performing one budget's worth of indexing
 // work (creation copying interleaved with the scan, refinement
 // pivoting, or consolidation B+-tree building, spilling across phase
-// transitions).
-func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+// transitions). Once the index is Done the call is strictly read-only —
+// it does not even touch q.last — so converged indexes can serve
+// concurrent readers under a shared lock (progidx.Synchronized).
+func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) (column.Agg, Stats) {
 	startPhase := q.phase
 	base, alpha := q.predictBase(lo, hi)
 	planned := q.budget.plan(base, q.unitFull())
@@ -160,7 +178,7 @@ func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if deltaOverride >= 0 {
 		delta = deltaOverride
 	}
-	q.last = Stats{
+	st := Stats{
 		Phase:       startPhase,
 		Delta:       delta,
 		WorkSeconds: consumed,
@@ -169,7 +187,10 @@ func (q *Quicksort) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		AlphaElems:  alpha,
 		Workers:     q.pool.Workers(),
 	}
-	return res
+	if startPhase != PhaseDone {
+		q.last = st // a Done call stays read-only for shared-lock readers
+	}
+	return res, st
 }
 
 // unitFull returns the cost of a δ=1 indexing pass in the current
@@ -447,4 +468,8 @@ func (q *Quicksort) refineRangeFirst(lo, hi int64, units int) int {
 	return left
 }
 
-var _ Index = (*Quicksort)(nil)
+var (
+	_ Index      = (*Quicksort)(nil)
+	_ Suspender  = (*Quicksort)(nil)
+	_ Progressor = (*Quicksort)(nil)
+)

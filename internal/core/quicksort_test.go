@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/column"
+	"repro/internal/query"
 )
 
 // oracle answers a query by brute force over the original values.
@@ -207,9 +208,13 @@ func TestQuicksortStatsProgression(t *testing.T) {
 	if !idx.Converged() {
 		t.Fatal("did not converge")
 	}
-	idx.Query(5, 50)
-	st = idx.LastStats()
-	if st.Phase != PhaseDone || st.WorkSeconds != 0 {
+	// The inline stats (not LastStats, which a read-only Done call
+	// deliberately no longer touches) prove the query did no work.
+	ans, err := idx.Execute(query.Request{Pred: query.Range(5, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = ans.Stats; st.Phase != PhaseDone || st.WorkSeconds != 0 {
 		t.Fatalf("post-convergence stats: %+v", st)
 	}
 }

@@ -131,15 +131,47 @@ func (r *RadixLSD) Converged() bool { return r.phase == PhaseDone }
 // LastStats implements Index.
 func (r *RadixLSD) LastStats() Stats { return r.last }
 
+// SetIndexingSuspended implements Suspender (the batching scheduler's
+// amortization hook).
+func (r *RadixLSD) SetIndexingSuspended(s bool) { r.budget.suspended = s }
+
+// Progress implements Progressor. Refinement progress counts completed
+// distribute passes plus the current pass's drained fraction; the final
+// merge sub-phase is folded into the last pass slot via writeOff.
+func (r *RadixLSD) Progress() float64 {
+	switch r.phase {
+	case PhaseCreation:
+		return phaseProgress(r.phase, fraction(r.copied, r.n))
+	case PhaseRefinement:
+		// passes distribute passes total (creation was pass 0) plus one
+		// merge; express both as fractions of the refinement phase.
+		steps := float64(r.passes) // passes-1 remaining distributes + 1 merge
+		var frac float64
+		if r.merging {
+			frac = (steps - 1 + fraction(r.writeOff, r.n)) / steps
+		} else {
+			moved := 0
+			if r.next != nil {
+				for i := 0; i < r.buckets; i++ {
+					moved += r.next.Bucket(i).Count()
+				}
+			}
+			frac = (float64(r.passesDone-1) + fraction(moved, r.n)) / steps
+		}
+		return phaseProgress(r.phase, frac)
+	case PhaseConsolidation:
+		return phaseProgress(r.phase, r.cons.progress())
+	default:
+		return 1
+	}
+}
+
 // Execute implements Index. Point and very narrow range predicates hit
 // the intermediate buckets directly (the strategy's fast path); wide
 // ranges fall back to scanning the original column per the paper's
 // "when α == ρ" rule.
 func (r *RadixLSD) Execute(req query.Request) (query.Answer, error) {
-	return query.Run(req, r.col.Min(), r.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		agg := r.execute(lo, hi, aggs) // sets r.last; keep the reads ordered
-		return agg, r.last
-	})
+	return query.Run(req, r.col.Min(), r.col.Max(), r.execute)
 }
 
 // Query implements Index (v1 compatibility surface, via Execute).
@@ -148,7 +180,7 @@ func (r *RadixLSD) Query(lo, hi int64) column.Result {
 	return ans.Result()
 }
 
-func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) (column.Agg, Stats) {
 	startPhase := r.phase
 	base, alpha := r.predictBase(lo, hi)
 	planned := r.budget.plan(base, r.unitFull())
@@ -210,7 +242,7 @@ func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if deltaOverride >= 0 {
 		delta = deltaOverride
 	}
-	r.last = Stats{
+	st := Stats{
 		Phase:       startPhase,
 		Delta:       delta,
 		WorkSeconds: consumed,
@@ -219,7 +251,10 @@ func (r *RadixLSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		AlphaElems:  alpha,
 		Workers:     r.pool.Workers(),
 	}
-	return res
+	if startPhase != PhaseDone {
+		r.last = st // a Done call stays read-only for shared-lock readers
+	}
+	return res, st
 }
 
 func (r *RadixLSD) unitFull() float64 { return r.unitFullFor(r.phase) }
@@ -572,4 +607,8 @@ func (r *RadixLSD) startConsolidation() {
 	}
 }
 
-var _ Index = (*RadixLSD)(nil)
+var (
+	_ Index      = (*RadixLSD)(nil)
+	_ Suspender  = (*RadixLSD)(nil)
+	_ Progressor = (*RadixLSD)(nil)
+)

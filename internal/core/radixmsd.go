@@ -139,12 +139,28 @@ func (r *RadixMSD) Converged() bool { return r.phase == PhaseDone }
 // LastStats implements Index.
 func (r *RadixMSD) LastStats() Stats { return r.last }
 
+// SetIndexingSuspended implements Suspender (the batching scheduler's
+// amortization hook).
+func (r *RadixMSD) SetIndexingSuspended(s bool) { r.budget.suspended = s }
+
+// Progress implements Progressor. Refinement progress is the merged
+// prefix of the final array, which grows strictly left to right.
+func (r *RadixMSD) Progress() float64 {
+	switch r.phase {
+	case PhaseCreation:
+		return phaseProgress(r.phase, fraction(r.copied, r.n))
+	case PhaseRefinement:
+		return phaseProgress(r.phase, fraction(r.writeOff, r.n))
+	case PhaseConsolidation:
+		return phaseProgress(r.phase, r.cons.progress())
+	default:
+		return 1
+	}
+}
+
 // Execute implements Index.
 func (r *RadixMSD) Execute(req query.Request) (query.Answer, error) {
-	return query.Run(req, r.col.Min(), r.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
-		agg := r.execute(lo, hi, aggs) // sets r.last; keep the reads ordered
-		return agg, r.last
-	})
+	return query.Run(req, r.col.Min(), r.col.Max(), r.execute)
 }
 
 // Query implements Index (v1 compatibility surface, via Execute).
@@ -153,7 +169,7 @@ func (r *RadixMSD) Query(lo, hi int64) column.Result {
 	return ans.Result()
 }
 
-func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
+func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) (column.Agg, Stats) {
 	startPhase := r.phase
 	base, alpha := r.predictBase(lo, hi)
 	planned := r.budget.plan(base, r.unitFull())
@@ -210,7 +226,7 @@ func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	if deltaOverride >= 0 {
 		delta = deltaOverride
 	}
-	r.last = Stats{
+	st := Stats{
 		Phase:       startPhase,
 		Delta:       delta,
 		WorkSeconds: consumed,
@@ -219,7 +235,10 @@ func (r *RadixMSD) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		AlphaElems:  alpha,
 		Workers:     r.pool.Workers(),
 	}
-	return res
+	if startPhase != PhaseDone {
+		r.last = st // a Done call stays read-only for shared-lock readers
+	}
+	return res, st
 }
 
 func (r *RadixMSD) unitFull() float64 { return r.unitFullFor(r.phase) }
@@ -573,4 +592,8 @@ func (r *RadixMSD) allChildrenMerged(n *rnode) bool {
 	return true
 }
 
-var _ Index = (*RadixMSD)(nil)
+var (
+	_ Index      = (*RadixMSD)(nil)
+	_ Suspender  = (*RadixMSD)(nil)
+	_ Progressor = (*RadixMSD)(nil)
+)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/workload"
 )
 
@@ -26,6 +27,14 @@ type Index interface {
 // the harness records cost-model predictions when available.
 type StatsProvider interface {
 	LastStats() core.Stats
+}
+
+// executor is the v2 surface. When an index provides it, the harness
+// records the per-query stats inline from the Answer — the only
+// correct source post-convergence, where a read-only Done call
+// deliberately no longer updates LastStats.
+type executor interface {
+	Execute(query.Request) (query.Answer, error)
 }
 
 // Run is the recorded outcome of executing one workload against one
@@ -79,15 +88,30 @@ func ExecuteQueries(idx Index, qs []Query, opts Options) (*Run, error) {
 		run.Predicted = make([]float64, 0, n)
 		run.Phases = make([]core.Phase, 0, n)
 	}
+	exec, hasExec := idx.(executor)
 	sinceConverged := 0
 	for i := 0; i < n; i++ {
 		q := qs[i]
+		var (
+			res column.Result
+			st  core.Stats
+		)
 		start := time.Now()
-		res := idx.Query(q.Lo, q.Hi)
+		if hasExec {
+			ans, err := exec.Execute(query.Request{Pred: query.Range(q.Lo, q.Hi)})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s query %d: %w", idx.Name(), i, err)
+			}
+			res, st = ans.Result(), ans.Stats
+		} else {
+			res = idx.Query(q.Lo, q.Hi)
+			if hasStats {
+				st = sp.LastStats()
+			}
+		}
 		run.Times = append(run.Times, time.Since(start).Seconds())
 		run.Results = append(run.Results, res)
 		if hasStats {
-			st := sp.LastStats()
 			run.Predicted = append(run.Predicted, st.Predicted)
 			run.Phases = append(run.Phases, st.Phase)
 		}

@@ -28,12 +28,13 @@ const bins = 64
 
 // Index is a progressively built column imprint.
 type Index struct {
-	col    *column.Column
-	n      int
-	delta  float64
-	bounds [bins - 1]int64 // bin separators (equi-depth via sampling)
-	marks  []uint64        // one imprint per cacheline
-	lines  int             // cachelines imprinted so far
+	col       *column.Column
+	n         int
+	delta     float64
+	bounds    [bins - 1]int64 // bin separators (equi-depth via sampling)
+	marks     []uint64        // one imprint per cacheline
+	lines     int             // cachelines imprinted so far
+	suspended bool
 }
 
 // New builds a progressive imprint index that imprints a delta fraction
@@ -96,6 +97,18 @@ func (ix *Index) Name() string { return "PIMP" }
 // Converged reports whether every cacheline has an imprint.
 func (ix *Index) Converged() bool { return ix.lines == len(ix.marks) }
 
+// Progress reports the imprinted fraction of the column's cachelines.
+func (ix *Index) Progress() float64 {
+	if len(ix.marks) == 0 {
+		return 1
+	}
+	return float64(ix.lines) / float64(len(ix.marks))
+}
+
+// SetIndexingSuspended switches the per-query imprinting step off (true)
+// or back on (false) — the batching scheduler's amortization hook.
+func (ix *Index) SetIndexingSuspended(s bool) { ix.suspended = s }
+
 // Execute answers the request: imprinted cachelines are skipped unless
 // their imprint intersects the predicate's bin mask, the tail is
 // scanned, and another δ·N elements are imprinted.
@@ -139,8 +152,13 @@ func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	return res
 }
 
-// imprint marks up to units more elements (whole cachelines).
+// imprint marks up to units more elements (whole cachelines). A no-op
+// while suspended and once converged (the loop guard), keeping
+// post-convergence Execute strictly read-only.
 func (ix *Index) imprint(units int) {
+	if ix.suspended {
+		return
+	}
 	addLines := (units + lineSize - 1) / lineSize
 	if addLines < 1 {
 		addLines = 1

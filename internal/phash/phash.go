@@ -18,12 +18,13 @@ import (
 
 // Index is a progressively built hash index over a column.
 type Index struct {
-	col    *column.Column
-	model  *costmodel.Model
-	n      int
-	delta  float64
-	counts map[int64]int64
-	copied int
+	col       *column.Column
+	model     *costmodel.Model
+	n         int
+	delta     float64
+	counts    map[int64]int64
+	copied    int
+	suspended bool
 }
 
 // New builds a progressive hash index that inserts a delta fraction of
@@ -46,6 +47,13 @@ func (ix *Index) Name() string { return "PHASH" }
 
 // Converged reports whether the whole column has been inserted.
 func (ix *Index) Converged() bool { return ix.copied == ix.n }
+
+// Progress reports the inserted fraction of the column.
+func (ix *Index) Progress() float64 { return float64(ix.copied) / float64(ix.n) }
+
+// SetIndexingSuspended switches the per-query insertion step off (true)
+// or back on (false) — the batching scheduler's amortization hook.
+func (ix *Index) SetIndexingSuspended(s bool) { ix.suspended = s }
 
 // Execute answers the request. Point predicates — Point(v) or a
 // degenerate range — use the hash table for the indexed prefix, an O(1)
@@ -90,8 +98,13 @@ func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	return res
 }
 
-// insert adds up to units elements from the column into the table.
+// insert adds up to units elements from the column into the table. Once
+// converged (or while suspended) it is a no-op, keeping post-convergence
+// Execute strictly read-only for shared-lock readers.
 func (ix *Index) insert(units int) {
+	if ix.copied == ix.n || ix.suspended {
+		return
+	}
 	if units < 1 {
 		units = 1
 	}

@@ -1,0 +1,312 @@
+// Scheduler: the per-table serving loop. One goroutine owns each
+// table's query admission; concurrent requests queue on a channel, the
+// loop drains whatever is queued into a batch and executes it through
+// Synchronized.ExecuteBatch — paying one indexing budget (δ) per batch
+// instead of one per caller — and whenever the queue is empty it spends
+// the same budget slices on background refinement (RefineStep), so the
+// index converges during user think-time. Idle slices are budget-
+// bounded, so the loop re-checks the queue between slices and yields to
+// an arriving request within one slice's latency.
+package server
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+)
+
+// ErrStopped is returned for requests admitted to (or waiting on) a
+// scheduler that has been stopped, e.g. because its table was dropped.
+var ErrStopped = errors.New("server: table scheduler stopped")
+
+// Scheduler tunables. Defaults are applied by newScheduler.
+const (
+	// defaultQueueDepth bounds how many requests may wait in admission;
+	// beyond it, Execute blocks (backpressure) until the loop drains.
+	defaultQueueDepth = 256
+	// defaultMaxBatch caps how many queued requests one ExecuteBatch
+	// call absorbs; the cap bounds the tail latency of the last request
+	// in a batch on a not-yet-converged index.
+	defaultMaxBatch = 64
+	// latencyWindow is how many recent request latencies the quantile
+	// estimates are computed over.
+	latencyWindow = 4096
+)
+
+// ExecInfo is the serving metadata attached to one answered request.
+type ExecInfo struct {
+	// Batch is the size of the batch the request was executed in (the
+	// requests that shared one indexing step).
+	Batch int
+	// QueueWait is how long the request sat in admission before its
+	// batch started executing (excludes the execution itself).
+	QueueWait time.Duration
+}
+
+// result is what the scheduler sends back for one request.
+type result struct {
+	ans  progidx.Answer
+	err  error
+	info ExecInfo
+}
+
+// task is one admitted request waiting for execution.
+type task struct {
+	req      progidx.Request
+	reply    chan result // buffered(1): the loop never blocks on a reply
+	enqueued time.Time
+}
+
+// Scheduler serializes one table's queries through a single goroutine.
+type Scheduler struct {
+	table    *catalog.Table
+	idx      *progidx.Synchronized
+	idle     bool // idle-time refinement enabled
+	maxBatch int
+
+	tasks chan *task
+	quit  chan struct{} // closed by Stop
+	done  chan struct{} // closed by the loop after the final drain
+
+	stopOnce sync.Once
+
+	mu          sync.Mutex // guards the metrics below
+	queries     uint64
+	batches     uint64
+	maxSeen     int
+	idleSlices  uint64
+	idleWorkSec float64
+	lat         [latencyWindow]time.Duration
+	latLen      int // filled prefix of lat
+	latPos      int // next write position (ring)
+}
+
+// newScheduler starts the serving loop for t. queueDepth and maxBatch
+// fall back to the defaults when <= 0.
+func newScheduler(t *catalog.Table, queueDepth, maxBatch int) *Scheduler {
+	if queueDepth <= 0 {
+		queueDepth = defaultQueueDepth
+	}
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	s := &Scheduler{
+		table:    t,
+		idx:      t.Index(),
+		idle:     t.Options().IdleRefineEnabled(),
+		maxBatch: maxBatch,
+		tasks:    make(chan *task, queueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Execute admits req and blocks until the scheduler answers it, the
+// context is cancelled, or the scheduler stops.
+func (s *Scheduler) Execute(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, error) {
+	t := &task{req: req, reply: make(chan result, 1), enqueued: time.Now()}
+	select {
+	case s.tasks <- t:
+	case <-s.quit:
+		return progidx.Answer{}, ExecInfo{}, ErrStopped
+	case <-ctx.Done():
+		return progidx.Answer{}, ExecInfo{}, ctx.Err()
+	}
+	select {
+	case r := <-t.reply:
+		return r.ans, r.info, r.err
+	case <-s.done:
+		// The loop exited; it may have answered us during its final
+		// drain, so prefer a waiting reply over ErrStopped.
+		select {
+		case r := <-t.reply:
+			return r.ans, r.info, r.err
+		default:
+			return progidx.Answer{}, ExecInfo{}, ErrStopped
+		}
+	case <-ctx.Done():
+		// The loop may still execute the task; the buffered reply
+		// channel means it will never block on our absence.
+		return progidx.Answer{}, ExecInfo{}, ctx.Err()
+	}
+}
+
+// Stop terminates the loop and fails any queued requests with
+// ErrStopped. Safe to call more than once; blocks until the loop has
+// fully exited.
+func (s *Scheduler) Stop() {
+	s.stopOnce.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// loop is the per-table serving goroutine.
+func (s *Scheduler) loop() {
+	defer func() {
+		// Final drain: everything still queued fails cleanly. New
+		// admissions race with this drain, but Execute also watches
+		// s.done, which closes strictly after it.
+		for {
+			select {
+			case t := <-s.tasks:
+				t.reply <- result{err: ErrStopped}
+			default:
+				close(s.done)
+				return
+			}
+		}
+	}()
+
+	for {
+		var first *task
+		if s.idleEligible() {
+			// Queue empty: spend one budget slice on background
+			// refinement, then re-check — the moment a request is
+			// queued the next iteration takes the request branch.
+			select {
+			case first = <-s.tasks:
+			case <-s.quit:
+				return
+			default:
+				s.idleSlice()
+				continue
+			}
+		} else {
+			select {
+			case first = <-s.tasks:
+			case <-s.quit:
+				return
+			}
+		}
+
+		batch := s.collect(first)
+		s.runBatch(batch)
+	}
+}
+
+// idleEligible reports whether an empty queue should be spent on
+// refinement: the table opted in and the index is not yet converged.
+// Converged() is a lock-free load once the index finishes, so the
+// post-convergence loop parks on the channel with no polling.
+func (s *Scheduler) idleEligible() bool {
+	return s.idle && !s.idx.Converged()
+}
+
+// idleSlice performs one budget-bounded refinement step and records it.
+func (s *Scheduler) idleSlice() {
+	st, _ := s.idx.RefineStep()
+	s.mu.Lock()
+	s.idleSlices++
+	s.idleWorkSec += st.WorkSeconds
+	s.mu.Unlock()
+}
+
+// collect drains queued tasks behind first into one batch, up to
+// maxBatch, without blocking.
+func (s *Scheduler) collect(first *task) []*task {
+	batch := []*task{first}
+	for len(batch) < s.maxBatch {
+		select {
+		case t := <-s.tasks:
+			batch = append(batch, t)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes a batch through the shared index handle and
+// replies to every caller. One indexing budget is spent for the whole
+// batch (ExecuteBatch suspends indexing after the first request when
+// the strategy supports it).
+func (s *Scheduler) runBatch(batch []*task) {
+	reqs := make([]progidx.Request, len(batch))
+	for i, t := range batch {
+		reqs[i] = t.req
+	}
+	started := time.Now()
+	answers, errs := s.idx.ExecuteBatch(reqs)
+	finished := time.Now()
+
+	s.mu.Lock()
+	s.queries += uint64(len(batch))
+	s.batches++
+	if len(batch) > s.maxSeen {
+		s.maxSeen = len(batch)
+	}
+	for _, t := range batch {
+		s.lat[s.latPos] = finished.Sub(t.enqueued)
+		s.latPos = (s.latPos + 1) % latencyWindow
+		if s.latLen < latencyWindow {
+			s.latLen++
+		}
+	}
+	s.mu.Unlock()
+
+	for i, t := range batch {
+		t.reply <- result{ans: answers[i], err: errs[i], info: ExecInfo{
+			Batch:     len(batch),
+			QueueWait: started.Sub(t.enqueued),
+		}}
+	}
+}
+
+// Metrics is a point-in-time snapshot of a scheduler's counters and
+// latency quantiles (microseconds, over the recent window).
+type Metrics struct {
+	Queries       uint64  `json:"queries"`
+	Batches       uint64  `json:"batches"`
+	MaxBatch      int     `json:"max_batch"`
+	AvgBatch      float64 `json:"avg_batch"`
+	IdleSlices    uint64  `json:"idle_slices"`
+	IdleWorkSec   float64 `json:"idle_work_seconds"`
+	P50LatencyUs  float64 `json:"p50_latency_us"`
+	P99LatencyUs  float64 `json:"p99_latency_us"`
+	LatencyWindow int     `json:"latency_window"`
+}
+
+// Metrics snapshots the scheduler's counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		Queries:       s.queries,
+		Batches:       s.batches,
+		MaxBatch:      s.maxSeen,
+		IdleSlices:    s.idleSlices,
+		IdleWorkSec:   s.idleWorkSec,
+		LatencyWindow: s.latLen,
+	}
+	window := make([]time.Duration, s.latLen)
+	copy(window, s.lat[:s.latLen])
+	s.mu.Unlock()
+
+	if m.Batches > 0 {
+		m.AvgBatch = float64(m.Queries) / float64(m.Batches)
+	}
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		m.P50LatencyUs = float64(window[quantileIndex(len(window), 0.50)]) / float64(time.Microsecond)
+		m.P99LatencyUs = float64(window[quantileIndex(len(window), 0.99)]) / float64(time.Microsecond)
+	}
+	return m
+}
+
+// quantileIndex maps a quantile to an index in a sorted sample of n
+// (nearest-rank method).
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

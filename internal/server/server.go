@@ -1,0 +1,585 @@
+// Package server is the progidx serving layer: an HTTP/JSON front-end
+// over a table catalog, with one batching scheduler goroutine per table
+// (see scheduler.go) that amortizes indexing work across concurrent
+// requests and refines indexes during idle time.
+//
+// Endpoints:
+//
+//	GET    /healthz              — liveness
+//	POST   /tables               — load a table (inline values or a
+//	                               deterministic generator spec)
+//	GET    /tables               — list tables
+//	GET    /tables/{name}        — one table's info
+//	DELETE /tables/{name}        — drop a table (stops its scheduler)
+//	POST   /tables/{name}/query  — execute one query
+//	GET    /stats                — per-table serving stats (JSON)
+//	GET    /metrics              — same data, Prometheus text format
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/data"
+)
+
+// Config tunes the server; the zero value is fully usable.
+type Config struct {
+	// QueueDepth and MaxBatch configure every table's scheduler (<= 0
+	// means the package defaults).
+	QueueDepth int
+	MaxBatch   int
+	// MaxLoadRows caps generator-spec loads to keep one request from
+	// exhausting memory (<= 0 means the 100M default).
+	MaxLoadRows int
+}
+
+const defaultMaxLoadRows = 100_000_000
+
+// Server owns the catalog and the per-table schedulers.
+type Server struct {
+	cfg     Config
+	catalog *catalog.Catalog
+	started time.Time
+
+	mu     sync.Mutex
+	scheds map[string]*Scheduler
+	closed bool
+}
+
+// New returns a server with an empty catalog.
+func New(cfg Config) *Server {
+	if cfg.MaxLoadRows <= 0 {
+		cfg.MaxLoadRows = defaultMaxLoadRows
+	}
+	return &Server{
+		cfg:     cfg,
+		catalog: catalog.New(),
+		started: time.Now(),
+		scheds:  make(map[string]*Scheduler),
+	}
+}
+
+// Catalog exposes the underlying catalog (tests, preloading).
+func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
+
+// Load registers a table and starts its scheduler. It is the
+// programmatic twin of POST /tables, used by the daemon's preload flag
+// and by tests.
+//
+// catalog.Load performs an O(N) column scan, so it runs outside the
+// server mutex — holding s.mu across it would stall every query on
+// every table (handleQuery resolves schedulers under the same mutex).
+// The cost is a window between the catalog publish and the scheduler
+// registration in which a concurrent Drop finds no scheduler to stop;
+// the post-registration status re-check below detects that and
+// finishes the drop's job, so the scheduler goroutine can never leak.
+func (s *Server) Load(name string, values []int64, opts catalog.Options) (*catalog.Table, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: closed")
+	}
+	s.mu.Unlock()
+
+	t, err := s.catalog.Load(name, values, opts)
+	if err != nil {
+		return nil, err
+	}
+	sched := newScheduler(t, s.cfg.QueueDepth, s.cfg.MaxBatch)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sched.Stop()
+		s.catalog.Drop(name)
+		return nil, fmt.Errorf("server: closed")
+	}
+	s.scheds[name] = sched
+	s.mu.Unlock()
+
+	if t.Status() == catalog.StatusDropped {
+		// A Drop raced ahead of the scheduler registration; it had no
+		// scheduler to stop, so complete its teardown here. The map
+		// guard keeps a same-name re-load's scheduler untouched.
+		s.mu.Lock()
+		if s.scheds[name] == sched {
+			delete(s.scheds, name)
+		}
+		s.mu.Unlock()
+		sched.Stop()
+		return nil, fmt.Errorf("server: table %q dropped during load", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table and stops its scheduler, failing queued queries
+// with ErrStopped.
+func (s *Server) Drop(name string) error {
+	s.mu.Lock()
+	_, err := s.catalog.Drop(name)
+	var sched *Scheduler
+	if err == nil {
+		sched = s.scheds[name]
+		delete(s.scheds, name)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if sched != nil {
+		sched.Stop() // outside the mutex: Stop waits for the loop to drain
+	}
+	return nil
+}
+
+// Scheduler returns the named table's scheduler, if present.
+func (s *Server) Scheduler(name string) (*Scheduler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sched, ok := s.scheds[name]
+	return sched, ok
+}
+
+// Close stops every scheduler. The HTTP handler keeps answering
+// catalog reads but fails queries; callers normally shut the listener
+// down first (http.Server.Shutdown) and then Close.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	scheds := make([]*Scheduler, 0, len(s.scheds))
+	for _, sched := range s.scheds {
+		scheds = append(scheds, sched)
+	}
+	s.scheds = make(map[string]*Scheduler)
+	s.mu.Unlock()
+	for _, sched := range scheds {
+		sched.Stop()
+	}
+}
+
+// Handler returns the HTTP mux for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /tables", s.handleLoad)
+	mux.HandleFunc("GET /tables", s.handleListTables)
+	mux.HandleFunc("GET /tables/{name}", s.handleTableInfo)
+	mux.HandleFunc("DELETE /tables/{name}", s.handleDrop)
+	mux.HandleFunc("POST /tables/{name}/query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- wire types ---
+
+// GenerateSpec asks the server to synthesize the column with one of
+// the repository's deterministic generators, so clients (and the CI
+// smoke test) can regenerate the same data locally for oracle checks.
+type GenerateSpec struct {
+	// Kind is uniform (default), skewed, or skyserver.
+	Kind string `json:"kind,omitempty"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+// OptionsSpec is the wire form of catalog.Options.
+type OptionsSpec struct {
+	// Strategy is the paper abbreviation (PQ, PMSD, PB, PLSD, ...);
+	// empty means PQ.
+	Strategy string  `json:"strategy,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+	BudgetMs float64 `json:"budget_ms,omitempty"`
+	Adaptive bool    `json:"adaptive,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	// IdleRefine overrides the default (on for convergent strategies).
+	IdleRefine *bool `json:"idle_refine,omitempty"`
+}
+
+func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
+	opts := catalog.Options{}
+	if o == nil {
+		return opts, nil
+	}
+	strat, err := progidx.ParseStrategy(o.Strategy)
+	if err != nil {
+		return opts, err
+	}
+	if o.Delta < 0 || o.Delta > 1 {
+		return opts, fmt.Errorf("delta %v outside [0, 1]", o.Delta)
+	}
+	if o.BudgetMs < 0 {
+		return opts, fmt.Errorf("budget_ms %v negative", o.BudgetMs)
+	}
+	opts.Strategy = strat
+	opts.Delta = o.Delta
+	opts.Budget = time.Duration(o.BudgetMs * float64(time.Millisecond))
+	opts.Adaptive = o.Adaptive
+	opts.Workers = o.Workers
+	opts.IdleRefine = o.IdleRefine
+	return opts, nil
+}
+
+// LoadRequest is the POST /tables body: a name plus either inline
+// values or a generator spec.
+type LoadRequest struct {
+	Name     string        `json:"name"`
+	Values   []int64       `json:"values,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	Options  *OptionsSpec  `json:"options,omitempty"`
+}
+
+// PredSpec is the wire form of a predicate. Range uses lo/hi; point,
+// atleast and atmost use value.
+type PredSpec struct {
+	Kind  string `json:"kind"`
+	Lo    *int64 `json:"lo,omitempty"`
+	Hi    *int64 `json:"hi,omitempty"`
+	Value *int64 `json:"value,omitempty"`
+}
+
+func (p PredSpec) predicate() (progidx.Predicate, error) {
+	switch strings.ToLower(p.Kind) {
+	case "", "range":
+		if p.Lo == nil || p.Hi == nil {
+			return progidx.Predicate{}, fmt.Errorf("range predicate needs lo and hi")
+		}
+		return progidx.Range(*p.Lo, *p.Hi), nil
+	case "point":
+		if p.Value == nil {
+			return progidx.Predicate{}, fmt.Errorf("point predicate needs value")
+		}
+		return progidx.Point(*p.Value), nil
+	case "atleast", "at-least":
+		if p.Value == nil {
+			return progidx.Predicate{}, fmt.Errorf("atleast predicate needs value")
+		}
+		return progidx.AtLeast(*p.Value), nil
+	case "atmost", "at-most":
+		if p.Value == nil {
+			return progidx.Predicate{}, fmt.Errorf("atmost predicate needs value")
+		}
+		return progidx.AtMost(*p.Value), nil
+	default:
+		return progidx.Predicate{}, fmt.Errorf("unknown predicate kind %q", p.Kind)
+	}
+}
+
+// parseAggs maps wire aggregate names onto the bitmask; empty means
+// the library default (SUM+COUNT).
+func parseAggs(names []string) (progidx.Aggregates, error) {
+	var aggs progidx.Aggregates
+	for _, n := range names {
+		switch strings.ToLower(n) {
+		case "sum":
+			aggs |= progidx.Sum
+		case "count":
+			aggs |= progidx.Count
+		case "min":
+			aggs |= progidx.Min
+		case "max":
+			aggs |= progidx.Max
+		case "avg":
+			aggs |= progidx.Avg
+		default:
+			return 0, fmt.Errorf("unknown aggregate %q", n)
+		}
+	}
+	return aggs, nil
+}
+
+// QueryRequest is the POST /tables/{name}/query body.
+type QueryRequest struct {
+	Pred PredSpec `json:"pred"`
+	Aggs []string `json:"aggs,omitempty"`
+}
+
+// StatsJSON is the wire form of the per-query work stats.
+type StatsJSON struct {
+	Phase       string  `json:"phase"`
+	Delta       float64 `json:"delta"`
+	WorkSeconds float64 `json:"work_seconds"`
+	Workers     int     `json:"workers"`
+}
+
+// QueryResponse is the query answer plus serving metadata. Optional
+// aggregates are pointers so "absent" and "zero" stay distinguishable.
+// queue_us is pure admission wait (time queued before the request's
+// batch started executing), not total latency.
+type QueryResponse struct {
+	Sum         *int64    `json:"sum,omitempty"`
+	Count       int64     `json:"count"`
+	Min         *int64    `json:"min,omitempty"`
+	Max         *int64    `json:"max,omitempty"`
+	Avg         *float64  `json:"avg,omitempty"`
+	Stats       StatsJSON `json:"stats"`
+	BatchSize   int       `json:"batch_size"`
+	QueueMicros int64     `json:"queue_us"`
+}
+
+func queryResponse(ans progidx.Answer, info ExecInfo) QueryResponse {
+	resp := QueryResponse{
+		Count: ans.Count,
+		Stats: StatsJSON{
+			Phase:       ans.Stats.Phase.String(),
+			Delta:       ans.Stats.Delta,
+			WorkSeconds: ans.Stats.WorkSeconds,
+			Workers:     ans.Stats.Workers,
+		},
+		BatchSize:   info.Batch,
+		QueueMicros: info.QueueWait.Microseconds(),
+	}
+	if ans.Aggs.Has(progidx.Sum) {
+		v := ans.Sum
+		resp.Sum = &v
+	}
+	if v, ok := ans.MinOk(); ok {
+		resp.Min = &v
+	}
+	if v, ok := ans.MaxOk(); ok {
+		resp.Max = &v
+	}
+	if v, ok := ans.AvgOk(); ok {
+		resp.Avg = &v
+	}
+	return resp
+}
+
+// TableStats pairs a table's catalog info with its scheduler metrics.
+type TableStats struct {
+	catalog.Info
+	Scheduler Metrics `json:"scheduler"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Tables        []TableStats `json:"tables"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Request body caps: loads may carry large inline value arrays (the
+// row cap still applies after decoding); query bodies are tiny.
+const (
+	maxLoadBodyBytes  = 256 << 20
+	maxQueryBodyBytes = 1 << 20
+)
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLoadBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	opts, err := req.Options.catalogOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	values, err := s.loadValues(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.Load(req.Name, values, opts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Info())
+}
+
+func (s *Server) loadValues(req LoadRequest) ([]int64, error) {
+	switch {
+	case len(req.Values) > 0 && req.Generate != nil:
+		return nil, fmt.Errorf("provide either values or generate, not both")
+	case len(req.Values) > 0:
+		if len(req.Values) > s.cfg.MaxLoadRows {
+			return nil, fmt.Errorf("%d inline values exceed the %d-row load cap", len(req.Values), s.cfg.MaxLoadRows)
+		}
+		return req.Values, nil
+	case req.Generate != nil:
+		g := req.Generate
+		if g.N <= 0 || g.N > s.cfg.MaxLoadRows {
+			return nil, fmt.Errorf("generate.n %d outside (0, %d]", g.N, s.cfg.MaxLoadRows)
+		}
+		switch strings.ToLower(g.Kind) {
+		case "", "uniform":
+			return data.Uniform(g.N, g.Seed), nil
+		case "skewed":
+			return data.Skewed(g.N, g.Seed), nil
+		case "skyserver":
+			return data.SkyServer(g.N, g.Seed), nil
+		default:
+			return nil, fmt.Errorf("unknown generator kind %q", g.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("provide values or a generate spec")
+	}
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, _ *http.Request) {
+	tables := s.catalog.List()
+	infos := make([]catalog.Info, len(tables))
+	for i, t := range tables {
+		infos[i] = t.Info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": infos})
+}
+
+func (s *Server) handleTableInfo(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.catalog.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("table %q not found", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Info())
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.Drop(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sched, ok := s.Scheduler(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("table %q not found", name))
+		return
+	}
+	var qreq QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBodyBytes)).Decode(&qreq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	pred, err := qreq.Pred.predicate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	aggs, err := parseAggs(qreq.Aggs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ans, info, err := sched.Execute(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, queryResponse(ans, info))
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusGone, fmt.Errorf("table %q dropped", name))
+	case r.Context().Err() != nil:
+		// Client went away; best effort.
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499.
+const statusClientClosedRequest = 499
+
+func (s *Server) tableStats() []TableStats {
+	tables := s.catalog.List()
+	out := make([]TableStats, 0, len(tables))
+	for _, t := range tables {
+		ts := TableStats{Info: t.Info()}
+		if sched, ok := s.Scheduler(t.Name()); ok {
+			ts.Scheduler = sched.Metrics()
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tables:        s.tableStats(),
+	})
+}
+
+// handleMetrics renders the same stats in the Prometheus text
+// exposition format, one gauge/counter family per line group.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	stats := s.tableStats()
+	writeFamily := func(name, kind, help string, value func(TableStats) (float64, bool)) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, ts := range stats {
+			v, ok := value(ts)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{table=%q} %g\n", name, ts.Name, v)
+		}
+	}
+	writeFamily("progidx_table_rows", "gauge", "Rows in the table.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Rows), true })
+	writeFamily("progidx_table_convergence", "gauge", "Index convergence fraction in [0,1].",
+		func(ts TableStats) (float64, bool) { return ts.Progress, true })
+	writeFamily("progidx_table_converged", "gauge", "1 once the index reached its terminal state.",
+		func(ts TableStats) (float64, bool) {
+			if ts.Converged {
+				return 1, true
+			}
+			return 0, true
+		})
+	writeFamily("progidx_table_queries_total", "counter", "Queries served.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Queries), true })
+	writeFamily("progidx_table_batches_total", "counter", "Batches executed.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Batches), true })
+	writeFamily("progidx_table_idle_slices_total", "counter", "Idle-time refinement slices performed.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.IdleSlices), true })
+	writeFamily("progidx_table_latency_p50_seconds", "gauge", "p50 request latency over the recent window.",
+		func(ts TableStats) (float64, bool) {
+			return ts.Scheduler.P50LatencyUs / 1e6, ts.Scheduler.LatencyWindow > 0
+		})
+	writeFamily("progidx_table_latency_p99_seconds", "gauge", "p99 request latency over the recent window.",
+		func(ts TableStats) (float64, bool) {
+			return ts.Scheduler.P99LatencyUs / 1e6, ts.Scheduler.LatencyWindow > 0
+		})
+	w.Write([]byte(b.String()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -46,6 +46,7 @@ package progidx
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -143,6 +144,26 @@ type ProgressiveIndex interface {
 	LastStats() Stats
 }
 
+// IndexingSuspender is implemented by indexes whose per-query indexing
+// budget can be switched off: while suspended, Execute answers queries
+// exactly but performs (almost) no indexing work. Synchronized's
+// ExecuteBatch uses it to pay one indexing budget per batch of queued
+// requests instead of one per caller. The four progressive algorithms,
+// the progressive hash table and the progressive imprints implement
+// it; the cracking baselines do not (their reorganization is the
+// answering mechanism itself and cannot be skipped).
+type IndexingSuspender interface {
+	SetIndexingSuspended(bool)
+}
+
+// Progressor is implemented by indexes that can report how far along
+// they are toward convergence — the serving layer's "convergence %".
+type Progressor interface {
+	// Progress returns the approximate fraction of total indexing work
+	// completed, in [0, 1]; exactly 1 once Converged.
+	Progress() float64
+}
+
 // Strategy selects an indexing technique.
 type Strategy int
 
@@ -211,6 +232,61 @@ func (s Strategy) Progressive() bool {
 		return true
 	}
 	return false
+}
+
+// Convergent reports whether repeated Execute calls drive the strategy
+// to a terminal Converged state: true for the four progressive
+// algorithms, the progressive hash/imprints extensions, and the full
+// index; false for the scan and cracking baselines, which reorganize
+// (or don't) forever without a terminal state. The serving layer's
+// idle-time refinement only runs for convergent strategies — spending
+// think-time budget on a non-convergent index would spin without ever
+// finishing.
+func (s Strategy) Convergent() bool {
+	switch s {
+	case StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD,
+		StrategyProgressiveHash, StrategyImprints, StrategyFullIndex:
+		return true
+	}
+	return false
+}
+
+// ParseStrategy resolves a strategy from its paper abbreviation as
+// printed by Strategy.String (PQ, PMSD, PB, PLSD, FS, FI, STD, STC,
+// PSTC, CGI, AA, PHASH, PIMP), case-insensitively. The empty string
+// resolves to the default Progressive Quicksort — convenient for wire
+// formats where the field is optional.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "", "PQ":
+		return StrategyQuicksort, nil
+	case "PMSD":
+		return StrategyRadixMSD, nil
+	case "PB":
+		return StrategyBucketsort, nil
+	case "PLSD":
+		return StrategyRadixLSD, nil
+	case "FS":
+		return StrategyFullScan, nil
+	case "FI":
+		return StrategyFullIndex, nil
+	case "STD":
+		return StrategyStandardCracking, nil
+	case "STC":
+		return StrategyStochasticCracking, nil
+	case "PSTC":
+		return StrategyProgressiveStochastic, nil
+	case "CGI":
+		return StrategyCoarseGranular, nil
+	case "AA":
+		return StrategyAdaptiveAdaptive, nil
+	case "PHASH":
+		return StrategyProgressiveHash, nil
+	case "PIMP":
+		return StrategyImprints, nil
+	default:
+		return 0, fmt.Errorf("progidx: unknown strategy %q", name)
+	}
 }
 
 // Options configures New. The zero value builds a Progressive Quicksort

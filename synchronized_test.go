@@ -1,0 +1,249 @@
+package progidx
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/data"
+)
+
+// converge drives a synchronized index to its terminal state via
+// refine steps, with a safety bound.
+func converge(t *testing.T, idx *Synchronized) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if _, done := idx.RefineStep(); done {
+			return
+		}
+	}
+	t.Fatalf("%s: did not converge within bound", idx.Name())
+}
+
+func TestExecuteBatchAmortizesIndexingWork(t *testing.T) {
+	vals := data.Uniform(40_000, 3)
+	idx := Synchronize(MustNew(vals, Options{Strategy: StrategyQuicksort, Delta: 0.25}))
+
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		lo := int64(i * 3000)
+		reqs[i] = Request{Pred: Range(lo, lo+8000), Aggs: AllAggregates}
+	}
+	answers, errs := idx.ExecuteBatch(reqs)
+	if len(answers) != len(reqs) || len(errs) != len(reqs) {
+		t.Fatalf("batch shape: %d answers, %d errs", len(answers), len(errs))
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+
+	// Exactness: every batched answer equals the serial oracle.
+	for i, req := range reqs {
+		lo, hi := req.Pred.Lo, req.Pred.Hi
+		want := column.AggRangeBranching(vals, lo, hi)
+		if answers[i].Sum != want.Sum || answers[i].Count != want.Count {
+			t.Fatalf("req %d: batched answer %d/%d, want %d/%d",
+				i, answers[i].Sum, answers[i].Count, want.Sum, want.Count)
+		}
+	}
+
+	// Amortization: the first request paid the full δ=0.25 step; the
+	// suspended remainder did at most one element of creation work each
+	// (δ = 1/n), two orders of magnitude less.
+	if d := answers[0].Stats.Delta; d < 0.2 {
+		t.Fatalf("first request's delta = %v, want ~0.25", d)
+	}
+	for i := 1; i < len(answers); i++ {
+		if d := answers[i].Stats.Delta; d > answers[0].Stats.Delta/100 {
+			t.Fatalf("suspended request %d still did delta %v of work", i, d)
+		}
+	}
+}
+
+func TestExecuteBatchNonSuspendableStillExact(t *testing.T) {
+	vals := data.Uniform(20_000, 4)
+	idx := Synchronize(MustNew(vals, Options{Strategy: StrategyStandardCracking}))
+	reqs := []Request{
+		{Pred: Range(100, 9_000)},
+		{Pred: Range(5_000, 15_000)},
+		{Pred: Point(vals[7])},
+	}
+	answers, errs := idx.ExecuteBatch(reqs)
+	for i, req := range reqs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want := column.AggRangeBranching(vals, req.Pred.Lo, req.Pred.Hi)
+		if answers[i].Sum != want.Sum || answers[i].Count != want.Count {
+			t.Fatalf("req %d: %d/%d want %d/%d", i, answers[i].Sum, answers[i].Count, want.Sum, want.Count)
+		}
+	}
+}
+
+func TestExecuteBatchEmpty(t *testing.T) {
+	idx := Synchronize(MustNew([]int64{1, 2, 3}, Options{}))
+	answers, errs := idx.ExecuteBatch(nil)
+	if len(answers) != 0 || len(errs) != 0 {
+		t.Fatal("empty batch should return empty slices")
+	}
+}
+
+func TestRefineStepConvergesEveryConvergentStrategy(t *testing.T) {
+	vals := data.Uniform(20_000, 5)
+	for _, s := range []Strategy{
+		StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD,
+		StrategyProgressiveHash, StrategyImprints, StrategyFullIndex,
+	} {
+		if !s.Convergent() {
+			t.Fatalf("%v should be convergent", s)
+		}
+		idx := Synchronize(MustNew(vals, Options{Strategy: s, Delta: 0.25}))
+		if p := idx.Progress(); p != 0 {
+			t.Fatalf("%v: fresh progress = %v, want 0", s, p)
+		}
+		converge(t, idx)
+		if !idx.Converged() || idx.Progress() != 1 {
+			t.Fatalf("%v: converged=%v progress=%v after RefineStep loop",
+				s, idx.Converged(), idx.Progress())
+		}
+		// RefineStep on a converged index is a cheap no-op.
+		if st, done := idx.RefineStep(); !done || st.WorkSeconds != 0 {
+			t.Fatalf("%v: post-convergence RefineStep = %+v, %v", s, st, done)
+		}
+		// And the converged index answers exactly.
+		want := column.AggRangeBranching(vals, 500, 12_000)
+		ans, err := idx.Execute(Request{Pred: Range(500, 12_000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Sum != want.Sum || ans.Count != want.Count {
+			t.Fatalf("%v: post-convergence answer %d/%d, want %d/%d",
+				s, ans.Sum, ans.Count, want.Sum, want.Count)
+		}
+	}
+}
+
+func TestRefineStepStatsReuseBudgetMapping(t *testing.T) {
+	vals := data.Uniform(50_000, 6)
+	idx := Synchronize(MustNew(vals, Options{Strategy: StrategyQuicksort, Delta: 0.25}))
+	st, done := idx.RefineStep()
+	if done {
+		t.Fatal("one step cannot converge a 50k index at δ=0.25")
+	}
+	// The idle slice runs through the same budgeter as a real query:
+	// one creation step indexes the configured δ of the data.
+	if st.Phase != PhaseCreation || st.Delta < 0.2 || st.Delta > 0.3 {
+		t.Fatalf("idle slice stats = %+v, want a creation step of ~δ=0.25", st)
+	}
+}
+
+// blockingIndex lets a test hold the Synchronized write lock at will.
+type blockingIndex struct {
+	Index
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingIndex) Execute(req Request) (Answer, error) {
+	select {
+	case b.entered <- struct{}{}: // first caller announces itself
+	default:
+	}
+	<-b.release // closed after the contention check; later calls pass through
+	return b.Index.Execute(req)
+}
+
+func TestTryExecuteDoesNotBlock(t *testing.T) {
+	vals := data.Uniform(5_000, 7)
+	inner := &blockingIndex{
+		Index:   MustNew(vals, Options{Strategy: StrategyFullScan}),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	idx := Synchronize(inner)
+
+	go idx.Execute(Request{Pred: Range(0, 100)})
+	<-inner.entered // the goroutine now holds the write lock
+
+	if _, ok, err := idx.TryExecute(Request{Pred: Range(0, 100)}); ok || err != nil {
+		t.Fatalf("TryExecute under contention = ok=%v err=%v, want ok=false", ok, err)
+	}
+	close(inner.release)
+
+	// Uncontended TryExecute succeeds and answers exactly.
+	for {
+		ans, ok, err := idx.TryExecute(Request{Pred: Range(0, 2_000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue // the background Execute may still be draining
+		}
+		want := column.AggRangeBranching(vals, 0, 2_000)
+		if ans.Sum != want.Sum || ans.Count != want.Count {
+			t.Fatalf("TryExecute answer %d/%d, want %d/%d", ans.Sum, ans.Count, want.Sum, want.Count)
+		}
+		break
+	}
+}
+
+func TestSynchronizedPhase(t *testing.T) {
+	vals := data.Uniform(5_000, 8)
+	prog := Synchronize(MustNew(vals, Options{Strategy: StrategyQuicksort, Delta: 0.25}))
+	if p, ok := prog.Phase(); !ok || p != PhaseCreation {
+		t.Fatalf("fresh progressive Phase = %v, %v", p, ok)
+	}
+	converge(t, prog)
+	if p, ok := prog.Phase(); !ok || p != PhaseDone {
+		t.Fatalf("converged Phase = %v, %v", p, ok)
+	}
+	scan := Synchronize(MustNew(vals, Options{Strategy: StrategyFullScan}))
+	if _, ok := scan.Phase(); ok {
+		t.Fatal("FullScan should not report a phase")
+	}
+}
+
+// TestConvergedConcurrentReads exercises the post-convergence shared
+// read lock: many goroutines querying a converged index in parallel
+// (under -race this patrols the read-only contract of Done-phase
+// Execute) with every answer checked against the oracle.
+func TestConvergedConcurrentReads(t *testing.T) {
+	vals := data.Uniform(30_000, 9)
+	for _, s := range []Strategy{
+		StrategyQuicksort, StrategyRadixMSD, StrategyBucketsort, StrategyRadixLSD,
+		StrategyProgressiveHash, StrategyImprints,
+	} {
+		idx := Synchronize(MustNew(vals, Options{Strategy: s, Delta: 0.25}))
+		converge(t, idx)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int64) {
+				defer wg.Done()
+				for q := int64(0); q < 50; q++ {
+					lo := (g*997 + q*131) % 30_000
+					hi := lo + 5_000
+					ans, err := idx.Execute(Request{Pred: Range(lo, hi), Aggs: AllAggregates})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					want := column.AggRangeBranching(vals, lo, hi)
+					if ans.Sum != want.Sum || ans.Count != want.Count {
+						t.Errorf("%v: converged read %d/%d, want %d/%d",
+							s, ans.Sum, ans.Count, want.Sum, want.Count)
+						return
+					}
+					if !idx.Converged() || idx.Progress() != 1 {
+						t.Errorf("%v: convergence observability regressed", s)
+						return
+					}
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+	}
+}
