@@ -12,12 +12,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Emits BENCH_kernels.json and BENCH_convergence.json in the repo root.
+# Emits BENCH_kernels.json, BENCH_convergence.json and
+# BENCH_shards.json in the repo root.
 bench:
 	$(GO) run ./cmd/bench
 
 microbench:
 	$(GO) test -bench 'AggRange|SumRange' -benchtime 2x ./internal/column
+	$(GO) test -bench Sharded -benchtime 2x ./internal/shard
 
 fmt:
 	gofmt -l .

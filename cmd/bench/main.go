@@ -1,5 +1,5 @@
 // Command bench is the repository's reproducible performance runner
-// (`make bench`). It emits two JSON artifacts tracked across PRs:
+// (`make bench`). It emits three JSON artifacts tracked across PRs:
 //
 //	BENCH_kernels.json     — ns/op of the serial scan kernels vs the
 //	                         parallel kernels at 1/2/4/8 workers on a
@@ -7,13 +7,16 @@
 //	                         verification baked in;
 //	BENCH_convergence.json — wall-clock time and query count to
 //	                         convergence per progressive strategy,
-//	                         serial vs all-core.
+//	                         serial vs all-core;
+//	BENCH_shards.json      — sharded execution sweep (shard count ×
+//	                         selectivity on clustered data), with
+//	                         pruned-shards-do-zero-work verification.
 //
 // Usage:
 //
-//	go run ./cmd/bench                  # both suites, default sizes
+//	go run ./cmd/bench                  # all suites, default sizes
 //	go run ./cmd/bench -n 20000000      # bigger kernel column
-//	go run ./cmd/bench -suite kernels   # one suite only
+//	go run ./cmd/bench -suite shards    # one suite only
 package main
 
 import (
@@ -85,6 +88,127 @@ type kernelsReport struct {
 	Reps      int            `json:"reps"`
 	Timestamp string         `json:"timestamp"`
 	Results   []KernelResult `json:"results"`
+}
+
+// ShardResult is one (shards, selectivity) run of the sharded
+// execution sweep.
+type ShardResult struct {
+	Shards         int     `json:"shards"`
+	Selectivity    float64 `json:"selectivity"`
+	N              int     `json:"n"`
+	Queries        int     `json:"queries"`
+	MeanQueryMs    float64 `json:"mean_query_ms"`
+	FirstQueryMs   float64 `json:"first_query_ms"`
+	TotalSec       float64 `json:"total_seconds"`
+	WorkSec        float64 `json:"indexing_work_seconds"`
+	ExecutedShards int     `json:"executed_shards"`
+	PrunedShards   int     `json:"pruned_shards"`
+	// PrunedZeroWork verifies the pruning guarantee via ShardStats:
+	// every shard whose zone map misses the workload's hot region
+	// reports zero executions and zero refine slices — no scan work,
+	// no indexing work.
+	PrunedZeroWork bool `json:"pruned_shards_zero_work"`
+	// SpeedupVsUnsharded is mean_query_ms(shards=1) / mean_query_ms at
+	// the same selectivity.
+	SpeedupVsUnsharded float64 `json:"speedup_vs_unsharded"`
+	AnswersMatch       bool    `json:"answers_match_oracle"`
+}
+
+type shardsReport struct {
+	Host      Host          `json:"host"`
+	Timestamp string        `json:"timestamp"`
+	Strategy  string        `json:"strategy"`
+	Delta     float64       `json:"delta"`
+	Results   []ShardResult `json:"results"`
+}
+
+// runShards sweeps shard count × selectivity on clustered data (values
+// correlate with row position, as time-ordered loads do, so row-range
+// shards carry tight zone maps). The workload confines its predicates
+// to the first quarter of the value domain: shards outside it must be
+// pruned by their zone maps and perform zero work, which is verified
+// through ShardStats and reported per configuration.
+func runShards(n, queries int, delta float64) shardsReport {
+	rep := shardsReport{
+		Host: host(), Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Strategy: "PQ", Delta: delta,
+	}
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int64, n)
+	noise := int64(n / 200)
+	for i := range vals {
+		vals[i] = int64(i) + rng.Int63n(2*noise+1) - noise
+	}
+	hotMax := int64(n / 4) // queries live in the first quarter of the domain
+
+	type qr struct{ lo, hi int64 }
+	baseline := map[float64]float64{} // selectivity → shards=1 mean ms
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		for _, sel := range []float64{0.001, 0.01, 0.1} {
+			width := int64(float64(n) * sel)
+			if width < 1 {
+				width = 1
+			}
+			qrng := rand.New(rand.NewSource(7))
+			qs := make([]qr, queries)
+			for i := range qs {
+				lo := qrng.Int63n(hotMax)
+				qs[i] = qr{lo, lo + width}
+			}
+			sh, err := progidx.NewSharded(vals, progidx.Options{
+				Strategy: progidx.StrategyQuicksort, Delta: delta, Shards: shards,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res := ShardResult{Shards: shards, Selectivity: sel, N: n, Queries: queries, AnswersMatch: true}
+			for i, q := range qs {
+				start := time.Now()
+				ans, err := sh.Execute(progidx.Request{Pred: progidx.Range(q.lo, q.hi)})
+				dt := time.Since(start).Seconds()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				res.TotalSec += dt
+				if i == 0 {
+					res.FirstQueryMs = dt * 1000
+				}
+				res.WorkSec += ans.Stats.WorkSeconds
+				want := column.AggRangeBranching(vals, q.lo, q.hi)
+				if ans.Sum != want.Sum || ans.Count != want.Count {
+					res.AnswersMatch = false
+				}
+			}
+			res.MeanQueryMs = res.TotalSec / float64(queries) * 1000
+			res.PrunedZeroWork = true
+			for _, si := range sh.ShardStats() {
+				if si.Executes > 0 {
+					res.ExecutedShards++
+					continue
+				}
+				res.PrunedShards++
+				if si.Refines != 0 || si.Heat != 0 || si.Progress != 0 {
+					res.PrunedZeroWork = false
+				}
+				// A shard was only allowed to idle if its zone map
+				// really misses the hot region (his reach at most
+				// hotMax-1+width).
+				if si.MinValue < hotMax+width {
+					res.PrunedZeroWork = false
+				}
+			}
+			if shards == 1 {
+				baseline[sel] = res.MeanQueryMs
+			}
+			if base := baseline[sel]; base > 0 && res.MeanQueryMs > 0 {
+				res.SpeedupVsUnsharded = base / res.MeanQueryMs
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
 }
 
 // ConvergenceResult is one (strategy, workers) run to convergence.
@@ -263,10 +387,16 @@ func main() {
 		queries = flag.Int("queries", 200, "convergence benchmark query count")
 		delta   = flag.Float64("delta", 0.25, "convergence benchmark delta")
 		reps    = flag.Int("reps", 3, "timing repetitions (best-of)")
+		shardN  = flag.Int("shardn", 2_000_000, "shard sweep column size")
+		shardQ  = flag.Int("shardqueries", 96, "shard sweep queries per configuration")
 		outDir  = flag.String("out", ".", "output directory for the JSON artifacts")
-		suite   = flag.String("suite", "all", "kernels|convergence|all")
+		suite   = flag.String("suite", "all", "kernels|convergence|shards|all")
 	)
 	flag.Parse()
+
+	if runtime.NumCPU() == 1 {
+		fmt.Println("note: single-CPU host — parallel speedup figures in these runs are not meaningful; re-run on a multi-core machine for real numbers")
+	}
 
 	if *suite == "all" || *suite == "kernels" {
 		rep := runKernels(*n, *reps)
@@ -282,6 +412,15 @@ func main() {
 		for _, r := range rep.Results {
 			fmt.Printf("  %-5s workers=%d  converged_at=%-3d cumulative=%7.3fs  mean=%6.3fms  agrees=%v\n",
 				r.Strategy, r.Workers, r.ConvergedAt, r.CumulativeSec, r.MeanQueryMs, r.FinalSumAgrees)
+		}
+	}
+	if *suite == "all" || *suite == "shards" {
+		rep := runShards(*shardN, *shardQ, *delta)
+		writeJSON(filepath.Join(*outDir, "BENCH_shards.json"), rep)
+		for _, r := range rep.Results {
+			fmt.Printf("  shards=%-2d sel=%-6g mean=%7.3fms  speedup=%5.2fx  pruned=%d/%d zero_work=%v  match=%v\n",
+				r.Shards, r.Selectivity, r.MeanQueryMs, r.SpeedupVsUnsharded,
+				r.PrunedShards, r.Shards, r.PrunedZeroWork, r.AnswersMatch)
 		}
 	}
 }

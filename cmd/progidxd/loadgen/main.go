@@ -37,6 +37,7 @@ func main() {
 		seed     = flag.Int64("seed", 7, "data generator seed (shared with the server)")
 		strategy = flag.String("strategy", "PQ", "index strategy abbreviation")
 		delta    = flag.Float64("delta", 0.25, "indexing fraction per query")
+		shards   = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
 		sessions = flag.Int("sessions", 8, "concurrent query sessions")
 		queries  = flag.Int("queries", 50, "queries per session")
 		check    = flag.Bool("check", true, "verify every answer against the local library oracle")
@@ -53,12 +54,12 @@ func main() {
 	loadBody := server.LoadRequest{
 		Name:     *table,
 		Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
-		Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta},
+		Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards},
 	}
 	if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
 		fatal("load table: %v", err)
 	}
-	fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g) on %s\n", *table, *n, *strategy, *delta, *addr)
+	fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d) on %s\n", *table, *n, *strategy, *delta, *shards, *addr)
 
 	var oracle progidx.Index
 	if *check {

@@ -1,9 +1,50 @@
 package progidx
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/column"
+	"repro/internal/query"
 )
+
+// Handle is the concurrency-safe index surface the serving layer
+// schedules against: plain Execute plus the scheduler hooks (batched
+// execution, non-blocking execution, idle-time refinement) and the
+// observability probes. Two implementations exist: *Synchronized (one
+// index, one lock) and *Sharded (range-partitioned shards, each with
+// its own lock, fanned out over the worker pool). Custom
+// implementations must be safe for concurrent use by construction.
+type Handle interface {
+	Index
+	// TryExecute is the non-blocking Execute: ok == false means the
+	// handle was busy and the index was not touched.
+	TryExecute(req Request) (ans Answer, ok bool, err error)
+	// ExecuteBatch executes several requests under one indexing budget;
+	// answers and errors positionally match reqs.
+	ExecuteBatch(reqs []Request) ([]Answer, []error)
+	// RefineStep spends one indexing-budget slice with no client query
+	// attached, returning the work stats and whether the handle is now
+	// fully converged.
+	RefineStep() (Stats, bool)
+	// Progress reports the convergence fraction in [0, 1].
+	Progress() float64
+	// Phase reports the lifecycle phase when the underlying strategy
+	// has one (ok == false otherwise).
+	Phase() (Phase, bool)
+}
+
+// ValueBounded is implemented by indexes that expose their base
+// column's zone statistics. Synchronize uses it for the zone-map fast
+// path: a predicate disjoint from [min, max] is answered empty without
+// taking the write lock or burning an indexing step. Every index in
+// this module implements it.
+type ValueBounded interface {
+	// ValueBounds returns the smallest and largest value in the indexed
+	// column.
+	ValueBounds() (min, max int64)
+}
 
 // Synchronized makes an Index safe for concurrent use. Progressive and
 // adaptive indexes reorganize themselves on every Execute call, so the
@@ -38,12 +79,63 @@ type Synchronized struct {
 	// true), after observing inner.Converged(); once true, all calls
 	// use the shared lock.
 	converged atomic.Bool
+
+	// Zone statistics of the wrapped index's column, captured at wrap
+	// time when the index is ValueBounded. A predicate that cannot
+	// intersect [min, max] is answered empty lock-free (see Execute).
+	min, max int64
+	bounded  bool
 }
 
 // Synchronize wraps idx. The inner index must not be used directly
 // afterwards.
 func Synchronize(idx Index) *Synchronized {
-	return &Synchronized{inner: idx}
+	s := &Synchronized{inner: idx}
+	if b, ok := idx.(ValueBounded); ok {
+		s.min, s.max = b.ValueBounds()
+		s.bounded = true
+	}
+	return s
+}
+
+// ValueBounds implements ValueBounded. When the wrapped index is not
+// itself ValueBounded, it reports the widest possible domain — a zone
+// map that never prunes — so a consumer (including a redundant second
+// Synchronize wrap) can never be tricked into treating a satisfiable
+// predicate as a zone miss.
+func (s *Synchronized) ValueBounds() (int64, int64) {
+	if !s.bounded {
+		return math.MinInt64, math.MaxInt64
+	}
+	return s.min, s.max
+}
+
+// zoneMiss implements the zone-map fast path: a well-formed predicate
+// that cannot match — disjoint from the column's [min, max], or an
+// inverted range — can only produce the empty answer, so it is answered
+// immediately: no lock is taken and no indexing step is burned.
+// Skipping the budgeted work is deliberate: zone-missing probes
+// (existence checks outside the domain, range scans of an empty
+// region) are pure reads under this path, which keeps them
+// microsecond-cheap even while the index is mid-build and the write
+// lock is contended. RefineStep is unaffected (it drives the inner
+// index directly), and malformed requests fall through so the inner
+// index reports its usual error.
+func (s *Synchronized) zoneMiss(req Request) (Answer, bool) {
+	if !s.bounded || req.Validate() != nil {
+		return Answer{}, false
+	}
+	if _, _, empty := req.Pred.Bounds(s.min, s.max); !empty {
+		return Answer{}, false
+	}
+	// The stats are all-zero work, but the phase should still tell the
+	// truth a caller can know lock-free: a converged handle reports
+	// Done, not the zero value's "creation".
+	var st Stats
+	if s.converged.Load() {
+		st.Phase = PhaseDone
+	}
+	return query.NewAnswer(column.NewAgg(), req.Aggs.Normalize(), st), true
 }
 
 // Name implements Index.
@@ -64,6 +156,9 @@ func (s *Synchronized) noteConverged() {
 // concurrent callers always observe the (answer, stats) pair of their
 // own call.
 func (s *Synchronized) Execute(req Request) (Answer, error) {
+	if ans, ok := s.zoneMiss(req); ok {
+		return ans, nil
+	}
 	if s.converged.Load() {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -81,6 +176,9 @@ func (s *Synchronized) Execute(req Request) (Answer, error) {
 // without touching the index). On a converged index it always
 // succeeds — readers share the lock.
 func (s *Synchronized) TryExecute(req Request) (ans Answer, ok bool, err error) {
+	if ans, hit := s.zoneMiss(req); hit {
+		return ans, true, nil
+	}
 	if s.converged.Load() {
 		s.mu.RLock()
 		defer s.mu.RUnlock()

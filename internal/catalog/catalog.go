@@ -59,6 +59,12 @@ type Options struct {
 	Adaptive  bool
 	Calibrate bool
 	Workers   int
+	// Shards range-partitions the table into this many contiguous
+	// row-range shards, each with its own progressive index and zone
+	// map (progidx.Sharded); 0 or 1 means one unsharded index. Idle
+	// refinement on a sharded table round-robins the heat-ordered
+	// shards, so the regions the workload touches converge first.
+	Shards int
 	// IdleRefine enables idle-time background refinement for this
 	// table's scheduler. nil means auto: on exactly when the strategy
 	// is convergent (refining a never-convergent index would spin).
@@ -82,17 +88,19 @@ func (o Options) progidxOptions() progidx.Options {
 		Adaptive:  o.Adaptive,
 		Calibrate: o.Calibrate,
 		Workers:   o.Workers,
+		Shards:    o.Shards,
 	}
 }
 
 // Table is one named, progressive-indexed column. The index handle is
-// a *progidx.Synchronized, so reads after convergence already share a
-// lock; the server's scheduler adds batching and idle refinement on
-// top of the same handle.
+// a progidx.Handle — *progidx.Synchronized for unsharded tables,
+// *progidx.Sharded for sharded ones — so reads after convergence
+// already share locks; the server's scheduler adds batching and idle
+// refinement on top of the same handle.
 type Table struct {
 	name    string
 	col     *column.Column
-	idx     *progidx.Synchronized
+	idx     progidx.Handle
 	opts    Options
 	created time.Time
 	status  atomic.Int32
@@ -117,8 +125,28 @@ func (t *Table) Values() []int64 { return t.col.Values() }
 // Options returns the options the table was loaded with.
 func (t *Table) Options() Options { return t.opts }
 
-// Index returns the table's synchronized index handle.
-func (t *Table) Index() *progidx.Synchronized { return t.idx }
+// Index returns the table's concurrency-safe index handle.
+func (t *Table) Index() progidx.Handle { return t.idx }
+
+// ShardCount reports how many shards back the table: 1 for an
+// unsharded table, the partition count for a sharded one (which may be
+// lower than the requested Options.Shards on tiny tables, where the
+// count is clamped to the row count).
+func (t *Table) ShardCount() int {
+	if sh, ok := t.idx.(*progidx.Sharded); ok {
+		return sh.Shards()
+	}
+	return 1
+}
+
+// ShardStats snapshots the per-shard state of a sharded table
+// (ok == false for unsharded tables).
+func (t *Table) ShardStats() ([]progidx.ShardInfo, bool) {
+	if sh, ok := t.idx.(*progidx.Sharded); ok {
+		return sh.ShardStats(), true
+	}
+	return nil, false
+}
 
 // Status returns the lifecycle state.
 func (t *Table) Status() Status { return Status(t.status.Load()) }
@@ -133,6 +161,7 @@ type Info struct {
 	MinValue  int64   `json:"min_value"`
 	MaxValue  int64   `json:"max_value"`
 	Strategy  string  `json:"strategy"`
+	Shards    int     `json:"shards"`
 	Status    string  `json:"status"`
 	Phase     string  `json:"phase,omitempty"`
 	Converged bool    `json:"converged"`
@@ -150,6 +179,7 @@ func (t *Table) Info() Info {
 		MinValue:  t.col.Min(),
 		MaxValue:  t.col.Max(),
 		Strategy:  t.opts.Strategy.String(),
+		Shards:    t.ShardCount(),
 		Status:    t.Status().String(),
 		IdleInfo:  t.opts.IdleRefineEnabled(),
 		CreatedAt: t.created.UTC().Format(time.RFC3339),
@@ -202,7 +232,7 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 	c.tables[name] = t
 	c.mu.Unlock()
 
-	idx, err := progidx.NewFromColumn(col, opts.progidxOptions())
+	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
 	if err != nil {
 		c.mu.Lock()
 		// Release only our own reservation: the name may have been
@@ -213,7 +243,7 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 		c.mu.Unlock()
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
-	t.idx = progidx.Synchronize(idx)
+	t.idx = idx
 	if !t.status.CompareAndSwap(int32(StatusLoading), int32(StatusReady)) {
 		// A concurrent Drop removed our reservation mid-build; honor it
 		// rather than resurrecting the status of a table that is no

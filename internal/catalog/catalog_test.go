@@ -120,3 +120,56 @@ func TestIdleRefineDefaults(t *testing.T) {
 }
 
 func boolPtr(b bool) *bool { return &b }
+
+// TestShardedTableLifecycle loads a table with Shards > 1 and checks
+// the handle dispatch, the Info fields and the per-shard stats surface.
+func TestShardedTableLifecycle(t *testing.T) {
+	c := New()
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tbl, err := c.Load("sh", vals, Options{Strategy: progidx.StrategyQuicksort, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Index().(*progidx.Sharded); !ok {
+		t.Fatalf("sharded load built %T, want *progidx.Sharded", tbl.Index())
+	}
+	if got := tbl.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount() = %d, want 4", got)
+	}
+	if info := tbl.Info(); info.Shards != 4 {
+		t.Fatalf("Info().Shards = %d, want 4", info.Shards)
+	}
+	stats, ok := tbl.ShardStats()
+	if !ok || len(stats) != 4 {
+		t.Fatalf("ShardStats: ok=%v len=%d, want 4 shards", ok, len(stats))
+	}
+	for i, si := range stats {
+		if si.Rows != 2500 {
+			t.Fatalf("shard %d rows %d, want 2500", i, si.Rows)
+		}
+	}
+	// A selective query executes against the one matching shard only.
+	ans, err := tbl.Index().Execute(progidx.Request{Pred: progidx.Range(100, 200)})
+	if err != nil || ans.Count != 101 {
+		t.Fatalf("sharded table query: count %d err %v", ans.Count, err)
+	}
+	stats, _ = tbl.ShardStats()
+	if stats[0].Executes != 1 || stats[3].Executes != 0 {
+		t.Fatalf("pruning through the catalog failed: %+v", stats)
+	}
+
+	// Unsharded tables keep reporting one shard and no shard stats.
+	tbl2, err := c.Load("plain", []int64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.ShardCount() != 1 {
+		t.Fatalf("unsharded ShardCount() = %d", tbl2.ShardCount())
+	}
+	if _, ok := tbl2.ShardStats(); ok {
+		t.Fatal("unsharded table returned shard stats")
+	}
+}

@@ -179,6 +179,27 @@ func New(values []int64) (*Column, error) {
 	return &Column{values: values, min: mn, max: mx}, nil
 }
 
+// NewWithStats builds a column from values with caller-supplied zone
+// statistics, skipping New's O(N) min/max pass. It exists for callers
+// that already computed the extrema while producing the slice — the
+// shard partitioner tracks per-partition min/max as it splits a parent
+// column, so re-deriving them here would be a duplicated pass over
+// every row. The bounds are validated against the kernel-safety domain
+// but otherwise trusted: min/max must be the true extrema of values,
+// or the zone-map pruning and clamping built on them silently break.
+func NewWithStats(values []int64, min, max int64) (*Column, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	if min > max {
+		return nil, fmt.Errorf("column: inverted zone statistics (min=%d max=%d)", min, max)
+	}
+	if min <= -MaxMagnitude || max >= MaxMagnitude {
+		return nil, fmt.Errorf("column: values must lie strictly inside ±2^62 (min=%d max=%d)", min, max)
+	}
+	return &Column{values: values, min: min, max: max}, nil
+}
+
 // MustNew is New for statically known-good inputs (tests, examples).
 func MustNew(values []int64) *Column {
 	c, err := New(values)

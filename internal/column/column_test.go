@@ -244,3 +244,32 @@ func TestAggregatesNormalizeAndString(t *testing.T) {
 		t.Fatal("Valid() mislabels masks")
 	}
 }
+
+// TestNewWithStats pins the trusted-stats constructor used by the
+// shard partitioner: it must accept caller-computed extrema without
+// re-scanning, and reject the same malformed inputs New would.
+func TestNewWithStats(t *testing.T) {
+	vals := []int64{5, -3, 9}
+	c, err := NewWithStats(vals, -3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Min() != -3 || c.Max() != 9 || c.Len() != 3 {
+		t.Fatalf("stats not adopted: min=%d max=%d len=%d", c.Min(), c.Max(), c.Len())
+	}
+	if r := c.Sum(-3, 9); r.Sum != 11 || r.Count != 3 {
+		t.Fatalf("Sum over adopted domain = %+v", r)
+	}
+	if _, err := NewWithStats(nil, 0, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := NewWithStats(vals, 9, -3); err == nil {
+		t.Fatal("inverted stats accepted")
+	}
+	if _, err := NewWithStats(vals, -MaxMagnitude, 9); err == nil {
+		t.Fatal("out-of-magnitude min accepted")
+	}
+	if _, err := NewWithStats(vals, -3, MaxMagnitude); err == nil {
+		t.Fatal("out-of-magnitude max accepted")
+	}
+}

@@ -146,6 +146,14 @@ func (b *Bucketsort) LastStats() Stats { return b.last }
 // amortization hook).
 func (b *Bucketsort) SetIndexingSuspended(s bool) { b.budget.suspended = s }
 
+// SetBudgetScale implements BudgetScaler (the shard layer's
+// heat-weighted budget split hook).
+func (b *Bucketsort) SetBudgetScale(f float64) { b.budget.setScale(f) }
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (b *Bucketsort) ValueBounds() (int64, int64) { return b.col.Min(), b.col.Max() }
+
 // Progress implements Progressor. Refinement merges buckets strictly in
 // order, so the finalized prefix is the active bucket's region start.
 func (b *Bucketsort) Progress() float64 {

@@ -184,7 +184,8 @@ type budgeter struct {
 	budgetSec float64
 	target    float64 // t_adaptive for AdaptiveTime
 	resolved  bool
-	suspended bool // scheduler hook: plan no indexing work at all
+	suspended bool    // scheduler hook: plan no indexing work at all
+	scale     float64 // shard hook: multiply the planned work (1 = neutral)
 }
 
 func newBudgeter(cfg Config, scanTime float64) budgeter {
@@ -193,7 +194,21 @@ func newBudgeter(cfg Config, scanTime float64) budgeter {
 		delta:     cfg.Delta,
 		budgetSec: cfg.BudgetSeconds,
 		target:    scanTime + cfg.BudgetSeconds,
+		scale:     1,
 	}
+}
+
+// setScale adjusts the per-query budget by a multiplicative factor, the
+// sharding layer's heat-weighting hook (costmodel.HeatShares): a hot
+// shard executes with scale > 1, a cold one with scale < 1, and the
+// factors are normalized so the total across one query's surviving
+// shards matches what the unsharded budgeter would have planned.
+// Non-positive factors reset to neutral.
+func (b *budgeter) setScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	b.scale = f
 }
 
 // plan returns the seconds of indexing work for this query. base is the
@@ -210,7 +225,7 @@ func (b *budgeter) plan(base, unitFull float64) float64 {
 	}
 	switch b.mode {
 	case FixedDelta:
-		return b.delta * unitFull
+		return b.scale * b.delta * unitFull
 	case FixedTime:
 		if !b.resolved {
 			// δ = t_budget / t_pivot, resolved once on the first query
@@ -223,10 +238,10 @@ func (b *budgeter) plan(base, unitFull float64) float64 {
 			}
 			b.resolved = true
 		}
-		return b.delta * unitFull
+		return b.scale * b.delta * unitFull
 	case AdaptiveTime:
 		if rem := b.target - base; rem > 0 {
-			return rem
+			return b.scale * rem
 		}
 		return 0
 	default:
@@ -336,6 +351,17 @@ type Suspender interface {
 	// (true) or back on (false). Not safe for concurrent use with
 	// Execute; callers serialize access (e.g. progidx.Synchronized).
 	SetIndexingSuspended(bool)
+}
+
+// BudgetScaler is the sharding hook implemented by the four progressive
+// algorithms (and the phash/imprints extensions): SetBudgetScale
+// multiplies the next queries' planned indexing work by a factor, so a
+// shard router can split one query's budget across surviving shards in
+// proportion to their heat. Like SetIndexingSuspended it is not safe
+// for concurrent use with Execute; the shard layer sets it under the
+// shard's write lock.
+type BudgetScaler interface {
+	SetBudgetScale(float64)
 }
 
 // Progressor is implemented by indexes that can report how far along

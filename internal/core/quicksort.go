@@ -80,6 +80,14 @@ func (q *Quicksort) LastStats() Stats { return q.last }
 // amortization hook).
 func (q *Quicksort) SetIndexingSuspended(s bool) { q.budget.suspended = s }
 
+// SetBudgetScale implements BudgetScaler (the shard layer's
+// heat-weighted budget split hook).
+func (q *Quicksort) SetBudgetScale(f float64) { q.budget.setScale(f) }
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (q *Quicksort) ValueBounds() (int64, int64) { return q.col.Min(), q.col.Max() }
+
 // Progress implements Progressor.
 func (q *Quicksort) Progress() float64 {
 	switch q.phase {

@@ -135,6 +135,14 @@ func (r *RadixLSD) LastStats() Stats { return r.last }
 // amortization hook).
 func (r *RadixLSD) SetIndexingSuspended(s bool) { r.budget.suspended = s }
 
+// SetBudgetScale implements BudgetScaler (the shard layer's
+// heat-weighted budget split hook).
+func (r *RadixLSD) SetBudgetScale(f float64) { r.budget.setScale(f) }
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (r *RadixLSD) ValueBounds() (int64, int64) { return r.col.Min(), r.col.Max() }
+
 // Progress implements Progressor. Refinement progress counts completed
 // distribute passes plus the current pass's drained fraction; the final
 // merge sub-phase is folded into the last pass slot via writeOff.

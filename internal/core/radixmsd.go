@@ -143,6 +143,14 @@ func (r *RadixMSD) LastStats() Stats { return r.last }
 // amortization hook).
 func (r *RadixMSD) SetIndexingSuspended(s bool) { r.budget.suspended = s }
 
+// SetBudgetScale implements BudgetScaler (the shard layer's
+// heat-weighted budget split hook).
+func (r *RadixMSD) SetBudgetScale(f float64) { r.budget.setScale(f) }
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (r *RadixMSD) ValueBounds() (int64, int64) { return r.col.Min(), r.col.Max() }
+
 // Progress implements Progressor. Refinement progress is the merged
 // prefix of the final array, which grows strictly left to right.
 func (r *RadixMSD) Progress() float64 {

@@ -212,6 +212,41 @@ func (m *Model) ConsolidateTime(copies int) float64 {
 	return (m.P.KappaWritePage + m.P.OmegaReadPage) * m.pages(copies)
 }
 
+// HeatShares converts per-shard heat counters (query hit counts) into
+// per-shard budget scale factors for the surviving shards of one query.
+// Shard i's scale is len(heats)·h_i/H, so the factors average exactly 1
+// and their sum equals the number of survivors: a query that would have
+// split its indexing budget evenly across its surviving shards instead
+// re-weights the same total budget toward the hot ones. This keeps the
+// wall-clock budget truthful — the work a sharded query plans equals
+// what the unsharded budgeter would plan for the surviving fraction of
+// the data — while letting hot shards converge first. All-zero heats
+// (or an empty slice) degrade to uniform scale 1. The factors are
+// written into dst when it has capacity, so steady-state callers can
+// reuse a scratch slice allocation-free.
+func HeatShares(dst []float64, heats []uint64) []float64 {
+	if cap(dst) >= len(heats) {
+		dst = dst[:len(heats)]
+	} else {
+		dst = make([]float64, len(heats))
+	}
+	var total uint64
+	for _, h := range heats {
+		total += h
+	}
+	if total == 0 {
+		for i := range dst {
+			dst[i] = 1
+		}
+		return dst
+	}
+	n := float64(len(heats))
+	for i, h := range heats {
+		dst[i] = n * float64(h) / float64(total)
+	}
+	return dst
+}
+
 // Calibrate measures the Table 1 constants on the running machine, the
 // way the paper's implementation does at startup ("we perform these
 // operations when the program starts up and measure how long it

@@ -122,3 +122,43 @@ func TestCalibrateProducesValidParams(t *testing.T) {
 		t.Fatalf("calibrated 1M-element scan time %g out of plausible range", scan)
 	}
 }
+
+// TestHeatShares pins the heat-weighted budget split: factors average
+// exactly 1 (the total budget across survivors is conserved), scale
+// linearly with heat, degrade to uniform on zero heat, and reuse the
+// caller's scratch slice.
+func TestHeatShares(t *testing.T) {
+	shares := HeatShares(nil, []uint64{3, 1})
+	if len(shares) != 2 || shares[0] != 1.5 || shares[1] != 0.5 {
+		t.Fatalf("HeatShares(3,1) = %v, want [1.5 0.5]", shares)
+	}
+	uniform := HeatShares(nil, []uint64{7, 7, 7})
+	for i, f := range uniform {
+		if f != 1 {
+			t.Fatalf("uniform share %d = %v, want 1", i, f)
+		}
+	}
+	zero := HeatShares(nil, []uint64{0, 0})
+	if zero[0] != 1 || zero[1] != 1 {
+		t.Fatalf("zero-heat shares = %v, want uniform 1", zero)
+	}
+	if got := HeatShares(nil, nil); len(got) != 0 {
+		t.Fatalf("empty heats returned %v", got)
+	}
+	// Conservation: the factors sum to the survivor count for any mix.
+	heats := []uint64{5, 0, 2, 9, 1}
+	shares = HeatShares(make([]float64, 0, 8), heats)
+	sum := 0.0
+	for _, f := range shares {
+		sum += f
+	}
+	if sum < 4.999999 || sum > 5.000001 {
+		t.Fatalf("shares %v sum to %v, want 5", shares, sum)
+	}
+	// Scratch reuse: capacity is adopted, no fresh allocation needed.
+	scratch := make([]float64, 8)
+	out := HeatShares(scratch, heats)
+	if &out[0] != &scratch[0] {
+		t.Fatal("scratch slice not reused")
+	}
+}

@@ -109,7 +109,14 @@ func (c *crackerColumn) crackAt(v int64) int {
 func (c *crackerColumn) answer(lo, hi int64, aggs column.Aggregates) column.Agg {
 	aLo, bLo, _, _ := c.piece(lo)
 	aHi, bHi, _, _ := c.piece(hi + 1)
-	if aLo == aHi {
+	if aLo == aHi && bLo == bHi {
+		// lo and hi+1 fall in the same piece: one predicated scan. Both
+		// ends must agree — comparing starts alone misfires when
+		// piece(lo) is empty (two crack keys at the same position, a
+		// value gap with no rows): its zero-width [a, a) shares a start
+		// with the piece holding the matches, which would silently scan
+		// nothing. The general path below handles empty edge pieces
+		// naturally (zero-length boundary scans, well-formed interior).
 		return column.ParAggRange(c.pool, c.arr[aLo:bLo], lo, hi, aggs)
 	}
 	res := column.ParAggRange(c.pool, c.arr[aLo:bLo], lo, hi, aggs)

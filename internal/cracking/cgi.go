@@ -22,6 +22,10 @@ func NewCoarseGranular(col *column.Column, cfg Config) *CoarseGranular {
 	return &CoarseGranular{cfg: cfg, col: col}
 }
 
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (c *CoarseGranular) ValueBounds() (int64, int64) { return c.col.Min(), c.col.Max() }
+
 // Name implements the harness index interface.
 func (c *CoarseGranular) Name() string { return "CGI" }
 

@@ -35,6 +35,7 @@ type Index struct {
 	marks     []uint64        // one imprint per cacheline
 	lines     int             // cachelines imprinted so far
 	suspended bool
+	scale     float64 // budget multiplier (shard heat-weighting hook)
 }
 
 // New builds a progressive imprint index that imprints a delta fraction
@@ -48,6 +49,7 @@ func New(col *column.Column, delta float64) *Index {
 		n:     col.Len(),
 		delta: delta,
 		marks: make([]uint64, (col.Len()+lineSize-1)/lineSize),
+		scale: 1,
 	}
 	ix.sampleBounds()
 	return ix
@@ -109,6 +111,19 @@ func (ix *Index) Progress() float64 {
 // or back on (false) — the batching scheduler's amortization hook.
 func (ix *Index) SetIndexingSuspended(s bool) { ix.suspended = s }
 
+// SetBudgetScale multiplies the per-query imprinting quota — the shard
+// layer's heat-weighted budget split hook. Non-positive resets to 1.
+func (ix *Index) SetBudgetScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	ix.scale = f
+}
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (ix *Index) ValueBounds() (int64, int64) { return ix.col.Min(), ix.col.Max() }
+
 // Execute answers the request: imprinted cachelines are skipped unless
 // their imprint intersects the predicate's bin mask, the tail is
 // scanned, and another δ·N elements are imprinted.
@@ -148,7 +163,7 @@ func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 	}
 	res.Merge(column.AggRange(vals[tail:], lo, hi, aggs))
 
-	ix.imprint(int(ix.delta * float64(ix.n)))
+	ix.imprint(int(ix.scale * ix.delta * float64(ix.n)))
 	return res
 }
 

@@ -25,6 +25,7 @@ type Index struct {
 	counts    map[int64]int64
 	copied    int
 	suspended bool
+	scale     float64 // budget multiplier (shard heat-weighting hook)
 }
 
 // New builds a progressive hash index that inserts a delta fraction of
@@ -39,6 +40,7 @@ func New(col *column.Column, delta float64) *Index {
 		n:      col.Len(),
 		delta:  delta,
 		counts: make(map[int64]int64),
+		scale:  1,
 	}
 }
 
@@ -54,6 +56,23 @@ func (ix *Index) Progress() float64 { return float64(ix.copied) / float64(ix.n) 
 // SetIndexingSuspended switches the per-query insertion step off (true)
 // or back on (false) — the batching scheduler's amortization hook.
 func (ix *Index) SetIndexingSuspended(s bool) { ix.suspended = s }
+
+// SetBudgetScale multiplies the per-query insertion quota — the shard
+// layer's heat-weighted budget split hook. Non-positive resets to 1.
+func (ix *Index) SetBudgetScale(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	ix.scale = f
+}
+
+// ValueBounds returns the base column's zone statistics, the
+// synchronization layer's zone-map pruning hook.
+func (ix *Index) ValueBounds() (int64, int64) { return ix.col.Min(), ix.col.Max() }
+
+// quota is the per-query insertion allowance: δ·N elements, re-weighted
+// by the shard layer's budget scale when one is set.
+func (ix *Index) quota() int { return int(ix.scale * ix.delta * float64(ix.n)) }
 
 // Execute answers the request. Point predicates — Point(v) or a
 // degenerate range — use the hash table for the indexed prefix, an O(1)
@@ -79,7 +98,7 @@ func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 		// Empty predicate (e.g. an out-of-domain point probe): nothing
 		// can match, so skip the scan entirely — a hash index should
 		// answer existence misses in O(1) — but still extend the table.
-		ix.insert(int(ix.delta * float64(ix.n)))
+		ix.insert(ix.quota())
 		return res
 	}
 	if lo == hi {
@@ -88,13 +107,13 @@ func (ix *Index) execute(lo, hi int64, aggs column.Aggregates) column.Agg {
 			res.Min, res.Max = lo, lo
 		}
 		res.Merge(column.AggRange(ix.col.Slice(ix.copied, ix.n), lo, hi, aggs))
-		ix.insert(int(ix.delta * float64(ix.n)))
+		ix.insert(ix.quota())
 		return res
 	}
 	// Range queries cannot use a hash table; scan the column and use
 	// the pass to extend the index for free on the copied segment.
 	res = column.AggRange(ix.col.Values(), lo, hi, aggs)
-	ix.insert(int(ix.delta * float64(ix.n)))
+	ix.insert(ix.quota())
 	return res
 }
 

@@ -65,7 +65,7 @@ type task struct {
 // Scheduler serializes one table's queries through a single goroutine.
 type Scheduler struct {
 	table    *catalog.Table
-	idx      *progidx.Synchronized
+	idx      progidx.Handle
 	idle     bool // idle-time refinement enabled
 	maxBatch int
 

@@ -244,3 +244,63 @@ func TestBatchMetricsUnderBurst(t *testing.T) {
 		t.Fatalf("latency quantiles implausible: %+v", m)
 	}
 }
+
+// TestSchedulerShardedTable drives a sharded table through the batching
+// scheduler: concurrent sessions get exact answers, and idle refinement
+// (which round-robins the heat-ordered shards) converges every shard
+// during think-time.
+func TestSchedulerShardedTable(t *testing.T) {
+	vals := data.Uniform(30_000, 17)
+	c := catalog.New()
+	tbl, err := c.Load("sh", vals, catalog.Options{
+		Strategy: progidx.StrategyQuicksort, Delta: 0.3, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := newScheduler(tbl, 0, 0)
+	defer sched.Stop()
+
+	oracle := progidx.MustNew(vals, progidx.Options{Strategy: progidx.StrategyFullScan, Workers: 1})
+	var wg sync.WaitGroup
+	bad := make(chan string, 16)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 30; q++ {
+				lo := rng.Int63n(30_000)
+				req := progidx.Request{Pred: progidx.Range(lo, lo+rng.Int63n(3000))}
+				ans, _, err := sched.Execute(context.Background(), req)
+				want, _ := oracle.Execute(req)
+				if err != nil || ans.Sum != want.Sum || ans.Count != want.Count {
+					select {
+					case bad <- req.Pred.String():
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(bad)
+	if p, isBad := <-bad; isBad {
+		t.Fatalf("sharded scheduler answered %s wrongly", p)
+	}
+	// Idle refinement converges the sharded handle without queries.
+	deadline := time.Now().Add(30 * time.Second)
+	for !tbl.Index().Converged() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !tbl.Index().Converged() {
+		t.Fatal("sharded table never converged under idle refinement")
+	}
+	stats, _ := tbl.ShardStats()
+	for i, si := range stats {
+		if !si.Converged {
+			t.Fatalf("shard %d not converged: %+v", i, si)
+		}
+	}
+}

@@ -204,6 +204,9 @@ type OptionsSpec struct {
 	BudgetMs float64 `json:"budget_ms,omitempty"`
 	Adaptive bool    `json:"adaptive,omitempty"`
 	Workers  int     `json:"workers,omitempty"`
+	// Shards range-partitions the table (see catalog.Options.Shards);
+	// 0 or 1 loads one unsharded index.
+	Shards int `json:"shards,omitempty"`
 	// IdleRefine overrides the default (on for convergent strategies).
 	IdleRefine *bool `json:"idle_refine,omitempty"`
 }
@@ -223,14 +226,23 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 	if o.BudgetMs < 0 {
 		return opts, fmt.Errorf("budget_ms %v negative", o.BudgetMs)
 	}
+	if o.Shards < 0 || o.Shards > maxShards {
+		return opts, fmt.Errorf("shards %d outside [0, %d]", o.Shards, maxShards)
+	}
 	opts.Strategy = strat
 	opts.Delta = o.Delta
 	opts.Budget = time.Duration(o.BudgetMs * float64(time.Millisecond))
 	opts.Adaptive = o.Adaptive
 	opts.Workers = o.Workers
+	opts.Shards = o.Shards
 	opts.IdleRefine = o.IdleRefine
 	return opts, nil
 }
+
+// maxShards caps the wire-requested partition count: beyond a few
+// thousand shards the per-shard fixed costs dominate any pruning win,
+// and an unbounded count is a memory-amplification vector.
+const maxShards = 4096
 
 // LoadRequest is the POST /tables body: a name plus either inline
 // values or a generator spec.
@@ -548,6 +560,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeFamily("progidx_table_rows", "gauge", "Rows in the table.",
 		func(ts TableStats) (float64, bool) { return float64(ts.Rows), true })
+	writeFamily("progidx_table_shards", "gauge", "Index shards backing the table (1 = unsharded).",
+		func(ts TableStats) (float64, bool) { return float64(ts.Shards), true })
 	writeFamily("progidx_table_convergence", "gauge", "Index convergence fraction in [0,1].",
 		func(ts TableStats) (float64, bool) { return ts.Progress, true })
 	writeFamily("progidx_table_converged", "gauge", "1 once the index reached its terminal state.",

@@ -1,0 +1,720 @@
+// Package shard implements sharded progressive execution: a column is
+// range-partitioned into S horizontal shards (contiguous row ranges),
+// each backed by its own progressive index and described by a min/max
+// zone map computed during partitioning.
+//
+// Execution follows three ideas:
+//
+//  1. Zone-map pruning. A query's predicate is intersected with every
+//     shard's [min, max]; shards that cannot contain a matching row are
+//     skipped entirely — no lock, no scan, no indexing work. On data
+//     with value locality (time-ordered loads, clustered attributes) a
+//     selective predicate touches O(1) shards instead of the whole
+//     column.
+//  2. Whole-query parallelism. The surviving shards fan out over the
+//     shared worker pool (one task per shard), and their partial
+//     aggregates merge in shard order, so answers are bit-identical to
+//     the unsharded oracle at every worker count.
+//  3. Heat-driven convergence. Each shard carries a heat counter (how
+//     many queries it survived pruning for). One query's indexing
+//     budget is split across its surviving shards in proportion to
+//     heat (costmodel.HeatShares), so the shards the workload actually
+//     touches converge first, and pruned shards consume no budget at
+//     all.
+//
+// The Sharded type exposes the same concurrency-safe surface as
+// progidx.Synchronized (Execute, TryExecute, ExecuteBatch, RefineStep,
+// Progress, Phase), with per-shard locking: queries on disjoint shards
+// proceed in parallel even before convergence, and a converged shard's
+// lock degrades to a shared read lock.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/column"
+	"repro/internal/costmodel"
+	"repro/internal/parallel"
+	"repro/internal/query"
+)
+
+// Index is the per-shard index surface, structurally identical to the
+// root package's Index interface so any progidx strategy satisfies it.
+type Index interface {
+	Name() string
+	Execute(req query.Request) (query.Answer, error)
+	Query(lo, hi int64) column.Result
+	Converged() bool
+}
+
+// Factory builds one shard's index over its partition of the base
+// column. The root package supplies progidx.NewFromColumn here; tests
+// inject stubs.
+type Factory func(col *column.Column) (Index, error)
+
+// Optional per-shard index capabilities, asserted structurally so this
+// package needs no dependency on the packages that implement them.
+type (
+	suspender    interface{ SetIndexingSuspended(bool) }
+	budgetScaler interface{ SetBudgetScale(float64) }
+	progressor   interface{ Progress() float64 }
+	phaser       interface{ Phase() query.Phase }
+)
+
+// state is one shard: a contiguous row range of the base column with
+// its zone map, index, lock and heat accounting.
+type state struct {
+	mu  sync.RWMutex
+	idx Index
+
+	start, end int   // row range [start, end) in the base column
+	min, max   int64 // zone map: extrema of the shard's rows
+
+	// converged is the sticky read-path switch, exactly as in
+	// progidx.Synchronized: set after observing idx.Converged() under
+	// the write lock; once true, queries share the lock.
+	converged atomic.Bool
+
+	// heat counts the queries this shard survived pruning for; it
+	// drives the budget split and the idle-refinement order.
+	heat atomic.Uint64
+	// executes counts Execute calls that actually reached the index —
+	// the "pruned shards do zero scan work" witness: a shard that is
+	// never executed performs no scan and no indexing work.
+	executes atomic.Uint64
+	// refines counts idle RefineStep slices spent on this shard.
+	refines atomic.Uint64
+}
+
+// noteConverged records the shard index's terminal state; the caller
+// holds the shard lock in either mode (the true-store is idempotent).
+func (st *state) noteConverged() {
+	if !st.converged.Load() && st.idx.Converged() {
+		st.converged.Store(true)
+	}
+}
+
+// Sharded is a range-partitioned progressive index. It is safe for
+// concurrent use; see the package comment for the execution model.
+type Sharded struct {
+	col    *column.Column
+	shards []*state
+	pool   *parallel.Pool
+	name   string
+
+	// rr sequences idle-refinement steps round-robin through the
+	// heat-ordered unconverged shards.
+	rr atomic.Uint64
+	// allDone is the sticky all-shards-converged switch.
+	allDone atomic.Bool
+}
+
+// Config sizes a Sharded index.
+type Config struct {
+	// Shards is the number of partitions S; it is clamped to [1, rows].
+	Shards int
+	// Workers sizes the cross-shard fan-out pool: 0 means GOMAXPROCS,
+	// 1 executes survivors serially. Per-shard index kernels run
+	// serially regardless (the shard fan-out is the parallelism; see
+	// DESIGN.md section 9), so answers are bit-identical at any value.
+	Workers int
+}
+
+// New partitions col into cfg.Shards contiguous row ranges and builds
+// one index per shard with factory. The zone statistics of every shard
+// are computed in a single parallel pass during partitioning and handed
+// to column.NewWithStats, so no partition is scanned twice.
+func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("shard: nil factory")
+	}
+	n := col.Len()
+	s := cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	pool := parallel.New(cfg.Workers)
+
+	shards := make([]*state, s)
+	vals := col.Values()
+	var firstErr atomic.Pointer[error]
+	// One pass per shard: compute the zone map while the partition is
+	// hot, then construct the shard column with NewWithStats (no second
+	// min/max scan) and its index. Shards are scanned concurrently.
+	pool.Run(s, 1, func(_, a, b int) {
+		for i := a; i < b; i++ {
+			start, end := i*n/s, (i+1)*n/s
+			part := vals[start:end]
+			mn, mx := part[0], part[0]
+			for _, v := range part {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			pcol, err := column.NewWithStats(part, mn, mx)
+			if err == nil {
+				var idx Index
+				if idx, err = factory(pcol); err == nil {
+					shards[i] = &state{idx: idx, start: start, end: end, min: mn, max: mx}
+					continue
+				}
+			}
+			err = fmt.Errorf("shard %d [%d, %d): %w", i, start, end, err)
+			firstErr.CompareAndSwap(nil, &err)
+		}
+	})
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	return &Sharded{
+		col:    col,
+		shards: shards,
+		pool:   pool,
+		name:   fmt.Sprintf("%s/S%d", shards[0].idx.Name(), s),
+	}, nil
+}
+
+// Name implements the index interface: the shard strategy's name plus
+// the shard count, e.g. "PQ/S8".
+func (s *Sharded) Name() string { return s.name }
+
+// Shards returns the partition count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// ValueBounds returns the whole column's zone statistics.
+func (s *Sharded) ValueBounds() (int64, int64) { return s.col.Min(), s.col.Max() }
+
+// survivors appends to dst the indices of shards whose zone map
+// intersects [lo, hi] and returns it. An empty predicate (lo > hi, the
+// canonical rewrite) survives nowhere.
+func (s *Sharded) survivors(dst []int, lo, hi int64) []int {
+	if lo > hi {
+		return dst
+	}
+	for i, st := range s.shards {
+		if st.max >= lo && st.min <= hi {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// partial is one surviving shard's contribution to a query.
+type partial struct {
+	agg   column.Agg
+	stats query.Stats
+	err   error
+}
+
+// scratch is the per-Execute working set, pooled so the steady-state
+// (converged) read path performs zero heap allocations per query. The
+// slices keep their capacity across queries; only growth allocates.
+type scratch struct {
+	surv   []int
+	heats  []uint64
+	shares []float64
+	parts  []partial
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grow resizes the scratch for n survivors, reusing capacity.
+func (sc *scratch) grow(n int) {
+	if cap(sc.heats) < n {
+		sc.heats = make([]uint64, n)
+		sc.parts = make([]partial, n)
+	}
+	sc.heats = sc.heats[:n]
+	sc.parts = sc.parts[:n]
+}
+
+// Execute answers req exactly: prune by zone map, fan the survivors out
+// over the worker pool, merge their partial aggregates in shard order.
+// Every surviving shard's heat is bumped, and this query's indexing
+// budget is split across the survivors proportionally to heat, so hot
+// shards converge first; pruned shards perform zero work of any kind.
+func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
+	lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+	if err != nil {
+		return query.Answer{}, err
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.surv = s.survivors(sc.surv[:0], lo, hi)
+	surv := sc.surv
+	if len(surv) == 0 {
+		// Nothing can match: the empty answer, with zero work — the
+		// sharded analogue of Synchronized's zone-map fast path. The
+		// phase stays truthful lock-free: Done once every shard is.
+		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats()), nil
+	}
+
+	// Heat first (so this query's own hits participate in the split),
+	// then the budget shares over the survivors. Fully converged
+	// survivor sets skip the share computation: their budgeters have
+	// nothing left to plan.
+	sc.grow(len(surv))
+	heats, parts := sc.heats, sc.parts
+	allConverged := true
+	for k, i := range surv {
+		heats[k] = s.shards[i].heat.Add(1)
+		if !s.shards[i].converged.Load() {
+			allConverged = false
+		}
+	}
+	var shares []float64
+	if !allConverged {
+		sc.shares = costmodel.HeatShares(sc.shares, heats)
+		shares = sc.shares
+	}
+
+	sub := query.Request{Pred: req.Pred, Aggs: aggs}
+	if s.pool.Chunks(len(surv), 1) == 1 {
+		// Serial fan-out (one worker or one survivor): execute inline,
+		// with no closure or fork/join overhead — the zero-allocation
+		// steady-state path for selective queries on converged shards.
+		for k := range surv {
+			scale := 1.0
+			if shares != nil {
+				scale = shares[k]
+			}
+			parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, false)
+		}
+	} else {
+		s.pool.Run(len(surv), 1, func(_, a, b int) {
+			for k := a; k < b; k++ {
+				scale := 1.0
+				if shares != nil {
+					scale = shares[k]
+				}
+				parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, false)
+			}
+		})
+	}
+
+	return s.mergeAnswer(surv, parts, aggs)
+}
+
+// executeShard runs one sub-request against one shard under its lock.
+// A converged shard takes the shared lock (read-only execution, any
+// number of concurrent queries); an unconverged shard takes the write
+// lock, applies the heat-weighted budget scale, and optionally runs
+// with indexing suspended (the batch amortization hook).
+func (s *Sharded) executeShard(st *state, sub query.Request, scale float64, suspend bool) partial {
+	st.executes.Add(1)
+	if st.converged.Load() {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		ans, err := st.idx.Execute(sub)
+		return partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sc, ok := st.idx.(budgetScaler); ok {
+		sc.SetBudgetScale(scale)
+	}
+	if suspend {
+		if sp, ok := st.idx.(suspender); ok {
+			sp.SetIndexingSuspended(true)
+			defer sp.SetIndexingSuspended(false)
+		}
+	}
+	ans, err := st.idx.Execute(sub)
+	st.noteConverged()
+	return partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
+}
+
+// answerAgg reconstructs the kernel accumulator from a shard's answer
+// so partials merge exactly: an empty shard answer contributes the
+// ±inf extrema sentinels, never a fake zero.
+func answerAgg(ans query.Answer) column.Agg {
+	agg := column.NewAgg()
+	agg.Sum, agg.Count = ans.Sum, ans.Count
+	if ans.Count > 0 && ans.Aggs.NeedsMinMax() {
+		agg.Min, agg.Max = ans.Min, ans.Max
+	}
+	return agg
+}
+
+// mergeAnswer folds the survivors' partials, in shard order, into one
+// Answer. Work stats are additive (each shard really did that work);
+// the phase reported is the furthest-behind phase among the survivors,
+// matching how a caller would read a single index's lifecycle.
+func (s *Sharded) mergeAnswer(surv []int, parts []partial, aggs column.Aggregates) (query.Answer, error) {
+	agg := column.NewAgg()
+	var stats query.Stats
+	stats.Workers = s.pool.Workers()
+	stats.Phase = query.PhaseDone
+	total := float64(s.col.Len())
+	for k := range parts {
+		if parts[k].err != nil {
+			return query.Answer{}, parts[k].err
+		}
+		agg.Merge(parts[k].agg)
+		st := &parts[k].stats
+		rows := float64(s.shards[surv[k]].end - s.shards[surv[k]].start)
+		stats.Delta += st.Delta * rows / total // fraction of the whole column indexed
+		stats.WorkSeconds += st.WorkSeconds
+		stats.BaseSeconds += st.BaseSeconds
+		stats.Predicted += st.Predicted
+		stats.AlphaElems += st.AlphaElems
+		if st.Phase < stats.Phase {
+			stats.Phase = st.Phase
+		}
+	}
+	s.noteAllDone()
+	return query.NewAnswer(agg, aggs, stats), nil
+}
+
+// prunedStats is the Stats of a query whose every shard was pruned:
+// zero work, with the phase a lock-free caller can still know.
+func (s *Sharded) prunedStats() query.Stats {
+	st := query.Stats{Workers: s.pool.Workers()}
+	if s.allDone.Load() {
+		st.Phase = query.PhaseDone
+	}
+	return st
+}
+
+// noteAllDone refreshes the sticky all-converged switch.
+func (s *Sharded) noteAllDone() {
+	if s.allDone.Load() {
+		return
+	}
+	for _, st := range s.shards {
+		if !st.converged.Load() {
+			return
+		}
+	}
+	s.allDone.Store(true)
+}
+
+// Query answers SUM/COUNT over [lo, hi] inclusive (v1 surface).
+func (s *Sharded) Query(lo, hi int64) column.Result {
+	ans, _ := s.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return column.Result{Sum: ans.Sum, Count: ans.Count}
+}
+
+// TryExecute is the non-blocking Execute: if any surviving unconverged
+// shard's lock is held it returns ok == false without touching any
+// index. Survivors execute serially on the calling goroutine — the
+// non-blocking path is a scheduler probe, not the throughput path.
+func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
+	lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+	if err != nil {
+		return query.Answer{}, false, err
+	}
+	surv := s.survivors(make([]int, 0, len(s.shards)), lo, hi)
+	if len(surv) == 0 {
+		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats()), true, nil
+	}
+	// Acquire every survivor's lock up front (in shard order, so two
+	// TryExecutes cannot deadlock), bailing out if any is contended.
+	type held struct {
+		st     *state
+		shared bool
+	}
+	locks := make([]held, 0, len(surv))
+	release := func() {
+		for _, h := range locks {
+			if h.shared {
+				h.st.mu.RUnlock()
+			} else {
+				h.st.mu.Unlock()
+			}
+		}
+	}
+	for _, i := range surv {
+		st := s.shards[i]
+		if st.converged.Load() {
+			st.mu.RLock()
+			locks = append(locks, held{st, true})
+			continue
+		}
+		if !st.mu.TryLock() {
+			release()
+			return query.Answer{}, false, nil
+		}
+		locks = append(locks, held{st, false})
+	}
+	defer release()
+
+	heats := make([]uint64, len(surv))
+	allConverged := true
+	for k, i := range surv {
+		heats[k] = s.shards[i].heat.Add(1)
+		if !s.shards[i].converged.Load() {
+			allConverged = false
+		}
+	}
+	var shares []float64
+	if !allConverged {
+		shares = costmodel.HeatShares(nil, heats)
+	}
+	sub := query.Request{Pred: req.Pred, Aggs: aggs}
+	parts := make([]partial, len(surv))
+	for k, i := range surv {
+		st := s.shards[i]
+		st.executes.Add(1)
+		if shares != nil && !st.converged.Load() {
+			if sc, ok := st.idx.(budgetScaler); ok {
+				sc.SetBudgetScale(shares[k])
+			}
+		}
+		ans, err := st.idx.Execute(sub)
+		st.noteConverged()
+		parts[k] = partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
+	}
+	ans, err := s.mergeAnswer(surv, parts, aggs)
+	return ans, true, err
+}
+
+// ExecuteBatch executes several requests under one indexing budget:
+// the first request runs with the heat-weighted budget enabled and the
+// remainder with per-shard indexing suspended, mirroring
+// Synchronized.ExecuteBatch. Answers positionally match reqs.
+func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
+	answers := make([]query.Answer, len(reqs))
+	errs := make([]error, len(reqs))
+	for qi, req := range reqs {
+		lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+		if err != nil {
+			errs[qi] = err
+			continue
+		}
+		surv := s.survivors(make([]int, 0, len(s.shards)), lo, hi)
+		if len(surv) == 0 {
+			answers[qi] = query.NewAnswer(column.NewAgg(), aggs, s.prunedStats())
+			continue
+		}
+		heats := make([]uint64, len(surv))
+		allConverged := true
+		for k, i := range surv {
+			heats[k] = s.shards[i].heat.Add(1)
+			if !s.shards[i].converged.Load() {
+				allConverged = false
+			}
+		}
+		var shares []float64
+		if !allConverged {
+			shares = costmodel.HeatShares(nil, heats)
+		}
+		suspend := qi > 0
+		sub := query.Request{Pred: req.Pred, Aggs: aggs}
+		parts := make([]partial, len(surv))
+		s.pool.Run(len(surv), 1, func(_, a, b int) {
+			for k := a; k < b; k++ {
+				scale := 1.0
+				if shares != nil {
+					scale = shares[k]
+				}
+				parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, suspend)
+			}
+		})
+		answers[qi], errs[qi] = s.mergeAnswer(surv, parts, aggs)
+	}
+	return answers, errs
+}
+
+// idleRequest is the canonical no-client-query request RefineStep
+// executes, identical to Synchronized's: a predicate rewritten to the
+// in-domain empty range, so the call is almost pure indexing work.
+var idleRequest = query.Request{Pred: query.Range(1, 0), Aggs: column.AggCount}
+
+// RefineStep spends one indexing-budget slice on the next shard in
+// heat order — unconverged shards sorted hottest-first, visited round-
+// robin so ties (and the cold tail) still make progress. The budget
+// scale is the shard count: an idle slice concentrates the full
+// per-query budget on one shard, so an idle Sharded index converges in
+// about as much wall-clock as an idle unsharded one, hot shards first.
+// It returns the slice's work stats and whether every shard is now
+// converged.
+func (s *Sharded) RefineStep() (query.Stats, bool) {
+	if s.allDone.Load() {
+		return query.Stats{}, true
+	}
+	target := s.nextRefineTarget()
+	if target == nil {
+		s.noteAllDone()
+		return query.Stats{}, s.allDone.Load()
+	}
+	target.mu.Lock()
+	if target.idx.Converged() {
+		target.noteConverged()
+		target.mu.Unlock()
+		s.noteAllDone()
+		return query.Stats{}, s.allDone.Load()
+	}
+	if sc, ok := target.idx.(budgetScaler); ok {
+		sc.SetBudgetScale(float64(len(s.shards)))
+	}
+	ans, err := target.idx.Execute(idleRequest)
+	target.noteConverged()
+	target.mu.Unlock()
+	target.refines.Add(1)
+	if err != nil {
+		return query.Stats{}, false
+	}
+	s.noteAllDone()
+	return ans.Stats, s.allDone.Load()
+}
+
+// nextRefineTarget picks the round-robin cursor's shard among the
+// unconverged ones ordered by heat (descending, shard index breaking
+// ties), or nil when everything converged.
+func (s *Sharded) nextRefineTarget() *state {
+	type cand struct {
+		heat uint64
+		i    int
+	}
+	cands := make([]cand, 0, len(s.shards))
+	for i, st := range s.shards {
+		if !st.converged.Load() {
+			cands = append(cands, cand{st.heat.Load(), i})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Heat descending, shard index breaking ties. O(S log S) per slice
+	// keeps even a 4096-shard idle loop's ordering cost negligible next
+	// to the budget slice it schedules.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].heat != cands[b].heat {
+			return cands[a].heat > cands[b].heat
+		}
+		return cands[a].i < cands[b].i
+	})
+	return s.shards[cands[int(s.rr.Add(1)-1)%len(cands)].i]
+}
+
+// Converged reports whether every shard reached its terminal state.
+func (s *Sharded) Converged() bool {
+	if s.allDone.Load() {
+		return true
+	}
+	for _, st := range s.shards {
+		if st.converged.Load() {
+			continue
+		}
+		st.mu.RLock()
+		st.noteConverged()
+		done := st.converged.Load()
+		st.mu.RUnlock()
+		if !done {
+			return false
+		}
+	}
+	s.allDone.Store(true)
+	return true
+}
+
+// Progress returns the row-weighted mean convergence fraction across
+// shards, exactly 1 once all shards converged.
+func (s *Sharded) Progress() float64 {
+	if s.allDone.Load() {
+		return 1
+	}
+	var weighted float64
+	for _, st := range s.shards {
+		rows := float64(st.end - st.start)
+		if st.converged.Load() {
+			weighted += rows
+			continue
+		}
+		st.mu.RLock()
+		switch p := st.idx.(type) {
+		case progressor:
+			f := p.Progress()
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			weighted += rows * f
+		default:
+			if st.idx.Converged() {
+				weighted += rows
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return weighted / float64(s.col.Len())
+}
+
+// Phase reports the furthest-behind lifecycle phase across shards when
+// the shard strategy exposes one (ok == false otherwise). A fully
+// converged sharded index reports PhaseDone.
+func (s *Sharded) Phase() (query.Phase, bool) {
+	min := query.PhaseDone
+	for _, st := range s.shards {
+		p, ok := st.idx.(phaser)
+		if !ok {
+			return 0, false
+		}
+		if st.converged.Load() {
+			continue
+		}
+		st.mu.RLock()
+		ph := p.Phase()
+		st.mu.RUnlock()
+		if ph < min {
+			min = ph
+		}
+	}
+	return min, true
+}
+
+// Info is a point-in-time snapshot of one shard, for the stats
+// endpoints and the benchmark's pruning verification.
+type Info struct {
+	Rows      int     `json:"rows"`
+	MinValue  int64   `json:"min_value"`
+	MaxValue  int64   `json:"max_value"`
+	Heat      uint64  `json:"heat"`
+	Executes  uint64  `json:"executes"`
+	Refines   uint64  `json:"refine_slices"`
+	Converged bool    `json:"converged"`
+	Progress  float64 `json:"convergence"`
+}
+
+// ShardStats snapshots every shard. A shard with Executes == 0 and
+// Refines == 0 has performed zero scan and zero indexing work — the
+// observable guarantee behind zone-map pruning.
+func (s *Sharded) ShardStats() []Info {
+	out := make([]Info, len(s.shards))
+	for i, st := range s.shards {
+		info := Info{
+			Rows:     st.end - st.start,
+			MinValue: st.min,
+			MaxValue: st.max,
+			Heat:     st.heat.Load(),
+			Executes: st.executes.Load(),
+			Refines:  st.refines.Load(),
+		}
+		if st.converged.Load() {
+			info.Converged, info.Progress = true, 1
+		} else {
+			st.mu.RLock()
+			info.Converged = st.idx.Converged()
+			if p, ok := st.idx.(progressor); ok {
+				info.Progress = p.Progress()
+			} else if info.Converged {
+				info.Progress = 1
+			}
+			st.mu.RUnlock()
+		}
+		out[i] = info
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/query"
+)
+
+// stubIndex is a minimal per-shard index for white-box tests: a
+// predicated scan that "converges" after a fixed number of queries and
+// records the budget scales it was handed.
+type stubIndex struct {
+	col       *column.Column
+	queries   int
+	doneAfter int
+	scales    []float64
+	suspends  int
+}
+
+func (s *stubIndex) Name() string { return "STUB" }
+
+func (s *stubIndex) Execute(req query.Request) (query.Answer, error) {
+	return query.Run(req, s.col.Min(), s.col.Max(), func(lo, hi int64, aggs column.Aggregates) (column.Agg, query.Stats) {
+		s.queries++
+		return column.AggRange(s.col.Values(), lo, hi, aggs), query.Stats{Workers: 1}
+	})
+}
+
+func (s *stubIndex) Query(lo, hi int64) column.Result {
+	ans, _ := s.Execute(query.Request{Pred: query.Range(lo, hi)})
+	return column.Result{Sum: ans.Sum, Count: ans.Count}
+}
+
+func (s *stubIndex) Converged() bool { return s.queries >= s.doneAfter }
+
+func (s *stubIndex) SetBudgetScale(f float64) { s.scales = append(s.scales, f) }
+
+func (s *stubIndex) SetIndexingSuspended(on bool) {
+	if on {
+		s.suspends++
+	}
+}
+
+func stubFactory(doneAfter int) (Factory, *[]*stubIndex) {
+	built := &[]*stubIndex{}
+	return func(col *column.Column) (Index, error) {
+		st := &stubIndex{col: col, doneAfter: doneAfter}
+		*built = append(*built, st)
+		return st, nil
+	}, built
+}
+
+// clustered returns n sorted values 0..n-1: every shard gets a tight,
+// disjoint zone map.
+func clustered(n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	return vals
+}
+
+// TestPartitioning pins the row-range split and the zone maps computed
+// during partitioning: S contiguous ranges covering every row exactly
+// once, with true per-partition extrema.
+func TestPartitioning(t *testing.T) {
+	vals := []int64{5, -3, 9, 9, 0, -7, 2, 2, 11, 4}
+	col := column.MustNew(vals)
+	for _, S := range []int{1, 2, 3, 4, 10, 99} {
+		factory, _ := stubFactory(1)
+		sh, err := New(col, Config{Shards: S, Workers: 1}, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantShards := S
+		if wantShards > len(vals) {
+			wantShards = len(vals)
+		}
+		if sh.Shards() != wantShards {
+			t.Fatalf("S=%d: got %d shards, want %d", S, sh.Shards(), wantShards)
+		}
+		rows := 0
+		for i, st := range sh.shards {
+			part := vals[st.start:st.end]
+			if len(part) == 0 {
+				t.Fatalf("S=%d shard %d empty", S, i)
+			}
+			rows += len(part)
+			mn, mx := part[0], part[0]
+			for _, v := range part {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if st.min != mn || st.max != mx {
+				t.Fatalf("S=%d shard %d zone [%d,%d], want [%d,%d]", S, i, st.min, st.max, mn, mx)
+			}
+			if i > 0 && st.start != sh.shards[i-1].end {
+				t.Fatalf("S=%d shard %d not contiguous", S, i)
+			}
+		}
+		if rows != len(vals) {
+			t.Fatalf("S=%d shards cover %d rows, want %d", S, rows, len(vals))
+		}
+	}
+}
+
+// TestFactoryErrorPropagates pins construction failure handling.
+func TestFactoryErrorPropagates(t *testing.T) {
+	col := column.MustNew(clustered(100))
+	boom := errors.New("boom")
+	_, err := New(col, Config{Shards: 4}, func(c *column.Column) (Index, error) {
+		if c.Min() >= 50 {
+			return nil, boom
+		}
+		return &stubIndex{col: c, doneAfter: 1}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("factory error not propagated: %v", err)
+	}
+	if _, err := New(col, Config{Shards: 2}, nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+// TestPruningAndHeat pins the zone-map survivor computation and the
+// heat accounting through the public Execute surface.
+func TestPruningAndHeat(t *testing.T) {
+	col := column.MustNew(clustered(1000))
+	factory, built := stubFactory(1 << 30) // never converges
+	sh, err := New(col, Config{Shards: 4, Workers: 1}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values [0, 250) live in shard 0 only.
+	for i := 0; i < 5; i++ {
+		ans, err := sh.Execute(query.Request{Pred: query.Range(10, 20)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Count != 11 {
+			t.Fatalf("count %d, want 11", ans.Count)
+		}
+	}
+	// A cross-boundary query touches exactly two shards.
+	if _, err := sh.Execute(query.Request{Pred: query.Range(240, 260)}); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-domain query touches none.
+	if ans, err := sh.Execute(query.Request{Pred: query.Point(5000)}); err != nil || ans.Count != 0 {
+		t.Fatalf("out-of-domain: ans=%+v err=%v", ans, err)
+	}
+	stats := sh.ShardStats()
+	wantExec := []uint64{6, 1, 0, 0}
+	for i, st := range stats {
+		if st.Executes != wantExec[i] {
+			t.Errorf("shard %d executes %d, want %d", i, st.Executes, wantExec[i])
+		}
+		if st.Heat != wantExec[i] {
+			t.Errorf("shard %d heat %d, want %d", i, st.Heat, wantExec[i])
+		}
+	}
+	if (*built)[2].queries != 0 || (*built)[3].queries != 0 {
+		t.Fatal("pruned shards executed queries")
+	}
+}
+
+// TestHeatShares pins the budget scales handed to the per-shard
+// indexes: survivors split one query's budget in proportion to heat.
+func TestHeatShares(t *testing.T) {
+	col := column.MustNew(clustered(1000))
+	factory, built := stubFactory(1 << 30)
+	sh, err := New(col, Config{Shards: 2, Workers: 1}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm shard 0 alone, then query both: shard 0 must receive the
+	// larger scale, and the two scales must sum to the survivor count.
+	for i := 0; i < 3; i++ {
+		if _, err := sh.Execute(query.Request{Pred: query.Range(0, 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sh.Execute(query.Request{Pred: query.Range(0, 999)}); err != nil {
+		t.Fatal(err)
+	}
+	s0 := (*built)[0].scales
+	s1 := (*built)[1].scales
+	if len(s1) != 1 {
+		t.Fatalf("cold shard saw %d scales, want 1", len(s1))
+	}
+	last0 := s0[len(s0)-1]
+	// Heats at the shared query: shard 0 = 4, shard 1 = 1 → scales
+	// 2·4/5 and 2·1/5.
+	if want := 2.0 * 4 / 5; last0 != want {
+		t.Errorf("hot shard scale %v, want %v", last0, want)
+	}
+	if want := 2.0 * 1 / 5; s1[0] != want {
+		t.Errorf("cold shard scale %v, want %v", s1[0], want)
+	}
+}
+
+// TestExecuteBatchSuspendsTail pins the batch amortization: only the
+// first request of a batch runs with the indexing budget enabled.
+func TestExecuteBatchSuspendsTail(t *testing.T) {
+	col := column.MustNew(clustered(1000))
+	factory, built := stubFactory(1 << 30)
+	sh, err := New(col, Config{Shards: 2, Workers: 1}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []query.Request{
+		{Pred: query.Range(0, 999)},
+		{Pred: query.Range(0, 999)},
+		{Pred: query.Range(0, 999)},
+	}
+	answers, errs := sh.ExecuteBatch(reqs)
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if answers[i].Count != 1000 {
+			t.Fatalf("batch answer %d count %d, want 1000", i, answers[i].Count)
+		}
+	}
+	for i, st := range *built {
+		if st.suspends != 2 {
+			t.Errorf("shard %d saw %d suspended executions, want 2", i, st.suspends)
+		}
+	}
+}
+
+// TestRefineRoundRobin pins the idle-refinement order: hottest shard
+// first, then round-robin through the remaining unconverged ones.
+func TestRefineRoundRobin(t *testing.T) {
+	col := column.MustNew(clustered(900))
+	factory, built := stubFactory(3) // each shard converges after 3 calls
+	sh, err := New(col, Config{Shards: 3, Workers: 1}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat shard 2 (values 600..899) so it leads the refine order.
+	if _, err := sh.Execute(query.Request{Pred: query.Range(700, 710)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, done := sh.RefineStep(); done {
+		t.Fatal("converged too early")
+	}
+	if (*built)[2].queries != 2 { // 1 real query + 1 idle slice
+		t.Fatalf("first idle slice went elsewhere: shard 2 has %d queries", (*built)[2].queries)
+	}
+	// Drive to full convergence; every shard must get slices.
+	done := false
+	for i := 0; i < 100 && !done; i++ {
+		_, done = sh.RefineStep()
+	}
+	if !done || !sh.Converged() {
+		t.Fatal("sharded stub never converged under RefineStep")
+	}
+	for i, st := range sh.ShardStats() {
+		if st.Refines == 0 {
+			t.Errorf("shard %d received no idle slices", i)
+		}
+		if !st.Converged {
+			t.Errorf("shard %d not converged", i)
+		}
+	}
+	if p := sh.Progress(); p != 1 {
+		t.Fatalf("Progress() = %v after convergence", p)
+	}
+}
+
+// TestNameAndBounds pins the cosmetic surface.
+func TestNameAndBounds(t *testing.T) {
+	col := column.MustNew(clustered(100))
+	factory, _ := stubFactory(1)
+	sh, err := New(col, Config{Shards: 4}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sh.Name(), "STUB/S4"; got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+	if mn, mx := sh.ValueBounds(); mn != 0 || mx != 99 {
+		t.Fatalf("ValueBounds() = (%d, %d), want (0, 99)", mn, mx)
+	}
+}
+
+// TestWorkerInvariantAnswers runs the same query stream at several
+// fan-out widths and requires identical answers (the merge-in-shard-
+// order determinism contract), using the stub scan index.
+func TestWorkerInvariantAnswers(t *testing.T) {
+	vals := clustered(10000)
+	col := column.MustNew(vals)
+	var want []query.Answer
+	for wi, workers := range []int{1, 2, 5} {
+		factory, _ := stubFactory(1 << 30)
+		sh, err := New(col, Config{Shards: 8, Workers: workers}, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []query.Answer
+		for q := 0; q < 30; q++ {
+			lo := int64(q * 311 % 9000)
+			ans, err := sh.Execute(query.Request{Pred: query.Range(lo, lo+500), Aggs: column.AggAll})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The fan-out width is the one legitimate difference.
+			ans.Stats.Workers = 0
+			got = append(got, ans)
+		}
+		if wi == 0 {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+var sinkAnswer query.Answer
+
+// BenchmarkShardedExecute measures sharded execution on clustered data
+// at several shard counts and selectivities, with the stub scan index
+// isolating the shard layer's own overhead (pruning, fan-out, merge).
+// The CI smoke step runs this with -benchtime=1x to keep it compiling
+// and executing.
+func BenchmarkShardedExecute(b *testing.B) {
+	const n = 1 << 18
+	col := column.MustNew(clustered(n))
+	for _, S := range []int{1, 4, 16} {
+		for _, sel := range []float64{0.001, 0.1} {
+			width := int64(float64(n) * sel)
+			factory, _ := stubFactory(1 << 30)
+			sh, err := New(col, Config{Shards: S}, factory)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("shards=%d/sel=%g", S, sel), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					lo := int64(i) * 7919 % (int64(n) - width)
+					sinkAnswer, _ = sh.Execute(query.Request{Pred: query.Range(lo, lo+width)})
+				}
+			})
+		}
+	}
+}

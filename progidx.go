@@ -330,6 +330,13 @@ type Options struct {
 	// time changes. The worker count used is reported in Stats.Workers.
 	Workers int
 
+	// Shards splits the column into this many contiguous row-range
+	// partitions, each backed by its own index of the selected strategy
+	// with a min/max zone map (see Sharded). 0 or 1 means unsharded.
+	// With Shards > 1, New returns a *Sharded, which is safe for
+	// concurrent use as-is and must not be wrapped in Synchronize.
+	Shards int
+
 	// Seed drives the stochastic cracking baselines.
 	Seed int64
 }
@@ -349,6 +356,9 @@ func New(values []int64, opts Options) (Index, error) {
 // NewFromColumn is New for a pre-built column (shared across several
 // indexes in the benchmarks, avoiding repeated min/max passes).
 func NewFromColumn(col *column.Column, opts Options) (Index, error) {
+	if opts.Shards > 1 {
+		return NewShardedFromColumn(col, opts)
+	}
 	ccfg := core.Config{
 		Delta:      opts.Delta,
 		RadixBits:  opts.RadixBits,

@@ -1,0 +1,8 @@
+//go:build race
+
+package progidx
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation (and sync.Pool randomization) adds
+// allocations the zero-alloc pins must not count.
+const raceEnabled = true

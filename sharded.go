@@ -1,0 +1,96 @@
+package progidx
+
+import (
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/shard"
+)
+
+// Sharded is a range-partitioned progressive index: the column is split
+// into Options.Shards contiguous row ranges, each backed by its own
+// progressive index of the selected strategy and described by a min/max
+// zone map computed during partitioning. Execute prunes shards whose
+// zone map cannot intersect the predicate, fans the survivors out over
+// the worker pool, merges their partial aggregates in shard order (so
+// answers are bit-identical to the unsharded index at any worker
+// count), and splits the per-query indexing budget across survivors in
+// proportion to their heat — the shards a workload touches converge
+// first, and shards it never touches do zero work.
+//
+// Sharded is safe for concurrent use and implements Handle, the same
+// scheduler surface as *Synchronized; do not wrap it in Synchronize
+// (that would serialize the per-shard locks behind one global lock).
+type Sharded = shard.Sharded
+
+// ShardInfo is a point-in-time snapshot of one shard, as returned by
+// Sharded.ShardStats.
+type ShardInfo = shard.Info
+
+// NewSharded builds a sharded index of the selected strategy over
+// values. Options.Shards chooses the partition count (values < 1 are
+// treated as 1; a single shard is valid and useful for apples-to-apples
+// comparisons). Options.Workers sizes the cross-shard fan-out pool;
+// the per-shard index kernels themselves run serially, because with
+// one goroutine per surviving shard the shard fan-out already uses the
+// cores (DESIGN.md section 9).
+func NewSharded(values []int64, opts Options) (*Sharded, error) {
+	col, err := column.New(values)
+	if err != nil {
+		return nil, err
+	}
+	return NewShardedFromColumn(col, opts)
+}
+
+// NewShardedFromColumn is NewSharded for a pre-built column.
+func NewShardedFromColumn(col *column.Column, opts Options) (*Sharded, error) {
+	cfg := shard.Config{Shards: opts.Shards, Workers: opts.Workers}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	child := opts
+	child.Shards = 0
+	child.Workers = 1 // the shard fan-out is the parallelism
+	// Keep the wall-clock budget truthful: S shards of N/S rows each
+	// must together spend what one index over N rows would, so each
+	// shard's budgeter is sized at 1/S of the per-query time budget
+	// (δ budgets are fractions of the shard's own data and need no
+	// rescaling). The heat-weighted split then re-weights these equal
+	// slices toward hot shards at query time.
+	if cfg.Shards > 1 && child.Budget > 0 {
+		child.Budget /= time.Duration(cfg.Shards)
+	}
+	return shard.New(col, cfg, func(c *column.Column) (shard.Index, error) {
+		return NewFromColumn(c, child)
+	})
+}
+
+// NewHandle builds the concurrency-safe serving handle for opts: a
+// *Sharded when opts.Shards > 1 (its per-shard locks make it safe by
+// construction), otherwise a *Synchronized around the unsharded index.
+// The serving layer's catalog loads every table through this.
+func NewHandle(values []int64, opts Options) (Handle, error) {
+	col, err := column.New(values)
+	if err != nil {
+		return nil, err
+	}
+	return NewHandleFromColumn(col, opts)
+}
+
+// NewHandleFromColumn is NewHandle for a pre-built column.
+func NewHandleFromColumn(col *column.Column, opts Options) (Handle, error) {
+	if opts.Shards > 1 {
+		return NewShardedFromColumn(col, opts)
+	}
+	idx, err := NewFromColumn(col, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Synchronize(idx), nil
+}
+
+// Both serving handles expose the same scheduler surface.
+var (
+	_ Handle = (*Synchronized)(nil)
+	_ Handle = (*Sharded)(nil)
+)
