@@ -1,0 +1,382 @@
+package progidx
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// appendHandle builds the serving handle for the append property tests
+// and, for the unsharded (Synchronized) flavor, lowers the query-path
+// merge trigger so the trace actually exercises rebuild-and-swap.
+func appendHandle(t *testing.T, vals []int64, opts Options) Handle {
+	t.Helper()
+	h, err := NewHandle(append([]int64(nil), vals...), opts)
+	if err != nil {
+		t.Fatalf("%v shards=%d: %v", opts.Strategy, opts.Shards, err)
+	}
+	if s, ok := h.(*Synchronized); ok {
+		s.ing.mergeMin = 128
+	}
+	return h
+}
+
+// TestAppendOracleAllStrategies is the ingestion acceptance property
+// test: for every strategy × shard count {1, 3, 8}, an interleaved
+// append/query trace must return answers identical to the branching
+// oracle over the grown logical column at every step, and identical to
+// a from-scratch rebuild on the final column at the end.
+func TestAppendOracleAllStrategies(t *testing.T) {
+	base := testColumn(600, 41)
+	for _, s := range allStrategies {
+		for _, shards := range []int{1, 3, 8} {
+			h := appendHandle(t, base, Options{Strategy: s, Delta: 0.3, Seed: 9, Shards: shards})
+			logical := append([]int64(nil), base...)
+			rng := rand.New(rand.NewSource(int64(s)*101 + int64(shards)))
+			for round := 0; round < 8; round++ {
+				// Append a batch: usually in-domain values, sometimes a
+				// run beyond the old maximum (so the zone map must
+				// widen), sometimes nothing at all.
+				batch := make([]int64, rng.Intn(150))
+				for i := range batch {
+					if rng.Intn(4) == 0 {
+						batch[i] = 10_000 + int64(round*1000+i)
+					} else {
+						batch[i] = rng.Int63n(8000) - 4000
+					}
+				}
+				if err := h.Append(batch); err != nil {
+					t.Fatalf("%v shards=%d round %d: Append: %v", s, shards, round, err)
+				}
+				logical = append(logical, batch...)
+				for pi, p := range predicatePool(rng, logical) {
+					aggs := aggMaskPool[(round+pi)%len(aggMaskPool)]
+					ans, err := h.Execute(Request{Pred: p, Aggs: aggs})
+					if err != nil {
+						t.Fatalf("%v shards=%d round %d Execute(%v, %v): %v", s, shards, round, p, aggs, err)
+					}
+					checkAnswer(t, h.Name(), p, aggs, ans, oracleAnswer(logical, p))
+				}
+			}
+			// Bit-identical to a from-scratch rebuild on the grown
+			// column: every aggregate is an exact integer (or an exact
+			// float64 ratio), so equality is equality.
+			fresh := MustNew(append([]int64(nil), logical...), Options{Strategy: StrategyFullScan})
+			for _, p := range predicatePool(rng, logical) {
+				got, err := h.Execute(Request{Pred: p, Aggs: AllAggregates})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Execute(Request{Pred: p, Aggs: AllAggregates})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Sum != want.Sum || got.Count != want.Count ||
+					(want.Count > 0 && (got.Min != want.Min || got.Max != want.Max || got.Avg != want.Avg)) {
+					t.Fatalf("%v shards=%d final %v: %+v != rebuild %+v", s, shards, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendVisibleBeyondOldBounds is the zone-map regression: a row
+// appended beyond the old maximum must be found by the very next
+// query — the lock-free zone fast path must have widened before the
+// rows became visible.
+func TestAppendVisibleBeyondOldBounds(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		h := appendHandle(t, []int64{1, 2, 3, 4, 5, 6, 7, 8}, Options{Strategy: StrategyQuicksort, Shards: shards})
+		if ans, err := h.Execute(Request{Pred: Point(999)}); err != nil || ans.Count != 0 {
+			t.Fatalf("shards=%d: pre-append Point(999) = %+v, %v", shards, ans, err)
+		}
+		if err := h.Append([]int64{999}); err != nil {
+			t.Fatal(err)
+		}
+		ans, err := h.Execute(Request{Pred: Point(999)})
+		if err != nil || ans.Count != 1 || ans.Sum != 999 {
+			t.Fatalf("shards=%d: appended row invisible: %+v, %v", shards, ans, err)
+		}
+		if mn, mx := h.(ValueBounded).ValueBounds(); mn != 1 || mx != 999 {
+			t.Fatalf("shards=%d: bounds [%d,%d], want [1,999]", shards, mn, mx)
+		}
+	}
+}
+
+// TestAppendClearsConvergedAndIdleRedrains pins the lifecycle
+// contract: Append clears the sticky converged flag, and idle
+// refinement re-absorbs the tail — merging below the query-path
+// threshold — until the handle is terminal again.
+func TestAppendClearsConvergedAndIdleRedrains(t *testing.T) {
+	for _, tc := range []struct {
+		strategy Strategy
+		shards   int
+	}{
+		{StrategyQuicksort, 1}, {StrategyRadixMSD, 1}, {StrategyBucketsort, 1},
+		{StrategyRadixLSD, 1}, {StrategyProgressiveHash, 1}, {StrategyImprints, 1},
+		{StrategyFullIndex, 1}, {StrategyQuicksort, 3}, {StrategyRadixLSD, 8},
+	} {
+		h := appendHandle(t, testColumn(400, 5), Options{Strategy: tc.strategy, Delta: 0.5, Shards: tc.shards})
+		for i := 0; i < 200 && !h.Converged(); i++ {
+			h.RefineStep()
+		}
+		if !h.Converged() {
+			t.Fatalf("%v shards=%d never converged on the loaded data", tc.strategy, tc.shards)
+		}
+		if err := h.Append([]int64{20_001, 20_002, 20_003}); err != nil {
+			t.Fatal(err)
+		}
+		if h.Converged() {
+			t.Fatalf("%v shards=%d: Append did not clear the converged flag", tc.strategy, tc.shards)
+		}
+		if p := h.Progress(); p >= 1 {
+			t.Fatalf("%v shards=%d: Progress %g with pending rows", tc.strategy, tc.shards, p)
+		}
+		for i := 0; i < 400 && !h.Converged(); i++ {
+			h.RefineStep()
+		}
+		if !h.Converged() {
+			t.Fatalf("%v shards=%d: idle refinement never drained the tail", tc.strategy, tc.shards)
+		}
+		ans, err := h.Execute(Request{Pred: Range(20_001, 20_003)})
+		if err != nil || ans.Count != 3 || ans.Sum != 60_006 {
+			t.Fatalf("%v shards=%d: drained rows lost: %+v, %v", tc.strategy, tc.shards, ans, err)
+		}
+	}
+}
+
+// TestAppendMergeSwapsSynchronized drives the query-path merge to
+// completion and verifies the pending tail was actually folded into
+// the serving index (not just scanned forever).
+func TestAppendMergeSwapsSynchronized(t *testing.T) {
+	h := appendHandle(t, testColumn(500, 6), Options{Strategy: StrategyQuicksort, Delta: 0.5})
+	s := h.(*Synchronized)
+	batch := make([]int64, 200) // past the lowered 128-row trigger
+	for i := range batch {
+		batch[i] = int64(i)
+	}
+	if err := h.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if s.ing.pending() != 200 {
+		t.Fatalf("pending = %d, want 200", s.ing.pending())
+	}
+	logical := append(testColumn(500, 6), batch...)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 300 && s.ing.pending() > 0; i++ {
+		p := Range(rng.Int63n(2000)-1000, rng.Int63n(2000))
+		ans, err := h.Execute(Request{Pred: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAnswer(t, "PQ-merge", p, 0, ans, oracleAnswer(logical, p))
+	}
+	if s.ing.pending() != 0 {
+		t.Fatal("query-path merge never swapped the rebuilt index in")
+	}
+	if s.ing.indexed != len(logical) {
+		t.Fatalf("indexed = %d, want %d", s.ing.indexed, len(logical))
+	}
+}
+
+// TestBareSynchronizeRefusesAppend pins ErrNoAppend: a Synchronize
+// wrap over a caller-built index has no owned column to grow.
+func TestBareSynchronizeRefusesAppend(t *testing.T) {
+	s := Synchronize(MustNew([]int64{1, 2, 3}, Options{}))
+	if err := s.Append([]int64{4}); !errors.Is(err, ErrNoAppend) {
+		t.Fatalf("Append on bare wrap = %v, want ErrNoAppend", err)
+	}
+	if err := s.Append(nil); !errors.Is(err, ErrNoAppend) {
+		t.Fatalf("empty Append on bare wrap = %v, want ErrNoAppend", err)
+	}
+}
+
+// TestShardedAppendPruningZeroWork is the grown-table pruning
+// acceptance check with a real strategy: rows appended and sealed into
+// a tail shard carry their own zone map, and queries confined to the
+// original value range do verifiably zero work on the new shard (and
+// vice versa).
+func TestShardedAppendPruningZeroWork(t *testing.T) {
+	n := 4000
+	vals := make([]int64, n) // clustered: shards get disjoint zones
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h := appendHandle(t, vals, Options{Strategy: StrategyQuicksort, Delta: 0.25, Shards: 4})
+	sh := h.(*Sharded)
+	// Grow past the seal threshold (n/S = 1000 rows) with values far
+	// above the loaded domain.
+	batch := make([]int64, 1000)
+	for i := range batch {
+		batch[i] = int64(100_000 + i)
+	}
+	if err := sh.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 5 || sh.PendingRows() != 0 {
+		t.Fatalf("shards=%d pending=%d, want 5/0", sh.Shards(), sh.PendingRows())
+	}
+	// Old-domain queries: the sealed append shard must stay untouched.
+	for q := 0; q < 20; q++ {
+		if _, err := sh.Execute(Request{Pred: Range(int64(q*100), int64(q*100+500))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := sh.ShardStats()
+	if got := infos[4]; got.Executes != 0 || got.Refines != 0 || got.Heat != 0 {
+		t.Fatalf("append shard did work on pruned queries: %+v", got)
+	}
+	// New-domain queries: only the append shard executes.
+	before := make([]uint64, len(infos))
+	for i, inf := range infos {
+		before[i] = inf.Executes
+	}
+	for q := 0; q < 10; q++ {
+		ans, err := sh.Execute(Request{Pred: Range(100_000, 100_099)})
+		if err != nil || ans.Count != 100 {
+			t.Fatalf("new-domain query: %+v, %v", ans, err)
+		}
+	}
+	infos = sh.ShardStats()
+	for i := 0; i < 4; i++ {
+		if infos[i].Executes != before[i] {
+			t.Fatalf("loaded shard %d executed on new-domain queries (%d -> %d)", i, before[i], infos[i].Executes)
+		}
+	}
+	if infos[4].Executes != before[4]+10 {
+		t.Fatalf("append shard executes = %d, want %d", infos[4].Executes, before[4]+10)
+	}
+}
+
+// TestAppendConcurrentWithQueries runs ingestion against concurrent
+// readers on both handle flavors. The loaded rows and the appended
+// rows live in disjoint value ranges, so readers can assert exact
+// answers over the loaded domain at any moment — the invariant the
+// -race CI job patrols for torn state — and the final grown column is
+// checked exactly once ingestion quiesces.
+func TestAppendConcurrentWithQueries(t *testing.T) {
+	const (
+		n        = 2000
+		writers  = 2
+		batches  = 25
+		batchLen = 20
+		readers  = 4
+		queries  = 150
+	)
+	for _, shards := range []int{1, 3} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		h := appendHandle(t, vals, Options{Strategy: StrategyQuicksort, Delta: 0.3, Shards: shards})
+		wantLoaded := oracleAnswer(vals, Range(0, n-1))
+
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := int64(1_000_000 * (w + 1))
+				for b := 0; b < batches; b++ {
+					batch := make([]int64, batchLen)
+					for i := range batch {
+						batch[i] = base + int64(b*batchLen+i)
+					}
+					if err := h.Append(batch); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(r) * 77))
+				for q := 0; q < queries; q++ {
+					switch rng.Intn(3) {
+					case 0:
+						// Loaded-domain range: invariant under appends.
+						ans, err := h.Execute(Request{Pred: Range(0, n-1), Aggs: AllAggregates})
+						if err != nil || ans.Sum != wantLoaded.Sum || ans.Count != wantLoaded.Count {
+							t.Errorf("reader %d: loaded domain %+v, %v", r, ans, err)
+							return
+						}
+					case 1:
+						// Append-domain probe: answer varies with timing;
+						// executed for race coverage.
+						if _, err := h.Execute(Request{Pred: AtLeast(1_000_000)}); err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+					default:
+						if _, ok, err := h.TryExecute(Request{Pred: Range(0, 100)}); ok && err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		// Quiesced: the grown column must answer exactly.
+		logical := append([]int64(nil), vals...)
+		for w := 0; w < writers; w++ {
+			base := int64(1_000_000 * (w + 1))
+			for i := 0; i < batches*batchLen; i++ {
+				logical = append(logical, base+int64(i))
+			}
+		}
+		for _, p := range []Predicate{Range(0, 5_000_000), AtLeast(1_000_000), Point(1_000_005), Range(0, n-1)} {
+			ans, err := h.Execute(Request{Pred: p, Aggs: AllAggregates})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAnswer(t, h.Name(), p, AllAggregates, ans, oracleAnswer(logical, p))
+		}
+	}
+}
+
+// TestAppendPendingPhaseAndPendingRows pins the observability fixes:
+// an unsharded handle with rows pending ingestion reports PendingRows
+// and pins its phase to creation (never "done" while unconverged),
+// matching the sharded handle's behavior.
+func TestAppendPendingPhaseAndPendingRows(t *testing.T) {
+	h := appendHandle(t, testColumn(400, 7), Options{Strategy: StrategyQuicksort, Delta: 0.5})
+	s := h.(*Synchronized)
+	for i := 0; i < 200 && !h.Converged(); i++ {
+		h.RefineStep()
+	}
+	if ph, ok := h.Phase(); !ok || ph != PhaseDone {
+		t.Fatalf("converged phase = %v/%v, want done", ph, ok)
+	}
+	if got := s.PendingRows(); got != 0 {
+		t.Fatalf("PendingRows before append = %d", got)
+	}
+	if err := h.Append([]int64{30_000, 30_001}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingRows(); got != 2 {
+		t.Fatalf("PendingRows = %d, want 2", got)
+	}
+	if ph, ok := h.Phase(); !ok || ph != PhaseCreation {
+		t.Fatalf("phase with pending tail = %v/%v, want creation (unindexed rows)", ph, ok)
+	}
+	for i := 0; i < 400 && !h.Converged(); i++ {
+		h.RefineStep()
+	}
+	if got := s.PendingRows(); got != 0 {
+		t.Fatalf("PendingRows after drain = %d", got)
+	}
+	if ph, ok := h.Phase(); !ok || ph != PhaseDone {
+		t.Fatalf("phase after drain = %v/%v, want done", ph, ok)
+	}
+	if h.Name() != "PQ" {
+		t.Fatalf("Name after merge swap = %q, want PQ", h.Name())
+	}
+}

@@ -1,0 +1,50 @@
+package progidx
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchArtifactsRecordMachine guards the committed BENCH_*.json
+// artifacts' machine record: every artifact must stamp the host it was
+// produced on — in particular num_cpu, without which speedup numbers
+// are uninterpretable (the PR 2 artifacts were produced on a 1-core
+// container, which is only diagnosable because the stamp exists). If
+// cmd/bench ever drops or renames the host block, this fails before a
+// meaningless artifact lands.
+func TestBenchArtifactsRecordMachine(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected the three committed bench artifacts, found %v", paths)
+	}
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact struct {
+			Host struct {
+				GOOS       string `json:"goos"`
+				NumCPU     int    `json:"num_cpu"`
+				GOMAXPROCS int    `json:"gomaxprocs"`
+				GoVersion  string `json:"go_version"`
+			} `json:"host"`
+			Timestamp string `json:"timestamp"`
+		}
+		if err := json.Unmarshal(raw, &artifact); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		h := artifact.Host
+		if h.NumCPU < 1 || h.GOMAXPROCS < 1 || h.GOOS == "" || h.GoVersion == "" {
+			t.Fatalf("%s: incomplete machine record %+v (num_cpu and gomaxprocs must be stamped)", path, h)
+		}
+		if artifact.Timestamp == "" {
+			t.Fatalf("%s: missing timestamp", path)
+		}
+	}
+}

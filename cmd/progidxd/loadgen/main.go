@@ -5,9 +5,19 @@
 // demo client for the serving layer and the CI end-to-end smoke test:
 // it exits non-zero on any transport error or answer mismatch.
 //
+// With -writers > 0 it runs a mixed reader/writer workload: writer
+// sessions ingest batches through POST /tables/{name}/append and check
+// the server against a growing oracle. Every writer owns a value range
+// disjoint from the loaded data and from the other writers, so exact
+// answers stay checkable for everyone while the table grows: readers
+// keep verifying the loaded domain (invariant under appends), and each
+// writer verifies the rows it has appended so far (count and closed-
+// form sum over its private range — nobody else writes there).
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7171 -n 200000 -sessions 8 -queries 50
+//	loadgen -addr 127.0.0.1:7171 -n 200000 -sessions 8 -writers 2 -shards 4
 package main
 
 import (
@@ -40,6 +50,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
 		sessions = flag.Int("sessions", 8, "concurrent query sessions")
 		queries  = flag.Int("queries", 50, "queries per session")
+		writers  = flag.Int("writers", 0, "concurrent writer sessions appending rows while readers query")
+		appends  = flag.Int("appends", 10, "append batches per writer session")
+		batchLen = flag.Int("append-batch", 50, "rows per append batch")
 		check    = flag.Bool("check", true, "verify every answer against the local library oracle")
 		keep     = flag.Bool("keep", false, "leave the table loaded when done")
 	)
@@ -67,13 +80,16 @@ func main() {
 	}
 
 	var (
-		wg         sync.WaitGroup
-		mismatches atomic.Uint64
-		failures   atomic.Uint64
-		latMu      sync.Mutex
-		latencies  []time.Duration
-		batchSum   atomic.Uint64
+		wg           sync.WaitGroup
+		mismatches   atomic.Uint64
+		failures     atomic.Uint64
+		latMu        sync.Mutex
+		latencies    []time.Duration
+		batchSum     atomic.Uint64
+		appendedRows atomic.Uint64
+		writerChecks atomic.Uint64
 	)
+	writerMode := *writers > 0
 	start := time.Now()
 	for g := 0; g < *sessions; g++ {
 		wg.Add(1)
@@ -82,7 +98,7 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed*1000 + int64(session)))
 			local := make([]time.Duration, 0, *queries)
 			for q := 0; q < *queries; q++ {
-				req, wire := randomQuery(rng, int64(*n))
+				req, wire := randomQuery(rng, int64(*n), writerMode)
 				qs := time.Now()
 				var resp server.QueryResponse
 				err := postJSON(client, base+"/tables/"+*table+"/query", wire, &resp, http.StatusOK)
@@ -104,6 +120,61 @@ func main() {
 			latMu.Unlock()
 		}(g)
 	}
+	// Writer sessions: each owns the value range [base, base+span) —
+	// above the loaded domain (and the readers' bounded predicates) and
+	// disjoint from every other writer — appending strictly increasing
+	// values, so the rows it has written so far have a closed-form
+	// count and sum it verifies after every batch.
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(writer int) {
+			defer wg.Done()
+			span := int64(*appends * *batchLen)
+			wbase := 2*int64(*n) + int64(writer)*span
+			written := int64(0)
+			for a := 0; a < *appends; a++ {
+				batch := make([]int64, *batchLen)
+				for i := range batch {
+					batch[i] = wbase + written + int64(i)
+				}
+				var ar server.AppendResponse
+				if err := postJSON(client, base+"/tables/"+*table+"/append",
+					server.AppendRequest{Values: batch}, &ar, http.StatusOK); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: writer %d append %d: %v\n", writer, a, err)
+					continue
+				}
+				written += int64(len(batch))
+				appendedRows.Add(uint64(len(batch)))
+				if !*check {
+					continue
+				}
+				// Growing-oracle check: exactly the rows this writer has
+				// appended live in its range, values wbase..wbase+written-1.
+				lo, hi := wbase, wbase+written-1
+				var resp server.QueryResponse
+				err := postJSON(client, base+"/tables/"+*table+"/query",
+					server.QueryRequest{Pred: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi},
+						Aggs: []string{"sum", "count", "min", "max"}}, &resp, http.StatusOK)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: writer %d check %d: %v\n", writer, a, err)
+					continue
+				}
+				wantSum := written * (2*wbase + written - 1) / 2
+				ok := resp.Count == written &&
+					resp.Sum != nil && *resp.Sum == wantSum &&
+					resp.Min != nil && *resp.Min == wbase &&
+					resp.Max != nil && *resp.Max == wbase+written-1
+				if !ok {
+					mismatches.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: writer %d: growing oracle mismatch after %d rows: %+v\n",
+						writer, written, resp)
+				}
+				writerChecks.Add(1)
+			}
+		}(w)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -118,15 +189,31 @@ func main() {
 			float64(batchSum.Load())/float64(total-int(failures.Load())))
 	}
 
+	if writerMode {
+		fmt.Printf("loadgen: %d writers appended %d rows (%d growing-oracle checks)\n",
+			*writers, appendedRows.Load(), writerChecks.Load())
+	}
+
 	var info struct {
-		Converged  bool    `json:"converged"`
-		Progress   float64 `json:"convergence"`
-		Phase      string  `json:"phase"`
-		IdleRefine bool    `json:"idle_refine"`
+		Rows         int     `json:"rows"`
+		Appends      uint64  `json:"appends"`
+		AppendedRows uint64  `json:"appended_rows"`
+		Converged    bool    `json:"converged"`
+		Progress     float64 `json:"convergence"`
+		Phase        string  `json:"phase"`
+		IdleRefine   bool    `json:"idle_refine"`
 	}
 	if err := getJSON(client, base+"/tables/"+*table, &info); err == nil {
-		fmt.Printf("loadgen: table phase=%s convergence=%.2f converged=%v idle_refine=%v\n",
-			info.Phase, info.Progress, info.Converged, info.IdleRefine)
+		fmt.Printf("loadgen: table rows=%d appended=%d phase=%s convergence=%.2f converged=%v idle_refine=%v\n",
+			info.Rows, info.AppendedRows, info.Phase, info.Progress, info.Converged, info.IdleRefine)
+		if writerMode {
+			if want := uint64(*n) + appendedRows.Load(); uint64(info.Rows) != want {
+				fatal("table rows %d after ingest, want %d", info.Rows, want)
+			}
+			if info.AppendedRows != appendedRows.Load() {
+				fatal("table appended_rows %d, want %d", info.AppendedRows, appendedRows.Load())
+			}
+		}
 	}
 
 	if !*keep {
@@ -146,8 +233,13 @@ func main() {
 
 // randomQuery builds one request in both library and wire forms: a mix
 // of range scans of varying selectivity, open-ended ranges, and point
-// probes, with varying aggregate sets.
-func randomQuery(rng *rand.Rand, n int64) (progidx.Request, server.QueryRequest) {
+// probes, with varying aggregate sets. In writer mode (bounded = true)
+// the open-ended AtLeast is replaced by AtMost: writers append values
+// above 2n while the local oracle holds only the loaded column, so
+// reader predicates must stay below the writers' ranges (Range tops
+// out below 2n; Point and AtMost stay within the loaded domain) for
+// exact checking to remain possible while the table grows.
+func randomQuery(rng *rand.Rand, n int64, bounded bool) (progidx.Request, server.QueryRequest) {
 	var (
 		pred progidx.Predicate
 		spec server.PredSpec
@@ -158,7 +250,11 @@ func randomQuery(rng *rand.Rand, n int64) (progidx.Request, server.QueryRequest)
 		pred, spec = progidx.Point(v), server.PredSpec{Kind: "point", Value: &v}
 	case 1:
 		v := rng.Int63n(n)
-		pred, spec = progidx.AtLeast(v), server.PredSpec{Kind: "atleast", Value: &v}
+		if bounded {
+			pred, spec = progidx.AtMost(v), server.PredSpec{Kind: "atmost", Value: &v}
+		} else {
+			pred, spec = progidx.AtLeast(v), server.PredSpec{Kind: "atleast", Value: &v}
+		}
 	case 2:
 		v := rng.Int63n(n)
 		pred, spec = progidx.AtMost(v), server.PredSpec{Kind: "atmost", Value: &v}

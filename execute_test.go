@@ -347,3 +347,51 @@ func TestHintsFromRequests(t *testing.T) {
 		t.Fatal("empty sample must not claim point-only")
 	}
 }
+
+// TestHintsFromRequestsDegenerateRanges pins that a session issuing
+// only degenerate Range(x, x) predicates — single-value BETWEENs, the
+// way some clients spell point probes — selects the point branch just
+// like explicit Point requests.
+func TestHintsFromRequestsDegenerateRanges(t *testing.T) {
+	degenerate := []Request{
+		{Pred: Range(7, 7)}, {Pred: Range(-2, -2)}, {Pred: Range(0, 0)},
+	}
+	h := HintsFromRequests(degenerate)
+	if !h.PointQueriesOnly {
+		t.Fatalf("degenerate-range session not detected as point-only: %+v", h)
+	}
+	if s := Recommend(h); s != StrategyRadixLSD {
+		t.Fatalf("degenerate-range session recommends %v, want PLSD", s)
+	}
+}
+
+// TestHintsFromRequestsWideRangeClearsLongPointSession pins that one
+// wide range buried in a long point session clears PointQueriesOnly:
+// the hint means (almost) exclusively point lookups, and a genuine
+// range scan breaks it no matter how late it appears.
+func TestHintsFromRequestsWideRangeClearsLongPointSession(t *testing.T) {
+	session := make([]Request, 0, 501)
+	for i := 0; i < 250; i++ {
+		session = append(session, Request{Pred: Point(int64(i))})
+		session = append(session, Request{Pred: Range(int64(i), int64(i))})
+	}
+	session = append(session, Request{Pred: Range(10, 5000)}) // the one wide range
+	if h := HintsFromRequests(session); h.PointQueriesOnly {
+		t.Fatal("a wide range in a 501-query point session did not clear PointQueriesOnly")
+	}
+	// The same session without the wide range stays point-only.
+	if h := HintsFromRequests(session[:500]); !h.PointQueriesOnly {
+		t.Fatal("pure point session lost PointQueriesOnly")
+	}
+}
+
+// TestHintsFromRequestsEmptySampleZeroValued pins that an empty sample
+// yields the zero WorkloadHints in every field — no hint can be read
+// off no observations.
+func TestHintsFromRequestsEmptySampleZeroValued(t *testing.T) {
+	for _, sample := range [][]Request{nil, {}} {
+		if h := HintsFromRequests(sample); h != (WorkloadHints{}) {
+			t.Fatalf("HintsFromRequests(%v) = %+v, want zero value", sample, h)
+		}
+	}
+}

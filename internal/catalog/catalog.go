@@ -96,7 +96,9 @@ func (o Options) progidxOptions() progidx.Options {
 // a progidx.Handle — *progidx.Synchronized for unsharded tables,
 // *progidx.Sharded for sharded ones — so reads after convergence
 // already share locks; the server's scheduler adds batching and idle
-// refinement on top of the same handle.
+// refinement on top of the same handle. The handle owns the column's
+// growth: Append routes through it, and the catalog only keeps the
+// ingest counters that feed Info.
 type Table struct {
 	name    string
 	col     *column.Column
@@ -104,23 +106,67 @@ type Table struct {
 	opts    Options
 	created time.Time
 	status  atomic.Int32
+
+	// rows mirrors the logical row count (loaded + appended); atomic so
+	// Info snapshots never race the handle-locked column growth.
+	rows       atomic.Int64
+	appends    atomic.Uint64
+	appendRows atomic.Uint64
 }
 
 // Name returns the table's catalog name.
 func (t *Table) Name() string { return t.name }
 
-// Len returns the row count.
-func (t *Table) Len() int { return t.col.Len() }
+// Len returns the logical row count, appended rows included.
+func (t *Table) Len() int { return int(t.rows.Load()) }
 
-// MinValue and MaxValue bound the column's value domain.
-func (t *Table) MinValue() int64 { return t.col.Min() }
+// MinValue bounds the column's value domain from below. Once the table
+// is ready the bounds come from the index handle's zone statistics,
+// which Append widens under the handle's own synchronization.
+func (t *Table) MinValue() int64 {
+	if b, ok := t.idx.(progidx.ValueBounded); ok {
+		mn, _ := b.ValueBounds()
+		return mn
+	}
+	return t.col.Min()
+}
 
 // MaxValue returns the column's maximum value.
-func (t *Table) MaxValue() int64 { return t.col.Max() }
+func (t *Table) MaxValue() int64 {
+	if b, ok := t.idx.(progidx.ValueBounded); ok {
+		_, mx := b.ValueBounds()
+		return mx
+	}
+	return t.col.Max()
+}
 
 // Values exposes the base column for oracle checks in tests and the
-// load generator. Callers must not mutate it.
+// load generator. Callers must not mutate it, and must not interleave
+// it with concurrent Appends (the slice header is only stable while
+// nothing is ingesting); writers keep their own oracle of what they
+// appended instead.
 func (t *Table) Values() []int64 { return t.col.Values() }
+
+// Append ingests values at the tail of the table through the index
+// handle: the rows are visible to every query admitted after Append
+// returns, and the index absorbs them progressively under its normal
+// per-query budget (pending-tail scan + merge for unsharded tables,
+// growable tail shard for sharded ones). Appending to a table that is
+// not ready fails cleanly.
+func (t *Table) Append(values []int64) error {
+	if t.Status() != StatusReady {
+		return fmt.Errorf("catalog: table %q not ready (%s)", t.name, t.Status())
+	}
+	if err := t.idx.Append(values); err != nil {
+		return fmt.Errorf("catalog: append to %q: %w", t.name, err)
+	}
+	if len(values) > 0 {
+		t.rows.Add(int64(len(values)))
+		t.appends.Add(1)
+		t.appendRows.Add(uint64(len(values)))
+	}
+	return nil
+}
 
 // Options returns the options the table was loaded with.
 func (t *Table) Options() Options { return t.opts }
@@ -156,36 +202,48 @@ func (t *Table) Created() time.Time { return t.created }
 
 // Info is a point-in-time JSON-friendly snapshot of a table.
 type Info struct {
-	Name      string  `json:"name"`
-	Rows      int     `json:"rows"`
-	MinValue  int64   `json:"min_value"`
-	MaxValue  int64   `json:"max_value"`
-	Strategy  string  `json:"strategy"`
-	Shards    int     `json:"shards"`
-	Status    string  `json:"status"`
-	Phase     string  `json:"phase,omitempty"`
-	Converged bool    `json:"converged"`
-	Progress  float64 `json:"convergence"`
-	IdleInfo  bool    `json:"idle_refine"`
-	CreatedAt string  `json:"created_at"`
+	Name     string `json:"name"`
+	Rows     int    `json:"rows"`
+	MinValue int64  `json:"min_value"`
+	MaxValue int64  `json:"max_value"`
+	Strategy string `json:"strategy"`
+	Shards   int    `json:"shards"`
+	Status   string `json:"status"`
+	// Appends counts Append calls absorbed; AppendedRows the rows they
+	// carried (Rows already includes them).
+	Appends      uint64  `json:"appends"`
+	AppendedRows uint64  `json:"appended_rows"`
+	PendingRows  int     `json:"pending_rows,omitempty"`
+	Phase        string  `json:"phase,omitempty"`
+	Converged    bool    `json:"converged"`
+	Progress     float64 `json:"convergence"`
+	IdleInfo     bool    `json:"idle_refine"`
+	CreatedAt    string  `json:"created_at"`
 }
 
 // Info snapshots the table's externally visible state. A table still
 // loading (index handle not yet attached) reports zero convergence.
 func (t *Table) Info() Info {
 	info := Info{
-		Name:      t.name,
-		Rows:      t.col.Len(),
-		MinValue:  t.col.Min(),
-		MaxValue:  t.col.Max(),
-		Strategy:  t.opts.Strategy.String(),
-		Shards:    t.ShardCount(),
-		Status:    t.Status().String(),
-		IdleInfo:  t.opts.IdleRefineEnabled(),
-		CreatedAt: t.created.UTC().Format(time.RFC3339),
+		Name:         t.name,
+		Rows:         t.Len(),
+		Strategy:     t.opts.Strategy.String(),
+		Shards:       t.ShardCount(),
+		Status:       t.Status().String(),
+		Appends:      t.appends.Load(),
+		AppendedRows: t.appendRows.Load(),
+		IdleInfo:     t.opts.IdleRefineEnabled(),
+		CreatedAt:    t.created.UTC().Format(time.RFC3339),
 	}
 	if t.Status() == StatusLoading {
+		info.MinValue, info.MaxValue = t.col.Min(), t.col.Max()
 		return info
+	}
+	info.MinValue, info.MaxValue = t.MinValue(), t.MaxValue()
+	// Both handle flavors report their unindexed pending tail:
+	// Synchronized the rows awaiting a merge, Sharded the unsealed tail.
+	if p, ok := t.idx.(interface{ PendingRows() int }); ok {
+		info.PendingRows = p.PendingRows()
 	}
 	info.Converged = t.idx.Converged()
 	info.Progress = t.idx.Progress()
@@ -220,6 +278,7 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 	}
 
 	t := &Table{name: name, col: col, opts: opts, created: time.Now()}
+	t.rows.Store(int64(col.Len()))
 	t.status.Store(int32(StatusLoading))
 
 	// Reserve the name before building the index so two concurrent

@@ -173,3 +173,56 @@ func TestShardedTableLifecycle(t *testing.T) {
 		t.Fatal("unsharded table returned shard stats")
 	}
 }
+
+// TestTableAppendLifecycle pins the catalog's ingest threading: rows
+// flow through the handle, Info's counters and bounds track them, and
+// queries see the grown table.
+func TestTableAppendLifecycle(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		c := New()
+		vals := data.Uniform(2_000, 3)
+		tbl, err := c.Load("grow", vals, Options{Strategy: progidx.StrategyQuicksort, Delta: 0.5, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tbl.Len(); got != 2_000 {
+			t.Fatalf("shards=%d: Len = %d, want 2000", shards, got)
+		}
+		if err := tbl.Append([]int64{50_000, 50_001, 50_002}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Append(nil); err != nil {
+			t.Fatalf("shards=%d: empty append: %v", shards, err)
+		}
+		info := tbl.Info()
+		if info.Rows != 2_003 || info.Appends != 1 || info.AppendedRows != 3 {
+			t.Fatalf("shards=%d: info = %+v, want rows=2003 appends=1 appended_rows=3", shards, info)
+		}
+		if info.MaxValue != 50_002 {
+			t.Fatalf("shards=%d: info.MaxValue = %d, want 50002 (widened by append)", shards, info.MaxValue)
+		}
+		if info.Converged {
+			t.Fatalf("shards=%d: converged with pending appended rows", shards)
+		}
+		ans, err := tbl.Index().Execute(progidx.Request{Pred: progidx.Range(50_000, 50_002)})
+		if err != nil || ans.Count != 3 || ans.Sum != 150_003 {
+			t.Fatalf("shards=%d: appended rows not queryable: %+v, %v", shards, ans, err)
+		}
+	}
+}
+
+// TestAppendNotReadyFails pins the lifecycle guard: appending to a
+// dropped table fails cleanly.
+func TestAppendNotReadyFails(t *testing.T) {
+	c := New()
+	tbl, err := c.Load("gone", data.Uniform(100, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Drop("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append([]int64{1}); err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("append to dropped table: %v, want not-ready error", err)
+	}
+}

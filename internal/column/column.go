@@ -1,6 +1,10 @@
 // Package column provides the base-table substrate used by every index
-// in this repository: a single fixed-size column of 64-bit integers
-// with zone statistics (min/max) and branch-free scan kernels.
+// in this repository: a single column of 64-bit integers with zone
+// statistics (min/max) and branch-free scan kernels. Columns grow at
+// the tail (Append/AppendSlice, with incremental zone maintenance);
+// existing rows are never mutated, so a Snapshot is a permanently
+// frozen view an index can build against while the table keeps
+// ingesting.
 //
 // The paper's workload is SELECT SUM(R.A) FROM R WHERE R.A BETWEEN v1
 // AND v2, i.e. an inclusive range aggregate over one attribute, so the
@@ -136,9 +140,17 @@ func (a *Agg) Merge(o Agg) {
 // Result projects the SUM/COUNT pair for the v1 compatibility surface.
 func (a Agg) Result() Result { return Result{Sum: a.Sum, Count: a.Count} }
 
-// Column is an immutable in-memory column of int64 values with zone
-// statistics. Immutability mirrors the paper's setting: the data is
-// loaded once and then queried; updates are future work (Section 6).
+// Column is an in-memory column of int64 values with zone statistics.
+// Rows are append-only: existing positions are never overwritten, so
+// any sub-slice of the first Len() rows taken at one point in time
+// stays valid forever (Snapshot relies on this). The paper's setting is
+// load-once-then-query; Append extends it to the live-ingest loop of
+// interactive sessions (Section 6's updates direction).
+//
+// A Column is not safe for concurrent use: callers interleaving
+// Append with reads must serialize access (the progidx serving handles
+// do — Synchronized under its write lock, Sharded under its append
+// mutex — and hand frozen Snapshots to the index kernels).
 type Column struct {
 	values []int64
 	min    int64
@@ -207,6 +219,77 @@ func MustNew(values []int64) *Column {
 		panic(err)
 	}
 	return c
+}
+
+// MinMax returns the extrema of vs in one pass. It panics on an empty
+// slice; callers gate on length. It is the single copy of the
+// min/max-of-slice loop the zone-map maintenance sites share.
+func MinMax(vs []int64) (min, max int64) {
+	min, max = vs[0], vs[0]
+	for _, v := range vs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Append ingests one value at the tail of the column, maintaining the
+// zone statistics incrementally (no re-scan). The value must lie in the
+// kernel-safe domain; out-of-domain values are rejected with no state
+// change.
+func (c *Column) Append(v int64) error {
+	if v <= -MaxMagnitude || v >= MaxMagnitude {
+		return fmt.Errorf("column: append value %d outside ±2^62", v)
+	}
+	c.values = append(c.values, v)
+	if v < c.min {
+		c.min = v
+	}
+	if v > c.max {
+		c.max = v
+	}
+	return nil
+}
+
+// AppendSlice ingests vs at the tail of the column in order,
+// maintaining the zone statistics incrementally. The whole batch is
+// validated against the kernel-safe domain before any row is appended,
+// so a rejected batch leaves the column untouched (no partial commit).
+// The input slice is copied by append semantics growth; callers may
+// reuse it afterwards. An empty batch is a no-op.
+func (c *Column) AppendSlice(vs []int64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	mn, mx := MinMax(vs)
+	if mn <= -MaxMagnitude || mx >= MaxMagnitude {
+		return fmt.Errorf("column: append values must lie strictly inside ±2^62 (min=%d max=%d)", mn, mx)
+	}
+	c.values = append(c.values, vs...)
+	if mn < c.min {
+		c.min = mn
+	}
+	if mx > c.max {
+		c.max = mx
+	}
+	return nil
+}
+
+// Snapshot returns a frozen view of the column's current rows: a new
+// Column sharing the backing array (no copy) whose length and zone
+// statistics are pinned at the call. Because rows are append-only, the
+// view's contents never change even while the parent keeps growing —
+// it is what the progressive indexes are built over, so an index's
+// world stays immutable while the serving layer ingests past it. The
+// view's capacity is clamped to its length, so even an (erroneous)
+// append to the snapshot could not touch the parent's tail.
+func (c *Column) Snapshot() *Column {
+	n := len(c.values)
+	return &Column{values: c.values[:n:n], min: c.min, max: c.max}
 }
 
 // Len returns the number of rows.

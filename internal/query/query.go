@@ -229,6 +229,20 @@ func NewAnswer(a column.Agg, aggs column.Aggregates, stats Stats) Answer {
 	return ans
 }
 
+// AnswerAgg reconstructs the kernel accumulator from an answer so
+// partial answers merge exactly: an empty answer contributes the ±inf
+// extrema sentinels, never a fake zero. It is the inverse of NewAnswer
+// for the fields the answer's aggregate set actually carries, used
+// wherever sub-answers combine (shard fan-out, pending-tail merge).
+func AnswerAgg(ans Answer) column.Agg {
+	agg := column.NewAgg()
+	agg.Sum, agg.Count = ans.Sum, ans.Count
+	if ans.Count > 0 && ans.Aggs.NeedsMinMax() {
+		agg.Min, agg.Max = ans.Min, ans.Max
+	}
+	return agg
+}
+
 // MinOk returns the minimum and whether it is meaningful (requested and
 // at least one row matched).
 func (a Answer) MinOk() (int64, bool) {

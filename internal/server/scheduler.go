@@ -1,12 +1,20 @@
 // Scheduler: the per-table serving loop. One goroutine owns each
-// table's query admission; concurrent requests queue on a channel, the
-// loop drains whatever is queued into a batch and executes it through
+// table's admission; concurrent requests queue on a channel, the loop
+// drains whatever is queued into a batch and executes it through
 // Synchronized.ExecuteBatch — paying one indexing budget (δ) per batch
 // instead of one per caller — and whenever the queue is empty it spends
 // the same budget slices on background refinement (RefineStep), so the
 // index converges during user think-time. Idle slices are budget-
 // bounded, so the loop re-checks the queue between slices and yields to
 // an arriving request within one slice's latency.
+//
+// Appends ride the same admission queue as queries: a batch's ingest
+// tasks apply first (appended rows cost no indexing budget — they land
+// in the handle's pending tail), then its queries execute under the
+// batch's single δ, so the one-budget-per-batch amortization holds for
+// mixed reader/writer traffic too. A session that appends and then
+// queries sees its own rows: the append's reply is sent only after its
+// batch fully executed, so the follow-up query lands in a later batch.
 package server
 
 import (
@@ -51,13 +59,17 @@ type ExecInfo struct {
 // result is what the scheduler sends back for one request.
 type result struct {
 	ans  progidx.Answer
+	rows int // table row count after an append task applied
 	err  error
 	info ExecInfo
 }
 
-// task is one admitted request waiting for execution.
+// task is one admitted request — a query or an append — waiting for
+// execution.
 type task struct {
 	req      progidx.Request
+	append   []int64 // ingest payload; meaningful when isAppend
+	isAppend bool
 	reply    chan result // buffered(1): the loop never blocks on a reply
 	enqueued time.Time
 }
@@ -77,6 +89,8 @@ type Scheduler struct {
 
 	mu          sync.Mutex // guards the metrics below
 	queries     uint64
+	appends     uint64
+	appendRows  uint64
 	batches     uint64
 	maxSeen     int
 	idleSlices  uint64
@@ -84,6 +98,17 @@ type Scheduler struct {
 	lat         [latencyWindow]time.Duration
 	latLen      int // filled prefix of lat
 	latPos      int // next write position (ring)
+}
+
+// recordLatency pushes one request latency into the ring. Caller holds
+// s.mu. Before the ring wraps, only the filled prefix [0, latLen) is
+// ever read by Metrics — unwritten slots never leak into quantiles.
+func (s *Scheduler) recordLatency(d time.Duration) {
+	s.lat[s.latPos] = d
+	s.latPos = (s.latPos + 1) % latencyWindow
+	if s.latLen < latencyWindow {
+		s.latLen++
+	}
 }
 
 // newScheduler starts the serving loop for t. queueDepth and maxBatch
@@ -111,30 +136,49 @@ func newScheduler(t *catalog.Table, queueDepth, maxBatch int) *Scheduler {
 // Execute admits req and blocks until the scheduler answers it, the
 // context is cancelled, or the scheduler stops.
 func (s *Scheduler) Execute(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, error) {
-	t := &task{req: req, reply: make(chan result, 1), enqueued: time.Now()}
+	r, err := s.admit(ctx, &task{req: req, reply: make(chan result, 1), enqueued: time.Now()})
+	if err != nil {
+		return progidx.Answer{}, ExecInfo{}, err
+	}
+	return r.ans, r.info, r.err
+}
+
+// Append admits an ingest task on the same queue as queries and blocks
+// until its batch applied it. It returns the table's row count after
+// the append and the usual serving metadata.
+func (s *Scheduler) Append(ctx context.Context, values []int64) (int, ExecInfo, error) {
+	r, err := s.admit(ctx, &task{append: values, isAppend: true, reply: make(chan result, 1), enqueued: time.Now()})
+	if err != nil {
+		return 0, ExecInfo{}, err
+	}
+	return r.rows, r.info, r.err
+}
+
+// admit enqueues t and waits for its result.
+func (s *Scheduler) admit(ctx context.Context, t *task) (result, error) {
 	select {
 	case s.tasks <- t:
 	case <-s.quit:
-		return progidx.Answer{}, ExecInfo{}, ErrStopped
+		return result{}, ErrStopped
 	case <-ctx.Done():
-		return progidx.Answer{}, ExecInfo{}, ctx.Err()
+		return result{}, ctx.Err()
 	}
 	select {
 	case r := <-t.reply:
-		return r.ans, r.info, r.err
+		return r, nil
 	case <-s.done:
 		// The loop exited; it may have answered us during its final
 		// drain, so prefer a waiting reply over ErrStopped.
 		select {
 		case r := <-t.reply:
-			return r.ans, r.info, r.err
+			return r, nil
 		default:
-			return progidx.Answer{}, ExecInfo{}, ErrStopped
+			return result{}, ErrStopped
 		}
 	case <-ctx.Done():
 		// The loop may still execute the task; the buffered reply
 		// channel means it will never block on our absence.
-		return progidx.Answer{}, ExecInfo{}, ctx.Err()
+		return result{}, ctx.Err()
 	}
 }
 
@@ -223,38 +267,62 @@ func (s *Scheduler) collect(first *task) []*task {
 }
 
 // runBatch executes a batch through the shared index handle and
-// replies to every caller. One indexing budget is spent for the whole
-// batch (ExecuteBatch suspends indexing after the first request when
-// the strategy supports it).
+// replies to every caller. Ingest tasks apply first, in admission
+// order (appended rows are visible to the batch's queries and cost no
+// indexing budget); the queries then share one indexing budget
+// (ExecuteBatch suspends indexing after the first request when the
+// strategy supports it). Replies go out only after the whole batch
+// executed, so a caller's next request always lands in a later batch.
 func (s *Scheduler) runBatch(batch []*task) {
-	reqs := make([]progidx.Request, len(batch))
-	for i, t := range batch {
-		reqs[i] = t.req
-	}
 	started := time.Now()
-	answers, errs := s.idx.ExecuteBatch(reqs)
+	results := make([]result, len(batch))
+	var (
+		reqIdx     []int // batch positions of the query tasks
+		nAppends   uint64
+		nAppendRow uint64
+	)
+	for i, t := range batch {
+		if !t.isAppend {
+			reqIdx = append(reqIdx, i)
+			continue
+		}
+		results[i].err = s.table.Append(t.append)
+		results[i].rows = s.table.Len()
+		if results[i].err == nil {
+			// Only successful ingests count, matching catalog.Info's
+			// appends counter — a rejected batch changed nothing.
+			nAppends++
+			nAppendRow += uint64(len(t.append))
+		}
+	}
+	if len(reqIdx) > 0 {
+		reqs := make([]progidx.Request, len(reqIdx))
+		for k, i := range reqIdx {
+			reqs[k] = batch[i].req
+		}
+		answers, errs := s.idx.ExecuteBatch(reqs)
+		for k, i := range reqIdx {
+			results[i].ans, results[i].err = answers[k], errs[k]
+		}
+	}
 	finished := time.Now()
 
 	s.mu.Lock()
-	s.queries += uint64(len(batch))
+	s.queries += uint64(len(reqIdx))
+	s.appends += nAppends
+	s.appendRows += nAppendRow
 	s.batches++
 	if len(batch) > s.maxSeen {
 		s.maxSeen = len(batch)
 	}
 	for _, t := range batch {
-		s.lat[s.latPos] = finished.Sub(t.enqueued)
-		s.latPos = (s.latPos + 1) % latencyWindow
-		if s.latLen < latencyWindow {
-			s.latLen++
-		}
+		s.recordLatency(finished.Sub(t.enqueued))
 	}
 	s.mu.Unlock()
 
 	for i, t := range batch {
-		t.reply <- result{ans: answers[i], err: errs[i], info: ExecInfo{
-			Batch:     len(batch),
-			QueueWait: started.Sub(t.enqueued),
-		}}
+		results[i].info = ExecInfo{Batch: len(batch), QueueWait: started.Sub(t.enqueued)}
+		t.reply <- results[i]
 	}
 }
 
@@ -262,6 +330,8 @@ func (s *Scheduler) runBatch(batch []*task) {
 // latency quantiles (microseconds, over the recent window).
 type Metrics struct {
 	Queries       uint64  `json:"queries"`
+	Appends       uint64  `json:"appends"`
+	AppendRows    uint64  `json:"append_rows"`
 	Batches       uint64  `json:"batches"`
 	MaxBatch      int     `json:"max_batch"`
 	AvgBatch      float64 `json:"avg_batch"`
@@ -272,11 +342,16 @@ type Metrics struct {
 	LatencyWindow int     `json:"latency_window"`
 }
 
-// Metrics snapshots the scheduler's counters.
+// Metrics snapshots the scheduler's counters. The latency quantiles
+// are computed over the ring's filled prefix only — a partially filled
+// window (fewer requests served than the ring holds) never mixes
+// unwritten zero slots into p50/p99.
 func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
 	m := Metrics{
 		Queries:       s.queries,
+		Appends:       s.appends,
+		AppendRows:    s.appendRows,
 		Batches:       s.batches,
 		MaxBatch:      s.maxSeen,
 		IdleSlices:    s.idleSlices,
@@ -288,14 +363,23 @@ func (s *Scheduler) Metrics() Metrics {
 	s.mu.Unlock()
 
 	if m.Batches > 0 {
-		m.AvgBatch = float64(m.Queries) / float64(m.Batches)
+		m.AvgBatch = float64(m.Queries+m.Appends) / float64(m.Batches)
 	}
-	if len(window) > 0 {
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		m.P50LatencyUs = float64(window[quantileIndex(len(window), 0.50)]) / float64(time.Microsecond)
-		m.P99LatencyUs = float64(window[quantileIndex(len(window), 0.99)]) / float64(time.Microsecond)
-	}
+	m.P50LatencyUs, m.P99LatencyUs = latencyQuantiles(window)
 	return m
+}
+
+// latencyQuantiles computes the p50/p99 microsecond quantiles of a
+// latency sample (nearest-rank over the sorted window). An empty
+// sample reports zeros.
+func latencyQuantiles(window []time.Duration) (p50, p99 float64) {
+	if len(window) == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	p50 = float64(window[quantileIndex(len(window), 0.50)]) / float64(time.Microsecond)
+	p99 = float64(window[quantileIndex(len(window), 0.99)]) / float64(time.Microsecond)
+	return p50, p99
 }
 
 // quantileIndex maps a quantile to an index in a sorted sample of n

@@ -304,3 +304,145 @@ func TestSchedulerShardedTable(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerAppendReadYourWrites pins the ingest admission path: an
+// append answered by the scheduler is visible to the caller's next
+// query, and the ingest counters track it.
+func TestSchedulerAppendReadYourWrites(t *testing.T) {
+	tbl, sched := loadTable(t, 5_000, catalog.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.5})
+	ctx := context.Background()
+	rows, info, err := sched.Append(ctx, []int64{90_001, 90_002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 5_002 {
+		t.Fatalf("rows after append = %d, want 5002", rows)
+	}
+	if info.Batch < 1 {
+		t.Fatalf("append info = %+v, want batch >= 1", info)
+	}
+	ans, _, err := sched.Execute(ctx, progidx.Request{Pred: progidx.Range(90_001, 90_002)})
+	if err != nil || ans.Count != 2 || ans.Sum != 180_003 {
+		t.Fatalf("appended rows invisible to next query: %+v, %v", ans, err)
+	}
+	m := sched.Metrics()
+	if m.Appends != 1 || m.AppendRows != 2 {
+		t.Fatalf("metrics = %+v, want appends=1 append_rows=2", m)
+	}
+	if tbl.Len() != 5_002 {
+		t.Fatalf("table len = %d, want 5002", tbl.Len())
+	}
+}
+
+// TestSchedulerMixedBatchOneBudget pins the amortization contract for
+// mixed reader/writer bursts: appends and queries admitted together
+// execute in shared batches (appends first), answers stay exact against
+// a growing oracle, and batching is observable.
+func TestSchedulerMixedBatchOneBudget(t *testing.T) {
+	_, sched := loadTable(t, 20_000, catalog.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25})
+	ctx := context.Background()
+
+	const writers, readers, rounds = 3, 6, 20
+	base := int64(1_000_000)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				batch := []int64{base + int64(w*rounds*2+r*2), base + int64(w*rounds*2+r*2+1)}
+				if _, _, err := sched.Append(ctx, batch); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < rounds; r++ {
+				lo := rng.Int63n(20_000)
+				ans, _, err := sched.Execute(ctx, progidx.Request{Pred: progidx.Range(lo, lo+500)})
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				_ = ans
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Quiesced: every appended row is queryable exactly.
+	ans, _, err := sched.Execute(ctx, progidx.Request{Pred: progidx.AtLeast(base)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(writers * rounds * 2); ans.Count != want {
+		t.Fatalf("appended row count = %d, want %d", ans.Count, want)
+	}
+	m := sched.Metrics()
+	if m.Appends != writers*rounds {
+		t.Fatalf("metrics.Appends = %d, want %d", m.Appends, writers*rounds)
+	}
+	if m.Batches == 0 || m.Queries != readers*rounds+1 { // +1: the quiesce query above
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestLatencyRingQuantiles is the partially-filled-window audit test:
+// exact nearest-rank p50/p99 at fill levels below, at, and above the
+// ring size. Before the ring wraps, the quantiles must come from the
+// filled prefix only — an unwritten zero slot leaking in would drag
+// p50 to zero on any warm-up-sized sample.
+func TestLatencyRingQuantiles(t *testing.T) {
+	fills := []int{1, 3, 100, latencyWindow - 1, latencyWindow, latencyWindow + 1, 2*latencyWindow + 7}
+	for _, fill := range fills {
+		s := &Scheduler{}
+		for i := 1; i <= fill; i++ {
+			s.mu.Lock()
+			s.recordLatency(time.Duration(i) * time.Millisecond)
+			s.mu.Unlock()
+		}
+		m := s.Metrics()
+
+		// The reference sample is exactly what the ring should retain:
+		// the most recent min(fill, latencyWindow) latencies.
+		kept := fill
+		if kept > latencyWindow {
+			kept = latencyWindow
+		}
+		window := make([]time.Duration, 0, kept)
+		for i := fill - kept + 1; i <= fill; i++ {
+			window = append(window, time.Duration(i)*time.Millisecond)
+		}
+		wantP50, wantP99 := latencyQuantiles(window)
+
+		if m.LatencyWindow != kept {
+			t.Fatalf("fill=%d: LatencyWindow = %d, want %d", fill, m.LatencyWindow, kept)
+		}
+		if m.P50LatencyUs != wantP50 || m.P99LatencyUs != wantP99 {
+			t.Fatalf("fill=%d: p50/p99 = %v/%v, want %v/%v", fill, m.P50LatencyUs, m.P99LatencyUs, wantP50, wantP99)
+		}
+		// Every recorded latency is >= 1ms, so any zero-slot leak would
+		// surface as a sub-millisecond quantile.
+		if m.P50LatencyUs < 1000 || m.P99LatencyUs < 1000 {
+			t.Fatalf("fill=%d: quantiles mixed unwritten slots: p50=%v p99=%v", fill, m.P50LatencyUs, m.P99LatencyUs)
+		}
+	}
+}
+
+// TestLatencyRingEmpty pins the zero-sample case: no quantiles, not
+// garbage.
+func TestLatencyRingEmpty(t *testing.T) {
+	s := &Scheduler{}
+	m := s.Metrics()
+	if m.LatencyWindow != 0 || m.P50LatencyUs != 0 || m.P99LatencyUs != 0 {
+		t.Fatalf("empty ring metrics = %+v", m)
+	}
+}

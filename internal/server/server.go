@@ -12,8 +12,13 @@
 //	GET    /tables/{name}        — one table's info
 //	DELETE /tables/{name}        — drop a table (stops its scheduler)
 //	POST   /tables/{name}/query  — execute one query
+//	POST   /tables/{name}/append — ingest rows at the table's tail
 //	GET    /stats                — per-table serving stats (JSON)
 //	GET    /metrics              — same data, Prometheus text format
+//
+// Appends share the query admission queue, so the one-indexing-budget-
+// per-batch amortization holds for mixed reader/writer traffic; the
+// ingest counters surface in /stats and /metrics.
 package server
 
 import (
@@ -178,6 +183,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /tables/{name}", s.handleTableInfo)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleDrop)
 	mux.HandleFunc("POST /tables/{name}/query", s.handleQuery)
+	mux.HandleFunc("POST /tables/{name}/append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -316,6 +322,21 @@ func parseAggs(names []string) (progidx.Aggregates, error) {
 type QueryRequest struct {
 	Pred PredSpec `json:"pred"`
 	Aggs []string `json:"aggs,omitempty"`
+}
+
+// AppendRequest is the POST /tables/{name}/append body.
+type AppendRequest struct {
+	Values []int64 `json:"values"`
+}
+
+// AppendResponse acknowledges an ingest: how many rows were appended,
+// the table's row count afterwards, and the same serving metadata
+// queries carry (the append rode a batch on the admission queue).
+type AppendResponse struct {
+	Appended    int   `json:"appended"`
+	Rows        int   `json:"rows"`
+	BatchSize   int   `json:"batch_size"`
+	QueueMicros int64 `json:"queue_us"`
 }
 
 // StatsJSON is the wire form of the per-query work stats.
@@ -518,6 +539,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sched, ok := s.Scheduler(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("table %q not found", name))
+		return
+	}
+	var areq AppendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLoadBodyBytes)).Decode(&areq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if len(areq.Values) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs at least one value"))
+		return
+	}
+	if len(areq.Values) > s.cfg.MaxLoadRows {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d values exceed the %d-row append cap", len(areq.Values), s.cfg.MaxLoadRows))
+		return
+	}
+
+	rows, info, err := sched.Append(r.Context(), areq.Values)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, AppendResponse{
+			Appended:    len(areq.Values),
+			Rows:        rows,
+			BatchSize:   info.Batch,
+			QueueMicros: info.QueueWait.Microseconds(),
+		})
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusGone, fmt.Errorf("table %q dropped", name))
+	case r.Context().Err() != nil:
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
 // statusClientClosedRequest is nginx's non-standard 499.
 const statusClientClosedRequest = 499
 
@@ -571,8 +631,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 			return 0, true
 		})
+	writeFamily("progidx_table_pending_rows", "gauge", "Appended rows not yet absorbed into an index shard.",
+		func(ts TableStats) (float64, bool) { return float64(ts.PendingRows), true })
 	writeFamily("progidx_table_queries_total", "counter", "Queries served.",
 		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Queries), true })
+	writeFamily("progidx_table_appends_total", "counter", "Append batches ingested.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Appends), true })
+	writeFamily("progidx_table_append_rows_total", "counter", "Rows ingested through appends.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.AppendRows), true })
 	writeFamily("progidx_table_batches_total", "counter", "Batches executed.",
 		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Batches), true })
 	writeFamily("progidx_table_idle_slices_total", "counter", "Idle-time refinement slices performed.",

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -237,5 +238,63 @@ func TestServerCloseStopsSchedulers(t *testing.T) {
 	do(t, http.MethodGet, ts.URL+"/tables", nil, http.StatusOK, nil)
 	if _, err := srv.Load("late", []int64{1}, catalog.Options{}); err == nil {
 		t.Fatal("Load after Close should fail")
+	}
+}
+
+// TestHTTPAppend drives the ingest endpoint end to end: append rows
+// over HTTP, read them back with a query, and watch the table info and
+// metrics track the growth.
+func TestHTTPAppend(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		srv, ts := newTestServer(t)
+		_ = srv
+		name := fmt.Sprintf("ing%d", shards)
+		do(t, "POST", ts.URL+"/tables", LoadRequest{
+			Name:     name,
+			Generate: &GenerateSpec{N: 10_000, Seed: 5},
+			Options:  &OptionsSpec{Strategy: "PQ", Delta: 0.25, Shards: shards},
+		}, http.StatusCreated, nil)
+
+		var ar AppendResponse
+		do(t, "POST", ts.URL+"/tables/"+name+"/append",
+			AppendRequest{Values: []int64{70_001, 70_002, 70_003}}, http.StatusOK, &ar)
+		if ar.Appended != 3 || ar.Rows != 10_003 || ar.BatchSize < 1 {
+			t.Fatalf("shards=%d: append response = %+v", shards, ar)
+		}
+
+		var qr QueryResponse
+		lo, hi := int64(70_001), int64(70_003)
+		do(t, "POST", ts.URL+"/tables/"+name+"/query",
+			QueryRequest{Pred: PredSpec{Kind: "range", Lo: &lo, Hi: &hi}, Aggs: []string{"sum", "count"}},
+			http.StatusOK, &qr)
+		if qr.Count != 3 || qr.Sum == nil || *qr.Sum != 210_006 {
+			t.Fatalf("shards=%d: appended rows not served: %+v", shards, qr)
+		}
+
+		var info catalog.Info
+		do(t, "GET", ts.URL+"/tables/"+name, nil, http.StatusOK, &info)
+		if info.Rows != 10_003 || info.Appends != 1 || info.AppendedRows != 3 {
+			t.Fatalf("shards=%d: info = %+v", shards, info)
+		}
+		if info.MaxValue != 70_003 {
+			t.Fatalf("shards=%d: info.MaxValue = %d, want 70003", shards, info.MaxValue)
+		}
+
+		// Ingest metric families render.
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, family := range []string{"progidx_table_appends_total", "progidx_table_append_rows_total", "progidx_table_pending_rows"} {
+			if !bytes.Contains(body, []byte(family)) {
+				t.Fatalf("shards=%d: /metrics missing %s:\n%s", shards, family, body)
+			}
+		}
+
+		// Validation: empty append is a 400, unknown table a 404.
+		do(t, "POST", ts.URL+"/tables/"+name+"/append", AppendRequest{}, http.StatusBadRequest, nil)
+		do(t, "POST", ts.URL+"/tables/nosuch/append", AppendRequest{Values: []int64{1}}, http.StatusNotFound, nil)
 	}
 }

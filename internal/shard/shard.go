@@ -22,11 +22,22 @@
 //     touches converge first, and pruned shards consume no budget at
 //     all.
 //
+// The table also grows while it is queried: Append routes new rows to
+// a growable tail — an unindexed row range with its own zone map,
+// scanned per query with the parallel kernels when its zone intersects
+// the predicate — which is sealed into a regular shard (own index, own
+// zone map, full membership in the pruning and heat machinery) once it
+// reaches a size threshold, or during idle refinement once every
+// sealed shard has converged. Readers never lock the table structure:
+// the shard list and tail are published as an immutable copy-on-write
+// view swapped atomically by Append, so a query operates on a
+// consistent snapshot while ingestion proceeds.
+//
 // The Sharded type exposes the same concurrency-safe surface as
-// progidx.Synchronized (Execute, TryExecute, ExecuteBatch, RefineStep,
-// Progress, Phase), with per-shard locking: queries on disjoint shards
-// proceed in parallel even before convergence, and a converged shard's
-// lock degrades to a shared read lock.
+// progidx.Synchronized (Execute, TryExecute, ExecuteBatch, Append,
+// RefineStep, Progress, Phase), with per-shard locking: queries on
+// disjoint shards proceed in parallel even before convergence, and a
+// converged shard's lock degrades to a shared read lock.
 package shard
 
 import (
@@ -52,7 +63,8 @@ type Index interface {
 
 // Factory builds one shard's index over its partition of the base
 // column. The root package supplies progidx.NewFromColumn here; tests
-// inject stubs.
+// inject stubs. It is retained for the life of the Sharded index: every
+// sealed tail becomes a fresh shard built through it.
 type Factory func(col *column.Column) (Index, error)
 
 // Optional per-shard index capabilities, asserted structurally so this
@@ -97,19 +109,51 @@ func (st *state) noteConverged() {
 	}
 }
 
-// Sharded is a range-partitioned progressive index. It is safe for
-// concurrent use; see the package comment for the execution model.
-type Sharded struct {
-	col    *column.Column
+// view is one immutable snapshot of the table structure: the sealed
+// shards plus the pending tail. Append publishes a fresh view; queries
+// load one and work against it unlocked. Everything here is frozen —
+// the shards slice is never mutated after publish, and tail is a
+// length-pinned snapshot of append-only rows — except the per-shard
+// convergence/heat atomics, which only move monotonically.
+type view struct {
 	shards []*state
-	pool   *parallel.Pool
-	name   string
+	rows   int   // logical rows covered: sealed shards + tail
+	vmin   int64 // zone of the whole logical column
+	vmax   int64
+
+	tail             []int64 // pending unindexed rows (may be empty)
+	tailMin, tailMax int64   // zone of the tail; valid when len(tail) > 0
+
+	// done is this view's sticky all-converged switch: every sealed
+	// shard converged and no tail pending. Monotone per view (shard
+	// convergence is sticky, the view itself immutable); a new view
+	// starts false again.
+	done atomic.Bool
+}
+
+// Sharded is a range-partitioned progressive index that grows at the
+// tail. It is safe for concurrent use; see the package comment for the
+// execution model.
+type Sharded struct {
+	col            *column.Column // logical column; mutated only under amu
+	pool           *parallel.Pool
+	name           string
+	factory        Factory
+	sealRows       int
+	budgetSizedFor int // Config.BudgetSizedFor (0 = δ-mode, no correction)
 
 	// rr sequences idle-refinement steps round-robin through the
 	// heat-ordered unconverged shards.
 	rr atomic.Uint64
-	// allDone is the sticky all-shards-converged switch.
-	allDone atomic.Bool
+
+	// amu serializes structure writes (Append, tail sealing); readers
+	// never take it — they load cur.
+	amu       sync.Mutex
+	tailStart int   // first logical row not covered by a sealed shard
+	tailMin   int64 // zone of the pending tail (amu-guarded master copy)
+	tailMax   int64
+
+	cur atomic.Pointer[view]
 }
 
 // Config sizes a Sharded index.
@@ -121,12 +165,27 @@ type Config struct {
 	// serially regardless (the shard fan-out is the parallelism; see
 	// DESIGN.md section 9), so answers are bit-identical at any value.
 	Workers int
+	// SealRows is the pending-tail size at which appended rows are
+	// sealed into a fresh indexed shard; 0 means the initial shard size
+	// (rows/Shards), so grown shards match the loaded ones.
+	SealRows int
+	// BudgetSizedFor declares that each per-shard budgeter carries
+	// 1/BudgetSizedFor of a wall-clock table budget (the root package
+	// sets it to the initial shard count when Options.Budget > 0). The
+	// layer then multiplies budget scales by BudgetSizedFor/current so
+	// one query still plans one table budget as sealed tails grow the
+	// shard count. 0 means δ-mode budgets: fractions of each shard's
+	// own rows, which must grow with the table and get no correction.
+	BudgetSizedFor int
 }
 
 // New partitions col into cfg.Shards contiguous row ranges and builds
 // one index per shard with factory. The zone statistics of every shard
 // are computed in a single parallel pass during partitioning and handed
-// to column.NewWithStats, so no partition is scanned twice.
+// to column.NewWithStats, so no partition is scanned twice. The column
+// is retained as the logical table and grows through Append; the
+// partitions are length-pinned snapshots, so sealed shards never
+// observe later rows.
 func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("shard: nil factory")
@@ -150,16 +209,8 @@ func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
 	pool.Run(s, 1, func(_, a, b int) {
 		for i := a; i < b; i++ {
 			start, end := i*n/s, (i+1)*n/s
-			part := vals[start:end]
-			mn, mx := part[0], part[0]
-			for _, v := range part {
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
+			part := vals[start:end:end]
+			mn, mx := column.MinMax(part)
 			pcol, err := column.NewWithStats(part, mn, mx)
 			if err == nil {
 				var idx Index
@@ -175,37 +226,167 @@ func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
 	if errp := firstErr.Load(); errp != nil {
 		return nil, *errp
 	}
-	return &Sharded{
-		col:    col,
-		shards: shards,
-		pool:   pool,
-		name:   fmt.Sprintf("%s/S%d", shards[0].idx.Name(), s),
-	}, nil
+	seal := cfg.SealRows
+	if seal <= 0 {
+		seal = n / s
+	}
+	if seal < 1 {
+		seal = 1
+	}
+	sh := &Sharded{
+		col:            col,
+		pool:           pool,
+		name:           fmt.Sprintf("%s/S%d", shards[0].idx.Name(), s),
+		factory:        factory,
+		sealRows:       seal,
+		budgetSizedFor: cfg.BudgetSizedFor,
+		tailStart:      n,
+	}
+	sh.publishLocked(shards)
+	return sh, nil
+}
+
+// budgetFactor keeps wall-clock budgets true as sealing grows the
+// shard count: per-shard budgeters carry 1/BudgetSizedFor of the table
+// budget, so with shardCount shards every scale shrinks by
+// BudgetSizedFor/shardCount and one all-survivor query still plans one
+// table budget. In δ mode (BudgetSizedFor 0) the factor is 1: δ work
+// is a fraction of each shard's own rows and should grow with the
+// table, exactly like the unsharded index's δ·N does.
+func (s *Sharded) budgetFactor(shardCount int) float64 {
+	if s.budgetSizedFor <= 0 || shardCount <= 0 {
+		return 1
+	}
+	return float64(s.budgetSizedFor) / float64(shardCount)
+}
+
+// applyBudgetFactor rescales a HeatShares result in place.
+func (s *Sharded) applyBudgetFactor(shares []float64, shardCount int) {
+	if f := s.budgetFactor(shardCount); f != 1 {
+		for k := range shares {
+			shares[k] *= f
+		}
+	}
+}
+
+// publishLocked swaps in a fresh view of the current structure. The
+// caller holds amu (or is the constructor, before the value escapes).
+func (s *Sharded) publishLocked(shards []*state) {
+	n := s.col.Len()
+	v := &view{
+		shards:  shards,
+		rows:    n,
+		vmin:    s.col.Min(),
+		vmax:    s.col.Max(),
+		tail:    s.col.Values()[s.tailStart:n:n],
+		tailMin: s.tailMin,
+		tailMax: s.tailMax,
+	}
+	s.cur.Store(v)
+}
+
+// Append implements the handle ingestion surface: the rows join the
+// logical column under the append mutex, the pending tail's zone map
+// widens, and — once the tail reaches the seal threshold — the whole
+// tail is sealed into a fresh shard with its own index and zone map,
+// joining the pruning and heat-driven budget machinery like any loaded
+// shard. A new structure view is published atomically, so queries
+// started before Append returns see the old consistent snapshot and
+// queries started after see the rows. An empty batch is a no-op; a
+// batch with out-of-domain values is rejected atomically.
+func (s *Sharded) Append(values []int64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	hadTail := s.col.Len() > s.tailStart
+	if err := s.col.AppendSlice(values); err != nil {
+		return err
+	}
+	mn, mx := column.MinMax(values)
+	if !hadTail {
+		s.tailMin, s.tailMax = mn, mx
+	} else {
+		if mn < s.tailMin {
+			s.tailMin = mn
+		}
+		if mx > s.tailMax {
+			s.tailMax = mx
+		}
+	}
+	shards := s.cur.Load().shards
+	if s.col.Len()-s.tailStart >= s.sealRows {
+		if sealed, err := s.sealLocked(); err == nil {
+			shards = sealed
+		}
+		// On a factory error the tail simply keeps growing — scanned
+		// per query, still exact — and sealing retries next time.
+	}
+	s.publishLocked(shards)
+	return nil
+}
+
+// sealLocked turns the entire pending tail into a fresh indexed shard
+// and returns the extended shard list. Caller holds amu.
+func (s *Sharded) sealLocked() ([]*state, error) {
+	n := s.col.Len()
+	part := s.col.Values()[s.tailStart:n:n]
+	pcol, err := column.NewWithStats(part, s.tailMin, s.tailMax)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.factory(pcol)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{idx: idx, start: s.tailStart, end: n, min: s.tailMin, max: s.tailMax}
+	st.noteConverged() // e.g. a full-index shard is terminal at birth
+	old := s.cur.Load().shards
+	shards := make([]*state, len(old)+1)
+	copy(shards, old)
+	shards[len(old)] = st
+	s.tailStart = n
+	return shards, nil
 }
 
 // Name implements the index interface: the shard strategy's name plus
-// the shard count, e.g. "PQ/S8".
+// the initial shard count, e.g. "PQ/S8".
 func (s *Sharded) Name() string { return s.name }
 
-// Shards returns the partition count.
-func (s *Sharded) Shards() int { return len(s.shards) }
+// Shards returns the current sealed-shard count (grows as appended
+// tails seal).
+func (s *Sharded) Shards() int { return len(s.cur.Load().shards) }
 
-// ValueBounds returns the whole column's zone statistics.
-func (s *Sharded) ValueBounds() (int64, int64) { return s.col.Min(), s.col.Max() }
+// PendingRows returns the size of the unindexed pending tail.
+func (s *Sharded) PendingRows() int { return len(s.cur.Load().tail) }
+
+// ValueBounds returns the logical column's zone statistics, pending
+// tail included.
+func (s *Sharded) ValueBounds() (int64, int64) {
+	v := s.cur.Load()
+	return v.vmin, v.vmax
+}
 
 // survivors appends to dst the indices of shards whose zone map
 // intersects [lo, hi] and returns it. An empty predicate (lo > hi, the
 // canonical rewrite) survives nowhere.
-func (s *Sharded) survivors(dst []int, lo, hi int64) []int {
+func survivors(dst []int, shards []*state, lo, hi int64) []int {
 	if lo > hi {
 		return dst
 	}
-	for i, st := range s.shards {
+	for i, st := range shards {
 		if st.max >= lo && st.min <= hi {
 			dst = append(dst, i)
 		}
 	}
 	return dst
+}
+
+// tailHit reports whether the view's pending tail can contain a
+// matching row — the tail's zone-map pruning.
+func (v *view) tailHit(lo, hi int64) bool {
+	return len(v.tail) > 0 && lo <= hi && v.tailMax >= lo && v.tailMin <= hi
 }
 
 // partial is one surviving shard's contribution to a query.
@@ -237,25 +418,31 @@ func (sc *scratch) grow(n int) {
 	sc.parts = sc.parts[:n]
 }
 
-// Execute answers req exactly: prune by zone map, fan the survivors out
-// over the worker pool, merge their partial aggregates in shard order.
-// Every surviving shard's heat is bumped, and this query's indexing
-// budget is split across the survivors proportionally to heat, so hot
-// shards converge first; pruned shards perform zero work of any kind.
+// Execute answers req exactly against a consistent structure snapshot:
+// prune by zone map, fan the survivors out over the worker pool, scan
+// the pending tail when its zone intersects, merge the partial
+// aggregates in shard order (tail last — it holds the highest row
+// numbers). Every surviving shard's heat is bumped, and this query's
+// indexing budget is split across the survivors proportionally to
+// heat, so hot shards converge first; pruned shards (and a pruned
+// tail) perform zero work of any kind.
 func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
-	lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+	v := s.cur.Load()
+	lo, hi, aggs, err := query.Prepare(req, v.vmin, v.vmax)
 	if err != nil {
 		return query.Answer{}, err
 	}
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
-	sc.surv = s.survivors(sc.surv[:0], lo, hi)
+	sc.surv = survivors(sc.surv[:0], v.shards, lo, hi)
 	surv := sc.surv
-	if len(surv) == 0 {
+	tailHit := v.tailHit(lo, hi)
+	if len(surv) == 0 && !tailHit {
 		// Nothing can match: the empty answer, with zero work — the
 		// sharded analogue of Synchronized's zone-map fast path. The
-		// phase stays truthful lock-free: Done once every shard is.
-		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats()), nil
+		// phase stays truthful lock-free: Done once every shard is and
+		// nothing is pending.
+		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats(v)), nil
 	}
 
 	// Heat first (so this query's own hits participate in the split),
@@ -266,8 +453,8 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 	heats, parts := sc.heats, sc.parts
 	allConverged := true
 	for k, i := range surv {
-		heats[k] = s.shards[i].heat.Add(1)
-		if !s.shards[i].converged.Load() {
+		heats[k] = v.shards[i].heat.Add(1)
+		if !v.shards[i].converged.Load() {
 			allConverged = false
 		}
 	}
@@ -275,19 +462,21 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 	if !allConverged {
 		sc.shares = costmodel.HeatShares(sc.shares, heats)
 		shares = sc.shares
+		s.applyBudgetFactor(shares, len(v.shards))
 	}
 
 	sub := query.Request{Pred: req.Pred, Aggs: aggs}
-	if s.pool.Chunks(len(surv), 1) == 1 {
-		// Serial fan-out (one worker or one survivor): execute inline,
-		// with no closure or fork/join overhead — the zero-allocation
-		// steady-state path for selective queries on converged shards.
+	if s.pool.Chunks(len(surv), 1) <= 1 {
+		// Serial fan-out (one worker or at most one survivor): execute
+		// inline, with no closure or fork/join overhead — the
+		// zero-allocation steady-state path for selective queries on
+		// converged shards.
 		for k := range surv {
 			scale := 1.0
 			if shares != nil {
 				scale = shares[k]
 			}
-			parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, false)
+			parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, false)
 		}
 	} else {
 		s.pool.Run(len(surv), 1, func(_, a, b int) {
@@ -296,12 +485,12 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 				if shares != nil {
 					scale = shares[k]
 				}
-				parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, false)
+				parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, false)
 			}
 		})
 	}
 
-	return s.mergeAnswer(surv, parts, aggs)
+	return s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
 }
 
 // executeShard runs one sub-request against one shard under its lock.
@@ -315,7 +504,7 @@ func (s *Sharded) executeShard(st *state, sub query.Request, scale float64, susp
 		st.mu.RLock()
 		defer st.mu.RUnlock()
 		ans, err := st.idx.Execute(sub)
-		return partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
+		return partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -330,38 +519,28 @@ func (s *Sharded) executeShard(st *state, sub query.Request, scale float64, susp
 	}
 	ans, err := st.idx.Execute(sub)
 	st.noteConverged()
-	return partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
-}
-
-// answerAgg reconstructs the kernel accumulator from a shard's answer
-// so partials merge exactly: an empty shard answer contributes the
-// ±inf extrema sentinels, never a fake zero.
-func answerAgg(ans query.Answer) column.Agg {
-	agg := column.NewAgg()
-	agg.Sum, agg.Count = ans.Sum, ans.Count
-	if ans.Count > 0 && ans.Aggs.NeedsMinMax() {
-		agg.Min, agg.Max = ans.Min, ans.Max
-	}
-	return agg
+	return partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
 }
 
 // mergeAnswer folds the survivors' partials, in shard order, into one
-// Answer. Work stats are additive (each shard really did that work);
-// the phase reported is the furthest-behind phase among the survivors,
-// matching how a caller would read a single index's lifecycle.
-func (s *Sharded) mergeAnswer(surv []int, parts []partial, aggs column.Aggregates) (query.Answer, error) {
+// Answer, then the pending tail's scan (the tail holds the highest row
+// numbers, so it merges last). Work stats are additive (each shard
+// really did that work); the phase reported is the furthest-behind
+// phase among the survivors, with a scanned tail pinning it to
+// creation — unindexed rows are by definition not past creation.
+func (s *Sharded) mergeAnswer(v *view, surv []int, parts []partial, aggs column.Aggregates, lo, hi int64, tailHit bool) (query.Answer, error) {
 	agg := column.NewAgg()
 	var stats query.Stats
 	stats.Workers = s.pool.Workers()
 	stats.Phase = query.PhaseDone
-	total := float64(s.col.Len())
+	total := float64(v.rows)
 	for k := range parts {
 		if parts[k].err != nil {
 			return query.Answer{}, parts[k].err
 		}
 		agg.Merge(parts[k].agg)
 		st := &parts[k].stats
-		rows := float64(s.shards[surv[k]].end - s.shards[surv[k]].start)
+		rows := float64(v.shards[surv[k]].end - v.shards[surv[k]].start)
 		stats.Delta += st.Delta * rows / total // fraction of the whole column indexed
 		stats.WorkSeconds += st.WorkSeconds
 		stats.BaseSeconds += st.BaseSeconds
@@ -371,31 +550,38 @@ func (s *Sharded) mergeAnswer(surv []int, parts []partial, aggs column.Aggregate
 			stats.Phase = st.Phase
 		}
 	}
-	s.noteAllDone()
+	if tailHit {
+		agg.Merge(column.ParAggRange(s.pool, v.tail, lo, hi, aggs))
+		stats.Phase = query.PhaseCreation
+	}
+	s.noteAllDone(v)
 	return query.NewAnswer(agg, aggs, stats), nil
 }
 
-// prunedStats is the Stats of a query whose every shard was pruned:
-// zero work, with the phase a lock-free caller can still know.
-func (s *Sharded) prunedStats() query.Stats {
+// prunedStats is the Stats of a query whose every shard (and the tail)
+// was pruned: zero work, with the phase a lock-free caller can still
+// know.
+func (s *Sharded) prunedStats(v *view) query.Stats {
 	st := query.Stats{Workers: s.pool.Workers()}
-	if s.allDone.Load() {
+	if v.done.Load() {
 		st.Phase = query.PhaseDone
 	}
 	return st
 }
 
-// noteAllDone refreshes the sticky all-converged switch.
-func (s *Sharded) noteAllDone() {
-	if s.allDone.Load() {
+// noteAllDone refreshes the view's sticky all-converged switch. The
+// flag belongs to the (immutable) view, so a concurrent Append cannot
+// be lost: it publishes a fresh view whose flag starts false.
+func (s *Sharded) noteAllDone(v *view) {
+	if v.done.Load() || len(v.tail) > 0 {
 		return
 	}
-	for _, st := range s.shards {
+	for _, st := range v.shards {
 		if !st.converged.Load() {
 			return
 		}
 	}
-	s.allDone.Store(true)
+	v.done.Store(true)
 }
 
 // Query answers SUM/COUNT over [lo, hi] inclusive (v1 surface).
@@ -409,13 +595,15 @@ func (s *Sharded) Query(lo, hi int64) column.Result {
 // index. Survivors execute serially on the calling goroutine — the
 // non-blocking path is a scheduler probe, not the throughput path.
 func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
-	lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+	v := s.cur.Load()
+	lo, hi, aggs, err := query.Prepare(req, v.vmin, v.vmax)
 	if err != nil {
 		return query.Answer{}, false, err
 	}
-	surv := s.survivors(make([]int, 0, len(s.shards)), lo, hi)
-	if len(surv) == 0 {
-		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats()), true, nil
+	surv := survivors(make([]int, 0, len(v.shards)), v.shards, lo, hi)
+	tailHit := v.tailHit(lo, hi)
+	if len(surv) == 0 && !tailHit {
+		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats(v)), true, nil
 	}
 	// Acquire every survivor's lock up front (in shard order, so two
 	// TryExecutes cannot deadlock), bailing out if any is contended.
@@ -434,7 +622,7 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 		}
 	}
 	for _, i := range surv {
-		st := s.shards[i]
+		st := v.shards[i]
 		if st.converged.Load() {
 			st.mu.RLock()
 			locks = append(locks, held{st, true})
@@ -451,19 +639,20 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 	heats := make([]uint64, len(surv))
 	allConverged := true
 	for k, i := range surv {
-		heats[k] = s.shards[i].heat.Add(1)
-		if !s.shards[i].converged.Load() {
+		heats[k] = v.shards[i].heat.Add(1)
+		if !v.shards[i].converged.Load() {
 			allConverged = false
 		}
 	}
 	var shares []float64
 	if !allConverged {
 		shares = costmodel.HeatShares(nil, heats)
+		s.applyBudgetFactor(shares, len(v.shards))
 	}
 	sub := query.Request{Pred: req.Pred, Aggs: aggs}
 	parts := make([]partial, len(surv))
 	for k, i := range surv {
-		st := s.shards[i]
+		st := v.shards[i]
 		st.executes.Add(1)
 		if shares != nil && !st.converged.Load() {
 			if sc, ok := st.idx.(budgetScaler); ok {
@@ -472,41 +661,45 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 		}
 		ans, err := st.idx.Execute(sub)
 		st.noteConverged()
-		parts[k] = partial{agg: answerAgg(ans), stats: ans.Stats, err: err}
+		parts[k] = partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
 	}
-	ans, err := s.mergeAnswer(surv, parts, aggs)
+	ans, err := s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
 	return ans, true, err
 }
 
 // ExecuteBatch executes several requests under one indexing budget:
 // the first request runs with the heat-weighted budget enabled and the
 // remainder with per-shard indexing suspended, mirroring
-// Synchronized.ExecuteBatch. Answers positionally match reqs.
+// Synchronized.ExecuteBatch. The whole batch runs against one
+// structure snapshot. Answers positionally match reqs.
 func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 	answers := make([]query.Answer, len(reqs))
 	errs := make([]error, len(reqs))
+	v := s.cur.Load()
 	for qi, req := range reqs {
-		lo, hi, aggs, err := query.Prepare(req, s.col.Min(), s.col.Max())
+		lo, hi, aggs, err := query.Prepare(req, v.vmin, v.vmax)
 		if err != nil {
 			errs[qi] = err
 			continue
 		}
-		surv := s.survivors(make([]int, 0, len(s.shards)), lo, hi)
-		if len(surv) == 0 {
-			answers[qi] = query.NewAnswer(column.NewAgg(), aggs, s.prunedStats())
+		surv := survivors(make([]int, 0, len(v.shards)), v.shards, lo, hi)
+		tailHit := v.tailHit(lo, hi)
+		if len(surv) == 0 && !tailHit {
+			answers[qi] = query.NewAnswer(column.NewAgg(), aggs, s.prunedStats(v))
 			continue
 		}
 		heats := make([]uint64, len(surv))
 		allConverged := true
 		for k, i := range surv {
-			heats[k] = s.shards[i].heat.Add(1)
-			if !s.shards[i].converged.Load() {
+			heats[k] = v.shards[i].heat.Add(1)
+			if !v.shards[i].converged.Load() {
 				allConverged = false
 			}
 		}
 		var shares []float64
 		if !allConverged {
 			shares = costmodel.HeatShares(nil, heats)
+			s.applyBudgetFactor(shares, len(v.shards))
 		}
 		suspend := qi > 0
 		sub := query.Request{Pred: req.Pred, Aggs: aggs}
@@ -517,10 +710,10 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 				if shares != nil {
 					scale = shares[k]
 				}
-				parts[k] = s.executeShard(s.shards[surv[k]], sub, scale, suspend)
+				parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, suspend)
 			}
 		})
-		answers[qi], errs[qi] = s.mergeAnswer(surv, parts, aggs)
+		answers[qi], errs[qi] = s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
 	}
 	return answers, errs
 }
@@ -536,26 +729,40 @@ var idleRequest = query.Request{Pred: query.Range(1, 0), Aggs: column.AggCount}
 // scale is the shard count: an idle slice concentrates the full
 // per-query budget on one shard, so an idle Sharded index converges in
 // about as much wall-clock as an idle unsharded one, hot shards first.
+// Once every sealed shard has converged, an idle slice seals any
+// pending tail — below the size threshold too — so a quiet table
+// absorbs its ingested rows completely and reaches the terminal state.
 // It returns the slice's work stats and whether every shard is now
-// converged.
+// converged with nothing pending.
 func (s *Sharded) RefineStep() (query.Stats, bool) {
-	if s.allDone.Load() {
+	v := s.cur.Load()
+	if v.done.Load() {
 		return query.Stats{}, true
 	}
-	target := s.nextRefineTarget()
+	target := s.nextRefineTarget(v)
 	if target == nil {
-		s.noteAllDone()
-		return query.Stats{}, s.allDone.Load()
+		if len(v.tail) > 0 {
+			// All sealed shards converged; flush the pending tail into
+			// a fresh shard. The new shard then converges via the
+			// following slices.
+			s.flushTail()
+			return query.Stats{}, s.Converged()
+		}
+		s.noteAllDone(v)
+		return query.Stats{}, v.done.Load()
 	}
 	target.mu.Lock()
 	if target.idx.Converged() {
 		target.noteConverged()
 		target.mu.Unlock()
-		s.noteAllDone()
-		return query.Stats{}, s.allDone.Load()
+		s.noteAllDone(v)
+		return query.Stats{}, v.done.Load()
 	}
 	if sc, ok := target.idx.(budgetScaler); ok {
-		sc.SetBudgetScale(float64(len(s.shards)))
+		// Concentrate one full table budget on this shard: S slices of
+		// 1/S in δ mode, BudgetSizedFor slices of 1/BudgetSizedFor in
+		// wall-clock mode (the factor cancels the grown shard count).
+		sc.SetBudgetScale(float64(len(v.shards)) * s.budgetFactor(len(v.shards)))
 	}
 	ans, err := target.idx.Execute(idleRequest)
 	target.noteConverged()
@@ -564,20 +771,35 @@ func (s *Sharded) RefineStep() (query.Stats, bool) {
 	if err != nil {
 		return query.Stats{}, false
 	}
-	s.noteAllDone()
-	return ans.Stats, s.allDone.Load()
+	s.noteAllDone(v)
+	return ans.Stats, v.done.Load()
+}
+
+// flushTail seals the current pending tail regardless of the size
+// threshold (the idle-time ingestion drain).
+func (s *Sharded) flushTail() {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	if s.col.Len() == s.tailStart {
+		return // a concurrent seal beat us to it
+	}
+	shards, err := s.sealLocked()
+	if err != nil {
+		return
+	}
+	s.publishLocked(shards)
 }
 
 // nextRefineTarget picks the round-robin cursor's shard among the
 // unconverged ones ordered by heat (descending, shard index breaking
 // ties), or nil when everything converged.
-func (s *Sharded) nextRefineTarget() *state {
+func (s *Sharded) nextRefineTarget(v *view) *state {
 	type cand struct {
 		heat uint64
 		i    int
 	}
-	cands := make([]cand, 0, len(s.shards))
-	for i, st := range s.shards {
+	cands := make([]cand, 0, len(v.shards))
+	for i, st := range v.shards {
 		if !st.converged.Load() {
 			cands = append(cands, cand{st.heat.Load(), i})
 		}
@@ -594,15 +816,20 @@ func (s *Sharded) nextRefineTarget() *state {
 		}
 		return cands[a].i < cands[b].i
 	})
-	return s.shards[cands[int(s.rr.Add(1)-1)%len(cands)].i]
+	return v.shards[cands[int(s.rr.Add(1)-1)%len(cands)].i]
 }
 
-// Converged reports whether every shard reached its terminal state.
+// Converged reports whether every shard reached its terminal state and
+// no appended rows are pending.
 func (s *Sharded) Converged() bool {
-	if s.allDone.Load() {
+	v := s.cur.Load()
+	if v.done.Load() {
 		return true
 	}
-	for _, st := range s.shards {
+	if len(v.tail) > 0 {
+		return false
+	}
+	for _, st := range v.shards {
 		if st.converged.Load() {
 			continue
 		}
@@ -614,18 +841,20 @@ func (s *Sharded) Converged() bool {
 			return false
 		}
 	}
-	s.allDone.Store(true)
+	v.done.Store(true)
 	return true
 }
 
 // Progress returns the row-weighted mean convergence fraction across
-// shards, exactly 1 once all shards converged.
+// shards, exactly 1 once all shards converged and nothing is pending;
+// unindexed tail rows count as zero progress.
 func (s *Sharded) Progress() float64 {
-	if s.allDone.Load() {
+	v := s.cur.Load()
+	if v.done.Load() {
 		return 1
 	}
 	var weighted float64
-	for _, st := range s.shards {
+	for _, st := range v.shards {
 		rows := float64(st.end - st.start)
 		if st.converged.Load() {
 			weighted += rows
@@ -649,15 +878,17 @@ func (s *Sharded) Progress() float64 {
 		}
 		st.mu.RUnlock()
 	}
-	return weighted / float64(s.col.Len())
+	return weighted / float64(v.rows)
 }
 
 // Phase reports the furthest-behind lifecycle phase across shards when
 // the shard strategy exposes one (ok == false otherwise). A fully
-// converged sharded index reports PhaseDone.
+// converged sharded index reports PhaseDone; a pending tail pins the
+// phase to creation (its rows are not indexed at all).
 func (s *Sharded) Phase() (query.Phase, bool) {
+	v := s.cur.Load()
 	min := query.PhaseDone
-	for _, st := range s.shards {
+	for _, st := range v.shards {
 		p, ok := st.idx.(phaser)
 		if !ok {
 			return 0, false
@@ -671,6 +902,9 @@ func (s *Sharded) Phase() (query.Phase, bool) {
 		if ph < min {
 			min = ph
 		}
+	}
+	if len(v.tail) > 0 && query.PhaseCreation < min {
+		min = query.PhaseCreation
 	}
 	return min, true
 }
@@ -688,12 +922,14 @@ type Info struct {
 	Progress  float64 `json:"convergence"`
 }
 
-// ShardStats snapshots every shard. A shard with Executes == 0 and
-// Refines == 0 has performed zero scan and zero indexing work — the
-// observable guarantee behind zone-map pruning.
+// ShardStats snapshots every sealed shard. A shard with Executes == 0
+// and Refines == 0 has performed zero scan and zero indexing work —
+// the observable guarantee behind zone-map pruning. The pending tail
+// is not a shard; see PendingRows.
 func (s *Sharded) ShardStats() []Info {
-	out := make([]Info, len(s.shards))
-	for i, st := range s.shards {
+	v := s.cur.Load()
+	out := make([]Info, len(v.shards))
+	for i, st := range v.shards {
 		info := Info{
 			Rows:     st.end - st.start,
 			MinValue: st.min,

@@ -83,7 +83,7 @@ func TestPartitioning(t *testing.T) {
 			t.Fatalf("S=%d: got %d shards, want %d", S, sh.Shards(), wantShards)
 		}
 		rows := 0
-		for i, st := range sh.shards {
+		for i, st := range sh.cur.Load().shards {
 			part := vals[st.start:st.end]
 			if len(part) == 0 {
 				t.Fatalf("S=%d shard %d empty", S, i)
@@ -101,7 +101,7 @@ func TestPartitioning(t *testing.T) {
 			if st.min != mn || st.max != mx {
 				t.Fatalf("S=%d shard %d zone [%d,%d], want [%d,%d]", S, i, st.min, st.max, mn, mx)
 			}
-			if i > 0 && st.start != sh.shards[i-1].end {
+			if i > 0 && st.start != sh.cur.Load().shards[i-1].end {
 				t.Fatalf("S=%d shard %d not contiguous", S, i)
 			}
 		}
@@ -353,5 +353,226 @@ func BenchmarkShardedExecute(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// oracleAgg is the branching reference answer over a plain slice.
+func oracleAgg(vals []int64, lo, hi int64) column.Agg {
+	return column.AggRangeBranching(vals, lo, hi)
+}
+
+// TestAppendTailVisibleAndSealed pins the ingestion path: appended rows
+// are answered from the unindexed tail immediately, the tail seals into
+// a fresh shard at the threshold, and answers stay exact throughout.
+func TestAppendTailVisibleAndSealed(t *testing.T) {
+	vals := clustered(100)
+	col := column.MustNew(append([]int64(nil), vals...))
+	factory, built := stubFactory(1)
+	sh, err := New(col, Config{Shards: 4, Workers: 1, SealRows: 10}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := append([]int64(nil), vals...)
+	check := func(stage string, lo, hi int64) {
+		t.Helper()
+		ans, err := sh.Execute(query.Request{Pred: query.Range(lo, hi), Aggs: column.AggAll})
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		want := oracleAgg(logical, lo, hi)
+		if ans.Sum != want.Sum || ans.Count != want.Count {
+			t.Fatalf("%s: [%d,%d] = {%d %d}, want {%d %d}", stage, lo, hi, ans.Sum, ans.Count, want.Sum, want.Count)
+		}
+		if want.Count > 0 && (ans.Min != want.Min || ans.Max != want.Max) {
+			t.Fatalf("%s: [%d,%d] extrema {%d %d}, want {%d %d}", stage, lo, hi, ans.Min, ans.Max, want.Min, want.Max)
+		}
+	}
+
+	// Below the seal threshold: rows live in the tail.
+	if err := sh.Append([]int64{200, 201, 202}); err != nil {
+		t.Fatal(err)
+	}
+	logical = append(logical, 200, 201, 202)
+	if got := sh.PendingRows(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	if got := sh.Shards(); got != 4 {
+		t.Fatalf("shards = %d, want 4 (below threshold)", got)
+	}
+	check("tail", 0, 500)
+	check("tail-only", 200, 202)
+	check("tail-pruned", 150, 180)
+
+	// Cross the threshold: tail seals into shard #5 with its own zone.
+	batch := []int64{203, 204, 205, 206, 207, 208, 209}
+	if err := sh.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	logical = append(logical, batch...)
+	if got := sh.PendingRows(); got != 0 {
+		t.Fatalf("pending after seal = %d, want 0", got)
+	}
+	if got := sh.Shards(); got != 5 {
+		t.Fatalf("shards after seal = %d, want 5", got)
+	}
+	infos := sh.ShardStats()
+	last := infos[len(infos)-1]
+	if last.Rows != 10 || last.MinValue != 200 || last.MaxValue != 209 {
+		t.Fatalf("sealed shard = %+v, want rows=10 zone [200,209]", last)
+	}
+	check("sealed", 0, 500)
+	check("sealed-only", 200, 209)
+
+	// The sealed shard participates in pruning: a query confined to the
+	// original data must not execute it.
+	before := sh.ShardStats()[4].Executes
+	check("prune-sealed", 0, 50)
+	if after := sh.ShardStats()[4].Executes; after != before {
+		t.Fatalf("sealed shard executed on a pruned query (%d -> %d)", before, after)
+	}
+
+	// Converged reports false while a tail is pending, true after the
+	// whole structure (including sealed shards) converges.
+	if err := sh.Append([]int64{300}); err != nil {
+		t.Fatal(err)
+	}
+	logical = append(logical, 300)
+	if sh.Converged() {
+		t.Fatal("Converged() = true with a pending tail")
+	}
+	check("post-seal-tail", 0, 1000)
+	_ = built
+}
+
+// TestRefineStepFlushesTail pins the idle-time ingestion drain: once
+// every sealed shard has converged, RefineStep seals a below-threshold
+// tail and then converges the fresh shard, reaching the terminal state.
+func TestRefineStepFlushesTail(t *testing.T) {
+	col := column.MustNew(clustered(40))
+	factory, _ := stubFactory(1)
+	sh, err := New(col, Config{Shards: 2, Workers: 1, SealRows: 1000}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge the two loaded shards.
+	for i := 0; i < 10 && !sh.Converged(); i++ {
+		sh.RefineStep()
+	}
+	if !sh.Converged() {
+		t.Fatal("loaded shards never converged")
+	}
+	if err := sh.Append([]int64{500, 501}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Converged() {
+		t.Fatal("converged with pending tail")
+	}
+	for i := 0; i < 10 && !sh.Converged(); i++ {
+		sh.RefineStep()
+	}
+	if !sh.Converged() {
+		t.Fatal("idle refinement never drained the tail")
+	}
+	if got := sh.PendingRows(); got != 0 {
+		t.Fatalf("pending after idle drain = %d, want 0", got)
+	}
+	if got := sh.Shards(); got != 3 {
+		t.Fatalf("shards after idle drain = %d, want 3", got)
+	}
+	if got := sh.Progress(); got != 1 {
+		t.Fatalf("Progress after drain = %g, want 1", got)
+	}
+	ans, err := sh.Execute(query.Request{Pred: query.Range(500, 501)})
+	if err != nil || ans.Sum != 1001 || ans.Count != 2 {
+		t.Fatalf("drained rows lost: %+v err=%v", ans, err)
+	}
+}
+
+// TestAppendRejectsOutOfDomainAtomically pins no-partial-commit.
+func TestAppendRejectsOutOfDomainAtomically(t *testing.T) {
+	col := column.MustNew(clustered(10))
+	factory, _ := stubFactory(1)
+	sh, err := New(col, Config{Shards: 2, Workers: 1}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := int64(1) << 62
+	if err := sh.Append([]int64{7, huge}); err == nil {
+		t.Fatal("out-of-domain append accepted")
+	}
+	if got := sh.PendingRows(); got != 0 {
+		t.Fatalf("rejected append left %d pending rows", got)
+	}
+	if err := sh.Append(nil); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+}
+
+// TestBudgetFactorKeepsWallClockTrue pins the wall-clock budget
+// correction under growth: per-shard budgeters carry 1/BudgetSizedFor
+// of the table budget, so once sealing grows the shard count the
+// scales handed to survivors must sum to BudgetSizedFor (one table
+// budget), not to the grown count.
+func TestBudgetFactorKeepsWallClockTrue(t *testing.T) {
+	col := column.MustNew(clustered(8))
+	factory, built := stubFactory(1000) // never converges: scales keep flowing
+	sh, err := New(col, Config{Shards: 2, Workers: 1, SealRows: 4, BudgetSizedFor: 2}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow to 3 shards.
+	if err := sh.Append([]int64{100, 101, 102, 103}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 3 {
+		t.Fatalf("shards = %d, want 3", sh.Shards())
+	}
+	// A query surviving all three shards plans one table budget total.
+	if _, err := sh.Execute(query.Request{Pred: query.Range(0, 200)}); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, st := range *built {
+		if n := len(st.scales); n > 0 {
+			sum += st.scales[n-1]
+		}
+	}
+	if sum < 1.999 || sum > 2.001 {
+		t.Fatalf("survivor scales sum to %g, want BudgetSizedFor=2 (one table budget)", sum)
+	}
+	// An idle slice concentrates exactly one table budget on one shard.
+	before := make([]int, len(*built))
+	for i, st := range *built {
+		before[i] = len(st.scales)
+	}
+	sh.RefineStep()
+	for i, st := range *built {
+		if len(st.scales) > before[i] {
+			if got := st.scales[len(st.scales)-1]; got != 2 {
+				t.Fatalf("idle scale = %g, want BudgetSizedFor=2", got)
+			}
+		}
+	}
+	// δ mode (BudgetSizedFor 0): no correction, scales sum to the
+	// survivor count as before.
+	factory2, built2 := stubFactory(1000)
+	sh2, err := New(column.MustNew(clustered(8)), Config{Shards: 2, Workers: 1, SealRows: 4}, factory2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh2.Append([]int64{100, 101, 102, 103}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh2.Execute(query.Request{Pred: query.Range(0, 200)}); err != nil {
+		t.Fatal(err)
+	}
+	sum = 0.0
+	for _, st := range *built2 {
+		if n := len(st.scales); n > 0 {
+			sum += st.scales[n-1]
+		}
+	}
+	if sum < 2.999 || sum > 3.001 {
+		t.Fatalf("δ-mode survivor scales sum to %g, want 3 (survivor count)", sum)
 	}
 }

@@ -112,22 +112,43 @@ func TestStrategyStrings(t *testing.T) {
 	}
 }
 
+// TestRecommendDecisionTree covers every hint combination (all eight),
+// pinning the Figure 11 branch precedence. In particular,
+// MemoryConstrained must win over PointQueriesOnly: Radix LSD's
+// intermediate buckets transiently need base column + buckets + final
+// array, which contradicts the MemoryConstrained contract (at most one
+// extra copy of the column), so a memory-constrained point workload
+// gets the fully in-place Progressive Quicksort.
 func TestRecommendDecisionTree(t *testing.T) {
 	cases := []struct {
 		hints WorkloadHints
 		want  Strategy
 	}{
+		{WorkloadHints{}, StrategyRadixMSD},
+		{WorkloadHints{SkewedData: true}, StrategyBucketsort},
 		{WorkloadHints{PointQueriesOnly: true}, StrategyRadixLSD},
 		{WorkloadHints{PointQueriesOnly: true, SkewedData: true}, StrategyRadixLSD},
 		{WorkloadHints{MemoryConstrained: true}, StrategyQuicksort},
 		{WorkloadHints{MemoryConstrained: true, SkewedData: true}, StrategyQuicksort},
-		{WorkloadHints{SkewedData: true}, StrategyBucketsort},
-		{WorkloadHints{}, StrategyRadixMSD},
+		{WorkloadHints{MemoryConstrained: true, PointQueriesOnly: true}, StrategyQuicksort},
+		{WorkloadHints{MemoryConstrained: true, PointQueriesOnly: true, SkewedData: true}, StrategyQuicksort},
+	}
+	if want := 1 << 3; len(cases) != want {
+		t.Fatalf("decision tree regression must cover all %d hint combinations, has %d", want, len(cases))
 	}
 	for _, tc := range cases {
 		if got := Recommend(tc.hints); got != tc.want {
 			t.Fatalf("Recommend(%+v) = %v, want %v", tc.hints, got, tc.want)
 		}
+	}
+}
+
+// TestRecommendMemoryPrecedence is the narrow regression for the bug
+// this tree once had: PointQueriesOnly outranking MemoryConstrained.
+func TestRecommendMemoryPrecedence(t *testing.T) {
+	h := WorkloadHints{PointQueriesOnly: true, MemoryConstrained: true}
+	if got := Recommend(h); got != StrategyQuicksort {
+		t.Fatalf("memory-constrained point workload recommends %v (needs >1 extra copy), want PQ", got)
 	}
 }
 

@@ -16,7 +16,10 @@ import (
 // answers are bit-identical to the unsharded index at any worker
 // count), and splits the per-query indexing budget across survivors in
 // proportion to their heat — the shards a workload touches converge
-// first, and shards it never touches do zero work.
+// first, and shards it never touches do zero work. Append routes new
+// rows to a growable pending tail that is sealed into a fresh indexed
+// shard at a size threshold (DESIGN.md section 10), so the table keeps
+// ingesting while it is queried.
 //
 // Sharded is safe for concurrent use and implements Handle, the same
 // scheduler surface as *Synchronized; do not wrap it in Synchronize
@@ -56,9 +59,15 @@ func NewShardedFromColumn(col *column.Column, opts Options) (*Sharded, error) {
 	// shard's budgeter is sized at 1/S of the per-query time budget
 	// (δ budgets are fractions of the shard's own data and need no
 	// rescaling). The heat-weighted split then re-weights these equal
-	// slices toward hot shards at query time.
-	if cfg.Shards > 1 && child.Budget > 0 {
-		child.Budget /= time.Duration(cfg.Shards)
+	// slices toward hot shards at query time, and BudgetSizedFor lets
+	// the shard layer shrink the scales as sealed append-tails grow the
+	// shard count past S — every sealed shard is built by the same
+	// factory, so it carries the same 1/S budgeter slice.
+	if child.Budget > 0 {
+		cfg.BudgetSizedFor = cfg.Shards
+		if cfg.Shards > 1 {
+			child.Budget /= time.Duration(cfg.Shards)
+		}
 	}
 	return shard.New(col, cfg, func(c *column.Column) (shard.Index, error) {
 		return NewFromColumn(c, child)
@@ -77,16 +86,26 @@ func NewHandle(values []int64, opts Options) (Handle, error) {
 	return NewHandleFromColumn(col, opts)
 }
 
-// NewHandleFromColumn is NewHandle for a pre-built column.
+// NewHandleFromColumn is NewHandle for a pre-built column. The column
+// is retained as the handle's logical table and grows through
+// Handle.Append; the index itself is built over a frozen snapshot, so
+// the strategies never observe mutation (DESIGN.md section 10).
 func NewHandleFromColumn(col *column.Column, opts Options) (Handle, error) {
 	if opts.Shards > 1 {
 		return NewShardedFromColumn(col, opts)
 	}
-	idx, err := NewFromColumn(col, opts)
+	frozen := col.Snapshot()
+	idx, err := NewFromColumn(frozen, opts)
 	if err != nil {
 		return nil, err
 	}
-	return Synchronize(idx), nil
+	child := opts
+	child.Shards = 0
+	s := Synchronize(idx)
+	s.enableAppend(col, frozen.Len(), func(c *column.Column) (Index, error) {
+		return NewFromColumn(c, child)
+	}, opts.Strategy.Convergent(), opts.Workers)
+	return s, nil
 }
 
 // Both serving handles expose the same scheduler surface.
