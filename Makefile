@@ -12,8 +12,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Emits BENCH_kernels.json, BENCH_convergence.json and
-# BENCH_shards.json in the repo root.
+# Emits BENCH_kernels.json, BENCH_convergence.json, BENCH_shards.json
+# and BENCH_durability.json in the repo root.
 bench:
 	$(GO) run ./cmd/bench
 

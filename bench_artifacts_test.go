@@ -19,8 +19,8 @@ func TestBenchArtifactsRecordMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) < 3 {
-		t.Fatalf("expected the three committed bench artifacts, found %v", paths)
+	if len(paths) < 4 {
+		t.Fatalf("expected the four committed bench artifacts (kernels, convergence, shards, durability), found %v", paths)
 	}
 	for _, path := range paths {
 		raw, err := os.ReadFile(path)

@@ -14,10 +14,22 @@
 // writer verifies the rows it has appended so far (count and closed-
 // form sum over its private range — nobody else writes there).
 //
+// With -verify-only it loads nothing: it expects the table to already
+// exist on the server (recovered from a durable -datadir after a crash
+// or restart) with the same -n/-seed/-writers/-appends/-append-batch a
+// previous run used, rebuilds the identical local oracle, and verifies
+// reader queries plus every writer's closed-form range — the crash-
+// recovery end of the CI smoke test.
+//
+// Before doing anything it polls /healthz until the server reports
+// ready (a durable daemon answers 503 while it replays its WAL), so it
+// can be pointed at a just-started progidxd without racing recovery.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7171 -n 200000 -sessions 8 -queries 50
 //	loadgen -addr 127.0.0.1:7171 -n 200000 -sessions 8 -writers 2 -shards 4
+//	loadgen -addr 127.0.0.1:7171 -n 200000 -writers 2 -verify-only
 package main
 
 import (
@@ -41,38 +53,50 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7171", "progidxd address (host:port)")
-		table    = flag.String("table", "loadgen", "table name to create and query")
-		n        = flag.Int("n", 200_000, "rows in the generated table")
-		seed     = flag.Int64("seed", 7, "data generator seed (shared with the server)")
-		strategy = flag.String("strategy", "PQ", "index strategy abbreviation")
-		delta    = flag.Float64("delta", 0.25, "indexing fraction per query")
-		shards   = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
-		sessions = flag.Int("sessions", 8, "concurrent query sessions")
-		queries  = flag.Int("queries", 50, "queries per session")
-		writers  = flag.Int("writers", 0, "concurrent writer sessions appending rows while readers query")
-		appends  = flag.Int("appends", 10, "append batches per writer session")
-		batchLen = flag.Int("append-batch", 50, "rows per append batch")
-		check    = flag.Bool("check", true, "verify every answer against the local library oracle")
-		keep     = flag.Bool("keep", false, "leave the table loaded when done")
+		addr       = flag.String("addr", "127.0.0.1:7171", "progidxd address (host:port)")
+		table      = flag.String("table", "loadgen", "table name to create and query")
+		n          = flag.Int("n", 200_000, "rows in the generated table")
+		seed       = flag.Int64("seed", 7, "data generator seed (shared with the server)")
+		strategy   = flag.String("strategy", "PQ", "index strategy abbreviation")
+		delta      = flag.Float64("delta", 0.25, "indexing fraction per query")
+		shards     = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
+		sessions   = flag.Int("sessions", 8, "concurrent query sessions")
+		queries    = flag.Int("queries", 50, "queries per session")
+		writers    = flag.Int("writers", 0, "concurrent writer sessions appending rows while readers query")
+		appends    = flag.Int("appends", 10, "append batches per writer session")
+		batchLen   = flag.Int("append-batch", 50, "rows per append batch")
+		check      = flag.Bool("check", true, "verify every answer against the local library oracle")
+		keep       = flag.Bool("keep", false, "leave the table loaded when done")
+		verifyOnly = flag.Bool("verify-only", false, "skip load and appends; verify an existing (recovered) table against the oracle for the same flags")
+		waitReady  = flag.Duration("wait-ready", 30*time.Second, "poll /healthz until the server reports ready (0 = don't wait)")
 	)
 	flag.Parse()
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 60 * time.Second}
 
+	if err := waitForReady(client, base, *waitReady); err != nil {
+		fatal("%v", err)
+	}
+
 	// Load the table server-side from the shared generator spec, and
-	// build the local oracle over the identical column.
+	// build the local oracle over the identical column. In verify-only
+	// mode the table already exists server-side (recovered from a
+	// durable datadir); only the local oracle is rebuilt.
 	vals := data.Uniform(*n, *seed)
-	loadBody := server.LoadRequest{
-		Name:     *table,
-		Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
-		Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards},
+	if *verifyOnly {
+		fmt.Printf("loadgen: verify-only against existing %q (%d loaded rows expected) on %s\n", *table, *n, *addr)
+	} else {
+		loadBody := server.LoadRequest{
+			Name:     *table,
+			Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
+			Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards},
+		}
+		if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
+			fatal("load table: %v", err)
+		}
+		fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d) on %s\n", *table, *n, *strategy, *delta, *shards, *addr)
 	}
-	if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
-		fatal("load table: %v", err)
-	}
-	fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d) on %s\n", *table, *n, *strategy, *delta, *shards, *addr)
 
 	var oracle progidx.Index
 	if *check {
@@ -124,13 +148,43 @@ func main() {
 	// above the loaded domain (and the readers' bounded predicates) and
 	// disjoint from every other writer — appending strictly increasing
 	// values, so the rows it has written so far have a closed-form
-	// count and sum it verifies after every batch.
+	// count and sum it verifies after every batch. In verify-only mode
+	// nothing is appended: a previous run wrote (and was acked for) the
+	// full span, so the check runs once against the complete range.
 	for w := 0; w < *writers; w++ {
 		wg.Add(1)
 		go func(writer int) {
 			defer wg.Done()
 			span := int64(*appends * *batchLen)
 			wbase := 2*int64(*n) + int64(writer)*span
+			if *verifyOnly {
+				appendedRows.Add(uint64(span))
+				if !*check {
+					return
+				}
+				lo, hi := wbase, wbase+span-1
+				var resp server.QueryResponse
+				err := postJSON(client, base+"/tables/"+*table+"/query",
+					server.QueryRequest{Pred: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi},
+						Aggs: []string{"sum", "count", "min", "max"}}, &resp, http.StatusOK)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: writer %d verify: %v\n", writer, err)
+					return
+				}
+				wantSum := span * (2*wbase + span - 1) / 2
+				ok := resp.Count == span &&
+					resp.Sum != nil && *resp.Sum == wantSum &&
+					resp.Min != nil && *resp.Min == wbase &&
+					resp.Max != nil && *resp.Max == wbase+span-1
+				if !ok {
+					mismatches.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: writer %d: recovered range [%d,%d] mismatch: %+v\n",
+						writer, lo, hi, resp)
+				}
+				writerChecks.Add(1)
+				return
+			}
 			written := int64(0)
 			for a := 0; a < *appends; a++ {
 				batch := make([]int64, *batchLen)
@@ -190,8 +244,13 @@ func main() {
 	}
 
 	if writerMode {
-		fmt.Printf("loadgen: %d writers appended %d rows (%d growing-oracle checks)\n",
-			*writers, appendedRows.Load(), writerChecks.Load())
+		if *verifyOnly {
+			fmt.Printf("loadgen: verified %d recovered writer ranges (%d rows, %d checks)\n",
+				*writers, appendedRows.Load(), writerChecks.Load())
+		} else {
+			fmt.Printf("loadgen: %d writers appended %d rows (%d growing-oracle checks)\n",
+				*writers, appendedRows.Load(), writerChecks.Load())
+		}
 	}
 
 	var info struct {
@@ -216,7 +275,9 @@ func main() {
 		}
 	}
 
-	if !*keep {
+	// Verify-only runs never drop: the recovered table (and its on-disk
+	// state) belongs to whoever loaded it.
+	if !*keep && !*verifyOnly {
 		req, _ := http.NewRequest(http.MethodDelete, base+"/tables/"+*table, nil)
 		if resp, err := client.Do(req); err == nil {
 			resp.Body.Close()
@@ -298,6 +359,34 @@ func matches(oracle progidx.Index, req progidx.Request, resp server.QueryRespons
 		return false
 	}
 	return true
+}
+
+// waitForReady polls /healthz until the server answers 200 ("ready"):
+// a durable progidxd serves 503 starting/recovering while it replays
+// its WAL, and a just-exec'd one may not be listening at all yet.
+func waitForReady(client *http.Client, base string, timeout time.Duration) error {
+	if timeout <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	last := "no response yet"
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			last = err.Error()
+		} else {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v (%s)", timeout, last)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 func pct(sorted []time.Duration, q float64) time.Duration {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	progidxd                          # listen on :7171
+//	progidxd                          # listen on :7171, in-memory only
 //	progidxd -addr 127.0.0.1:0        # ephemeral port (printed, and
 //	                                  # written to -addrfile if set)
 //	progidxd -preload demo:1000000    # load a uniform demo table at boot
+//	progidxd -datadir /var/lib/pidx   # durable: WAL + snapshots, tables
+//	                                  # recovered on restart
 //
 // Load a table and query it:
 //
@@ -15,9 +17,18 @@
 //	curl -s localhost:7171/tables/demo/query -d '{"pred":{"kind":"range","lo":1000,"hi":50000},"aggs":["sum","count","avg"]}'
 //	curl -s localhost:7171/stats
 //
+// With -datadir set, appends are written to a per-table WAL before
+// they are acknowledged (fsync policy per -fsync), index state is
+// snapshotted on the -snapshot-interval cadence, and a restart with
+// the same -datadir recovers every table: /healthz reports
+// starting/recovering (503) until replay finishes, then ready.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight requests finish (up to a timeout), then
-// the per-table schedulers stop.
+// the per-table admission queues drain — every queued append is
+// flushed to the WAL and acknowledged, or rejected explicitly — and
+// each durable table gets a final checkpoint so the next boot replays
+// no WAL at all.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/data"
+	"repro/internal/durable"
 	"repro/internal/server"
 )
 
@@ -47,15 +59,35 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 0, "max requests amortized into one indexing step (0 = default)")
 		preload  = flag.String("preload", "", "comma-separated name:rows tables to load at boot with uniform data, e.g. demo:1000000")
 		grace    = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		datadir  = flag.String("datadir", "", "durability directory (empty = in-memory only; tables there are recovered on boot)")
+		fsync    = flag.String("fsync", "batch", "WAL fsync policy: always (per append), batch (per admission batch), off")
+		snapIvl  = flag.Duration("snapshot-interval", 0, "background snapshot cadence for durable tables (0 = default 30s)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{QueueDepth: *queue, MaxBatch: *maxBatch})
-	if err := preloadTables(srv, *preload); err != nil {
-		fmt.Fprintln(os.Stderr, "progidxd:", err)
-		os.Exit(1)
+	var store *durable.Store
+	if *datadir != "" {
+		policy, err := durable.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progidxd:", err)
+			os.Exit(1)
+		}
+		store, err = durable.Open(*datadir, policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progidxd:", err)
+			os.Exit(1)
+		}
 	}
+	srv := server.New(server.Config{
+		QueueDepth:       *queue,
+		MaxBatch:         *maxBatch,
+		Store:            store,
+		SnapshotInterval: *snapIvl,
+	})
 
+	// Serve before recovering: /healthz answers starting/recovering
+	// (503) while WAL replay rebuilds the tables, so clients can poll
+	// for readiness instead of getting connection refused.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "progidxd:", err)
@@ -73,6 +105,24 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	warnings, err := srv.Recover()
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "progidxd: recovery warning:", w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd:", err)
+		os.Exit(1)
+	}
+	if store != nil {
+		if n := len(srv.Catalog().List()); n > 0 {
+			fmt.Printf("progidxd: recovered %d table(s) from %s\n", n, *datadir)
+		}
+	}
+	if err := preloadTables(srv, *preload); err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -92,12 +142,20 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "progidxd: shutdown:", err)
 	}
-	srv.Close()
+	// Drain the admission queues (flushing queued appends to the WAL
+	// and acking them) and checkpoint every durable table; for an
+	// in-memory server this degrades to a plain drain-and-stop.
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "progidxd: shutdown:", err)
+		os.Exit(1)
+	}
 }
 
 // preloadTables loads "name:rows" specs with deterministic uniform data
 // (seed = 42) and default options, so a demo instance is queryable the
-// moment it prints its listen address.
+// moment it prints its listen address. Names that already exist —
+// typically recovered from -datadir — are left alone, so restarting a
+// durable daemon with the same -preload does not fail or double-load.
 func preloadTables(srv *server.Server, spec string) error {
 	if spec == "" {
 		return nil
@@ -110,6 +168,10 @@ func preloadTables(srv *server.Server, spec string) error {
 		n, err := strconv.Atoi(rows)
 		if err != nil || n <= 0 {
 			return fmt.Errorf("bad -preload rows in %q", part)
+		}
+		if _, exists := srv.Catalog().Get(name); exists {
+			fmt.Printf("progidxd: table %q already recovered, skipping preload\n", name)
+			continue
 		}
 		if _, err := srv.Load(name, data.Uniform(n, 42), catalog.Options{}); err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/column"
+	"repro/internal/durable"
 )
 
 // Status is a table's lifecycle state.
@@ -107,6 +108,13 @@ type Table struct {
 	created time.Time
 	status  atomic.Int32
 
+	// log is the table's write-ahead log when the catalog is durable
+	// (durability.go); nil on an ephemeral catalog. snapProgress is the
+	// index progress recorded by the newest snapshot (Float64bits), the
+	// signal NeedsCheckpoint uses to persist idle-refinement work.
+	log          *durable.TableLog
+	snapProgress atomic.Uint64
+
 	// rows mirrors the logical row count (loaded + appended); atomic so
 	// Info snapshots never race the handle-locked column growth.
 	rows       atomic.Int64
@@ -165,6 +173,16 @@ func (t *Table) Append(values []int64) error {
 		t.appends.Add(1)
 		t.appendRows.Add(uint64(len(values)))
 	}
+	if t.log != nil && len(values) > 0 {
+		// Write-ahead-log the batch after the in-memory ingest so the
+		// counters above stay honest about what queries can see. On WAL
+		// failure the error keeps the append unacked: the rows are
+		// visible until the process dies, but the client retries — the
+		// same contract as a crash between ingest and sync.
+		if _, err := t.log.Append(values); err != nil {
+			return fmt.Errorf("catalog: append to %q not durable: %w", t.name, err)
+		}
+	}
 	return nil
 }
 
@@ -219,6 +237,9 @@ type Info struct {
 	Progress     float64 `json:"convergence"`
 	IdleInfo     bool    `json:"idle_refine"`
 	CreatedAt    string  `json:"created_at"`
+	// Durability is the WAL/snapshot view of the table; omitted on an
+	// ephemeral catalog.
+	Durability *DurabilityInfo `json:"durability,omitempty"`
 }
 
 // Info snapshots the table's externally visible state. A table still
@@ -234,6 +255,7 @@ func (t *Table) Info() Info {
 		AppendedRows: t.appendRows.Load(),
 		IdleInfo:     t.opts.IdleRefineEnabled(),
 		CreatedAt:    t.created.UTC().Format(time.RFC3339),
+		Durability:   t.durabilityInfo(),
 	}
 	if t.Status() == StatusLoading {
 		info.MinValue, info.MaxValue = t.col.Min(), t.col.Max()
@@ -257,6 +279,10 @@ func (t *Table) Info() Info {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// store persists tables when set (NewDurable); nil means the
+	// catalog is ephemeral and every durability hook is a no-op.
+	store *durable.Store
 }
 
 // New returns an empty catalog.
@@ -291,22 +317,41 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 	c.tables[name] = t
 	c.mu.Unlock()
 
-	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
-	if err != nil {
+	// Release only our own reservation on failure: the name may have
+	// been dropped and reused by a concurrent loader in the meantime.
+	fail := func(err error) (*Table, error) {
 		c.mu.Lock()
-		// Release only our own reservation: the name may have been
-		// dropped and reused by a concurrent loader in the meantime.
 		if c.tables[name] == t {
 			delete(c.tables, name)
 		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+		return nil, err
+	}
+
+	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
+	if err != nil {
+		return fail(fmt.Errorf("catalog: load %q: %w", name, err))
 	}
 	t.idx = idx
+	if c.store != nil {
+		// Establish the on-disk state — base snapshot with the load
+		// rows plus manifest, durable before the load is acked — so a
+		// created table survives a crash even before its first append.
+		log, err := c.store.Create(name, opts.meta(), t.created.UnixNano(), col.Values())
+		if err != nil {
+			return fail(fmt.Errorf("catalog: load %q: %w", name, err))
+		}
+		t.log = log
+	}
 	if !t.status.CompareAndSwap(int32(StatusLoading), int32(StatusReady)) {
 		// A concurrent Drop removed our reservation mid-build; honor it
 		// rather than resurrecting the status of a table that is no
-		// longer in the map.
+		// longer in the map — and take the just-written on-disk state
+		// back down with it (Drop's own store teardown may have run
+		// before Create finished).
+		if c.store != nil {
+			c.store.Drop(name)
+		}
 		return nil, fmt.Errorf("catalog: table %q dropped during load", name)
 	}
 	return t, nil
@@ -338,6 +383,17 @@ func (c *Catalog) Drop(name string) (*Table, error) {
 		return nil, fmt.Errorf("catalog: table %q not found", name)
 	}
 	t.status.Store(int32(StatusDropped))
+	if c.store != nil {
+		// Remove the on-disk WAL + snapshots so a dropped table never
+		// resurrects at recovery and a recreated same-name table starts
+		// from only its own data. Runs outside the catalog lock (it
+		// deletes files); dropping and recreating the same name
+		// concurrently is a client race today just as it was without
+		// durability.
+		if err := c.store.Drop(name); err != nil {
+			return t, fmt.Errorf("catalog: drop %q on-disk state: %w", name, err)
+		}
+	}
 	return t, nil
 }
 

@@ -1,0 +1,266 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/column"
+	"repro/internal/durable"
+)
+
+// This file is the catalog half of the durability subsystem
+// (internal/durable): option <-> TableMeta conversion, the per-table
+// durable lifecycle (WAL-backed Append, checkpoint capture, recovery),
+// and the Drop teardown of on-disk state. The catalog stays usable
+// without a store — every hook is a no-op on an ephemeral catalog — so
+// tests and deployments that want a pure in-memory server keep exactly
+// the old behavior.
+
+// meta projects the catalog options into the durable layer's
+// JSON-friendly TableMeta. Delta is stored in parts-per-million so the
+// round-trip is exact for any δ a client can reasonably configure.
+func (o Options) meta() durable.TableMeta {
+	return durable.TableMeta{
+		Strategy:   o.Strategy.String(),
+		DeltaPPM:   int64(o.Delta*1e6 + 0.5),
+		BudgetNs:   o.Budget.Nanoseconds(),
+		Adaptive:   o.Adaptive,
+		Calibrate:  o.Calibrate,
+		Workers:    o.Workers,
+		Shards:     o.Shards,
+		IdleRefine: o.IdleRefine,
+	}
+}
+
+// optionsFromMeta inverts Options.meta at recovery time.
+func optionsFromMeta(m durable.TableMeta) (Options, error) {
+	strat, err := progidx.ParseStrategy(m.Strategy)
+	if err != nil {
+		return Options{}, fmt.Errorf("catalog: recovered table meta: %w", err)
+	}
+	return Options{
+		Strategy:   strat,
+		Delta:      float64(m.DeltaPPM) / 1e6,
+		Budget:     time.Duration(m.BudgetNs),
+		Adaptive:   m.Adaptive,
+		Calibrate:  m.Calibrate,
+		Workers:    m.Workers,
+		Shards:     m.Shards,
+		IdleRefine: m.IdleRefine,
+	}, nil
+}
+
+// NewDurable returns a catalog whose tables persist into store: Load
+// writes a base snapshot before acking, Append write-ahead-logs every
+// batch, and Drop removes the on-disk state. Recovery is driven by the
+// server through LoadRecovered.
+func NewDurable(store *durable.Store) *Catalog {
+	c := New()
+	c.store = store
+	return c
+}
+
+// Store returns the catalog's durability store (nil for an ephemeral
+// catalog).
+func (c *Catalog) Store() *durable.Store { return c.store }
+
+// Durable reports whether the table write-ahead-logs its appends.
+func (t *Table) Durable() bool { return t.log != nil }
+
+// SyncLog flushes the table's WAL to stable storage. The scheduler
+// calls this once per batch, after applying the batch's appends and
+// before acking any of them — the ack-after-WAL ordering that makes an
+// acked append survive a crash. No-op on an ephemeral table.
+func (t *Table) SyncLog() error {
+	if t.log == nil {
+		return nil
+	}
+	return t.log.Sync()
+}
+
+// DurabilityInfo is the WAL/snapshot view of one table for /stats.
+type DurabilityInfo struct {
+	// WALSeq is the sequence number of the newest logged append batch;
+	// CoveredSeq the newest snapshot's coverage. TailFrames is their
+	// difference: how many batches a crash right now would replay.
+	WALSeq     uint64 `json:"wal_seq"`
+	CoveredSeq uint64 `json:"covered_seq"`
+	TailFrames uint64 `json:"tail_frames"`
+}
+
+// durabilityInfo returns the table's durability snapshot (nil when
+// ephemeral).
+func (t *Table) durabilityInfo() *DurabilityInfo {
+	if t.log == nil {
+		return nil
+	}
+	return &DurabilityInfo{
+		WALSeq:     t.log.LastSeq(),
+		CoveredSeq: t.log.CoveredSeq(),
+		TailFrames: t.log.TailFrames(),
+	}
+}
+
+// NeedsCheckpoint reports whether a background checkpoint would make
+// progress durable: there are WAL-tail frames to fold into a snapshot,
+// or the index has converged further than the newest snapshot recorded
+// (idle refinement keeps working between appends, and that work should
+// survive a crash too). Always false on an ephemeral table.
+func (t *Table) NeedsCheckpoint() bool {
+	if t.log == nil {
+		return false
+	}
+	if t.log.TailFrames() > 0 {
+		return true
+	}
+	return t.idx.Progress() > t.snapProgressLoad()
+}
+
+func (t *Table) snapProgressLoad() float64 {
+	return math.Float64frombits(t.snapProgress.Load())
+}
+
+func (t *Table) snapProgressStore(p float64) {
+	t.snapProgress.Store(math.Float64bits(p))
+}
+
+// CaptureCheckpoint snapshots the table's durable state: rows as of
+// the newest WAL frame, plus the index-progress floor. It must run
+// where appends cannot be concurrent — the table's scheduler loop, or
+// after the scheduler drained — so the (rows, seq) pairing is exact.
+// ok == false on an ephemeral table.
+func (t *Table) CaptureCheckpoint() (durable.Checkpoint, bool) {
+	if t.log == nil {
+		return durable.Checkpoint{}, false
+	}
+	return durable.Checkpoint{
+		Seq:        t.log.LastSeq(),
+		Rows:       t.col.Snapshot().Values(),
+		Progress:   t.idx.Progress(),
+		Converged:  t.idx.Converged(),
+		Appends:    t.appends.Load(),
+		AppendRows: t.appendRows.Load(),
+		CreatedAt:  t.created.UnixNano(),
+		Meta:       t.opts.meta(),
+	}, true
+}
+
+// WriteCheckpoint serializes a captured checkpoint to a durable
+// snapshot and truncates the covered WAL prefix. Unlike the capture,
+// the write may run on a background goroutine: the captured rows are a
+// frozen column snapshot and the WAL keeps accepting appends while the
+// file is written.
+func (t *Table) WriteCheckpoint(cp durable.Checkpoint) error {
+	if t.log == nil {
+		return nil
+	}
+	if err := t.log.WriteCheckpoint(cp); err != nil {
+		return err
+	}
+	t.snapProgressStore(cp.Progress)
+	return nil
+}
+
+// LoadRecovered rebuilds one table from its recovered durable state:
+// column from the snapshot rows, index handle from the recovered
+// options, WAL-tail batches replayed through the normal Append path
+// (without re-logging — they are already in the WAL), and the index
+// re-driven to at least the snapshot's recorded progress so
+// convergence work paid for before the crash is not silently lost.
+func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
+	if c.store == nil {
+		return nil, fmt.Errorf("catalog: LoadRecovered on an ephemeral catalog")
+	}
+	opts, err := optionsFromMeta(rec.Meta)
+	if err != nil {
+		return nil, err
+	}
+	col, err := column.New(rec.Base)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: recover %q: %w", rec.Name, err)
+	}
+	t := &Table{name: rec.Name, col: col, opts: opts, created: time.Unix(0, rec.CreatedAt)}
+	t.rows.Store(int64(col.Len()))
+	t.status.Store(int32(StatusLoading))
+
+	c.mu.Lock()
+	if _, exists := c.tables[rec.Name]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalog: table %q already exists", rec.Name)
+	}
+	c.tables[rec.Name] = t
+	c.mu.Unlock()
+
+	fail := func(err error) (*Table, error) {
+		c.mu.Lock()
+		if c.tables[rec.Name] == t {
+			delete(c.tables, rec.Name)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
+	if err != nil {
+		return fail(fmt.Errorf("catalog: recover %q: %w", rec.Name, err))
+	}
+	t.idx = idx
+	t.log = rec.Log
+	t.snapProgressStore(rec.Progress)
+
+	// Replay the WAL tail through the normal ingest path: each batch
+	// lands in the pending tail / tail shard exactly as it originally
+	// did, and the index absorbs it under its usual budget discipline.
+	var tailRows uint64
+	for _, b := range rec.Batches {
+		if err := idx.Append(b); err != nil {
+			return fail(fmt.Errorf("catalog: recover %q: replay append: %w", rec.Name, err))
+		}
+		t.rows.Add(int64(len(b)))
+		tailRows += uint64(len(b))
+	}
+	t.appends.Store(rec.Appends + uint64(len(rec.Batches)))
+	t.appendRows.Store(rec.AppendRows + tailRows)
+
+	t.redrive(rec.Progress)
+
+	if !t.status.CompareAndSwap(int32(StatusLoading), int32(StatusReady)) {
+		return fail(fmt.Errorf("catalog: table %q dropped during recovery", rec.Name))
+	}
+	return t, nil
+}
+
+// redrive spends refinement slices until the rebuilt index's Progress
+// reaches the snapshot's recorded floor. The snapshot stores progress
+// rather than strategy internals — the 13 strategies' in-memory layouts
+// would each need their own serialization format, while re-running
+// RefineStep reproduces the work in a format-independent way, bounded
+// by the same budget slices queries would have spent. A stall guard
+// breaks the loop if progress plateaus below the floor; single
+// non-increasing steps are normal (a step may spend its slice flushing
+// the replayed tail into a shard before any of it counts as indexed),
+// so only a long run of them gives up. Non-convergent strategies record
+// progress 0 in their snapshots, so they skip the loop entirely.
+func (t *Table) redrive(target float64) {
+	if target <= 0 {
+		return
+	}
+	const stallLimit = 256
+	stalled := 0
+	last := t.idx.Progress()
+	for last < target && stalled < stallLimit {
+		_, done := t.idx.RefineStep()
+		p := t.idx.Progress()
+		if p >= target || done {
+			return
+		}
+		if p <= last {
+			stalled++
+		} else {
+			stalled = 0
+		}
+		last = p
+	}
+}

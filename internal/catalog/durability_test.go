@@ -1,0 +1,215 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/data"
+	"repro/internal/durable"
+)
+
+func openStore(t *testing.T, dir string) *durable.Store {
+	t.Helper()
+	s, err := durable.Open(dir, durable.SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// tableFiles lists the durable files that exist anywhere under the
+// data directory for assertions about on-disk lifecycle.
+func tableFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			out = append(out, p)
+		}
+		return nil
+	})
+	return out
+}
+
+func TestDurableLoadAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	c := NewDurable(store)
+
+	vals := data.Uniform(4_000, 7)
+	tbl, err := c.Load("t", vals, Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Durable() {
+		t.Fatal("table on a durable catalog must carry a log")
+	}
+	batches := [][]int64{{9_000_001, 9_000_002}, {9_000_003}}
+	for _, b := range batches {
+		if err := tbl.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn some convergence work, then checkpoint so the snapshot
+	// records a non-zero progress floor.
+	for i := 0; i < 50; i++ {
+		if _, done := tbl.Index().RefineStep(); done {
+			break
+		}
+	}
+	cp, ok := tbl.CaptureCheckpoint()
+	if !ok {
+		t.Fatal("CaptureCheckpoint returned !ok on durable table")
+	}
+	if err := tbl.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	floor := cp.Progress
+	// One more batch after the checkpoint: the WAL tail recovery replays.
+	if err := tbl.Append([]int64{9_000_004, 9_000_005}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	info := tbl.Info()
+	if info.Durability == nil || info.Durability.TailFrames != 1 {
+		t.Fatalf("durability info = %+v, want 1 tail frame", info.Durability)
+	}
+	wantRows := tbl.Len()
+	store.Close() // hard stop: no shutdown checkpoint
+
+	store2 := openStore(t, dir)
+	recs, errs, err := store2.Recover()
+	if err != nil || len(errs) != 0 || len(recs) != 1 {
+		t.Fatalf("Recover: %v %v (%d tables)", err, errs, len(recs))
+	}
+	c2 := NewDurable(store2)
+	tbl2, err := c2.LoadRecovered(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != wantRows {
+		t.Fatalf("recovered rows = %d, want %d", tbl2.Len(), wantRows)
+	}
+	if got := tbl2.Options(); got.Strategy != progidx.StrategyQuicksort || got.Delta != 0.25 || got.Shards != 3 {
+		t.Fatalf("recovered options = %+v", got)
+	}
+	if got := tbl2.Index().Progress(); got < floor {
+		t.Fatalf("recovered progress %.4f < snapshot floor %.4f", got, floor)
+	}
+	if tbl2.appends.Load() != 3 || tbl2.appendRows.Load() != 5 {
+		t.Fatalf("recovered counters: %d appends / %d rows", tbl2.appends.Load(), tbl2.appendRows.Load())
+	}
+	// The appended values actually answer queries.
+	// Zero Aggs defaults to SUM+COUNT.
+	ans, err := tbl2.Index().Execute(progidx.Request{Pred: progidx.Range(9_000_001, 9_000_005)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 5 || ans.Sum != 5*9_000_003 {
+		t.Fatalf("recovered tail query: count %d sum %d", ans.Count, ans.Sum)
+	}
+}
+
+func TestDurableDropRemovesOnDiskState(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	c := NewDurable(store)
+
+	vals := data.Uniform(2_000, 3)
+	tbl, err := c.Load("victim", vals, Options{Strategy: progidx.StrategyBucketsort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append([]int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	if files := tableFiles(t, dir); len(files) == 0 {
+		t.Fatal("durable load left no files on disk")
+	}
+	if _, err := c.Drop("victim"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tableFiles(t, dir) {
+		t.Errorf("file survived drop: %s", f)
+	}
+
+	// Recreate the same name with different data: recovery must see
+	// only the new table's own rows.
+	if _, err := c.Load("victim", []int64{10, 20, 30}, Options{Strategy: progidx.StrategyQuicksort}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2 := openStore(t, dir)
+	recs, errs, err := store2.Recover()
+	if err != nil || len(errs) != 0 || len(recs) != 1 {
+		t.Fatalf("Recover: %v %v (%d tables)", err, errs, len(recs))
+	}
+	c2 := NewDurable(store2)
+	tbl2, err := c2.LoadRecovered(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != 3 || tbl2.MinValue() != 10 || tbl2.MaxValue() != 30 {
+		t.Fatalf("recreated table recovered %d rows [%d, %d], want the 3 new rows",
+			tbl2.Len(), tbl2.MinValue(), tbl2.MaxValue())
+	}
+	if tbl2.Options().Strategy != progidx.StrategyQuicksort {
+		t.Fatalf("recreated table options = %+v", tbl2.Options())
+	}
+}
+
+func TestDroppedTableDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	c := NewDurable(store)
+	if _, err := c.Load("gone", []int64{1, 2}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Drop("gone"); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2 := openStore(t, dir)
+	recs, errs, err := store2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || len(errs) != 0 {
+		t.Fatalf("dropped table resurrected: %d tables, errs %v", len(recs), errs)
+	}
+}
+
+func TestOptionsMetaRoundTrip(t *testing.T) {
+	on := true
+	o := Options{
+		Strategy:   progidx.StrategyRadixLSD,
+		Delta:      0.125,
+		Budget:     1_500_000, // 1.5ms
+		Adaptive:   true,
+		Workers:    4,
+		Shards:     8,
+		IdleRefine: &on,
+	}
+	got, err := optionsFromMeta(o.meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Strategy != o.Strategy || got.Delta != o.Delta || got.Budget != o.Budget ||
+		got.Adaptive != o.Adaptive || got.Workers != o.Workers || got.Shards != o.Shards ||
+		got.IdleRefine == nil || *got.IdleRefine != on {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, o)
+	}
+}

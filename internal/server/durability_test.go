@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/data"
+	"repro/internal/durable"
+)
+
+// newDurableServer opens a store over dir and builds a server on it
+// with the background snapshot cadence effectively disabled, so tests
+// control exactly when checkpoints happen.
+func newDurableServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	store, err := durable.Open(dir, durable.SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Store: store, SnapshotInterval: 1 << 40}) // ~18min ticks: never fires in a test
+}
+
+// fullScanOracle wraps the branching full-scan reference index over
+// exactly the rows the recovered table must hold.
+func fullScanOracle(t *testing.T, values []int64) progidx.Handle {
+	t.Helper()
+	h, err := progidx.NewHandle(values, progidx.Options{Strategy: progidx.StrategyFullScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// answersMatch compares every aggregate bit-exactly.
+func answersMatch(a, b progidx.Answer) bool {
+	if a.Count != b.Count || a.Sum != b.Sum {
+		return false
+	}
+	amin, aok := a.MinOk()
+	bmin, bok := b.MinOk()
+	if aok != bok || amin != bmin {
+		return false
+	}
+	amax, aok := a.MaxOk()
+	bmax, bok := b.MaxOk()
+	if aok != bok || amax != bmax {
+		return false
+	}
+	aavg, aok := a.AvgOk()
+	bavg, bok := b.AvgOk()
+	return aok == bok && aavg == bavg
+}
+
+// tearTail appends a partial WAL frame (valid-looking header, missing
+// payload bytes) to the table's newest segment, simulating a crash
+// mid-write.
+func tearTail(t *testing.T, dir, table string) {
+	t.Helper()
+	tdir := ""
+	filepath.Walk(filepath.Join(dir, "tables"), func(p string, info os.FileInfo, err error) error {
+		if err == nil && info.IsDir() && filepath.Base(p) == "t-"+table {
+			tdir = p
+		}
+		return nil
+	})
+	if tdir == "" {
+		t.Fatalf("no on-disk dir for table %q", table)
+	}
+	var newest string
+	ents, err := os.ReadDir(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".seg" && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatal("no WAL segment to tear (the trace always appends at least once)")
+	}
+	torn := make([]byte, 16+8) // header + 1 of the 4 promised values
+	binary.LittleEndian.PutUint64(torn[0:8], 1<<40)
+	binary.LittleEndian.PutUint32(torn[8:12], 4)
+	f, err := os.OpenFile(filepath.Join(tdir, newest), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestKillRestartProperty is the headline durability test: an
+// interleaved append/query trace runs against a durable server, the
+// process "crashes" (hard Close — no final checkpoint) at a
+// configuration-dependent point in the trace, some configurations also
+// tear the WAL tail mid-frame or checkpoint mid-trace (exercising
+// snapshot + truncate), and after restart the answers on the acked
+// prefix must be bit-identical to the branching full-scan oracle, with
+// index progress at least the last snapshot's floor.
+func TestKillRestartProperty(t *testing.T) {
+	strategies := []progidx.Strategy{
+		progidx.StrategyQuicksort, // PQ
+		progidx.StrategyRadixMSD,  // PMSD
+		progidx.StrategyBucketsort,
+		progidx.StrategyRadixLSD,
+		progidx.StrategyFullScan, // non-convergent reference
+	}
+	shardCounts := []int{1, 3, 8}
+	const (
+		n        = 3000
+		totalOps = 12 // append batches in the full trace
+	)
+	cfgIdx := 0
+	for _, strat := range strategies {
+		for _, shards := range shardCounts {
+			strat, shards, idx := strat, shards, cfgIdx
+			cfgIdx++
+			t.Run(fmt.Sprintf("%s/shards=%d", strat, shards), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				srv := newDurableServer(t, dir)
+				if _, err := srv.Recover(); err != nil {
+					t.Fatal(err)
+				}
+				base := data.Uniform(n, int64(idx+1))
+				opts := catalog.Options{Strategy: strat, Delta: 0.25, Shards: shards}
+				if _, err := srv.Load("t", base, opts); err != nil {
+					t.Fatal(err)
+				}
+				sched, _ := srv.Scheduler("t")
+				ctx := context.Background()
+
+				// Vary the crash point across configurations: crash after
+				// crashAt acked append batches — an arbitrary WAL frame
+				// boundary. Every third config checkpoints mid-trace; every
+				// other config additionally tears the tail.
+				crashAt := 1 + idx%totalOps
+				checkpointAt := -1
+				if idx%3 == 0 {
+					checkpointAt = crashAt / 2
+				}
+				tornTail := idx%2 == 1
+
+				oracleVals := append([]int64(nil), base...)
+				queries := []progidx.Request{
+					{Pred: progidx.Range(int64(n/4), int64(3*n/4)), Aggs: progidx.Sum | progidx.Count | progidx.Min | progidx.Max},
+					{Pred: progidx.AtLeast(int64(2 * n)), Aggs: progidx.Sum | progidx.Count | progidx.Avg},
+					{Pred: progidx.Range(0, int64(4*n)), Aggs: progidx.Sum | progidx.Count | progidx.Min | progidx.Max | progidx.Avg},
+				}
+				var snapFloor float64
+				next := int64(2 * n) // appended values: distinct, ascending, outside base domain
+				for op := 0; op < crashAt; op++ {
+					batch := []int64{next, next + 1, next + 2}
+					next += 3
+					if _, _, err := sched.Append(ctx, batch); err != nil {
+						t.Fatalf("append %d: %v", op, err)
+					}
+					// Acked: the oracle must see it after recovery.
+					oracleVals = append(oracleVals, batch...)
+					if _, _, err := sched.Execute(ctx, queries[op%len(queries)]); err != nil {
+						t.Fatalf("query %d: %v", op, err)
+					}
+					if op == checkpointAt {
+						// Progress read just before the capture is a floor on
+						// what the snapshot records (no append intervenes, so
+						// progress cannot dilute between the read and the
+						// capture) — and recovery must restore at least the
+						// snapshot's recorded value.
+						tbl, _ := srv.Catalog().Get("t")
+						snapFloor = tbl.Index().Progress()
+						if ok, err := sched.Checkpoint(ctx); !ok || err != nil {
+							t.Fatalf("checkpoint: ok=%v err=%v", ok, err)
+						}
+					}
+				}
+				srv.Close() // crash: no shutdown checkpoint
+
+				if tornTail {
+					tearTail(t, dir, "t")
+				}
+
+				srv2 := newDurableServer(t, dir)
+				t.Cleanup(srv2.Close)
+				warnings, err := srv2.Recover()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range warnings {
+					t.Fatalf("recovery warning: %v", w)
+				}
+				tbl, ok := srv2.Catalog().Get("t")
+				if !ok {
+					t.Fatal("table did not recover")
+				}
+				if tbl.Len() != len(oracleVals) {
+					t.Fatalf("recovered rows = %d, want %d (acked prefix)", tbl.Len(), len(oracleVals))
+				}
+				if got := tbl.Options(); got.Strategy != strat || got.Shards != shards {
+					t.Fatalf("recovered options = %+v", got)
+				}
+				if checkpointAt >= 0 {
+					if got := tbl.Index().Progress(); got+1e-9 < snapFloor {
+						t.Fatalf("recovered progress %.4f < snapshot floor %.4f", got, snapFloor)
+					}
+				}
+
+				oracle := fullScanOracle(t, oracleVals)
+				sched2, _ := srv2.Scheduler("t")
+				for qi, q := range queries {
+					want, err := oracle.Execute(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := sched2.Execute(ctx, q)
+					if err != nil {
+						t.Fatalf("recovered query %d: %v", qi, err)
+					}
+					if !answersMatch(got, want) {
+						t.Fatalf("query %d mismatch after recovery:\n got %+v\nwant %+v", qi, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGracefulShutdownDrainsAppends: appenders race a Shutdown; every
+// append acked before the shutdown must survive recovery, and queued
+// ones must be either acked-and-durable or rejected explicitly — never
+// silently dropped.
+func TestGracefulShutdownDrainsAppends(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir)
+	if _, err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	base := data.Uniform(2000, 99)
+	if _, err := srv.Load("t", base, catalog.Options{Strategy: progidx.StrategyQuicksort, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := srv.Scheduler("t")
+
+	const writers = 4
+	var (
+		mu    sync.Mutex
+		acked [][]int64
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			next := int64(1_000_000 * (w + 1))
+			for i := 0; ; i++ {
+				batch := []int64{next, next + 1}
+				next += 2
+				_, _, err := sched.Append(context.Background(), batch)
+				if err != nil {
+					return // ErrStopped: explicitly rejected, not acked
+				}
+				mu.Lock()
+				acked = append(acked, batch)
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	// Let the writers get some acks in, then shut down under load.
+	for {
+		mu.Lock()
+		got := len(acked)
+		mu.Unlock()
+		if got >= 20 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	srv2 := newDurableServer(t, dir)
+	t.Cleanup(srv2.Close)
+	if _, err := srv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := srv2.Catalog().Get("t")
+	if !ok {
+		t.Fatal("table did not recover")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var ackedRows int
+	var ackedSum int64
+	for _, b := range acked {
+		ackedRows += len(b)
+		for _, v := range b {
+			ackedSum += v
+		}
+	}
+	if tbl.Len() != len(base)+ackedRows {
+		t.Fatalf("recovered rows = %d, want %d base + %d acked", tbl.Len(), len(base), ackedRows)
+	}
+	// All appended values sit at >= 1M, disjoint from the base domain:
+	// their sum and count must match the acked set exactly.
+	ans, err := tbl.Index().Execute(progidx.Request{Pred: progidx.AtLeast(1_000_000), Aggs: progidx.Sum | progidx.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != int64(ackedRows) || ans.Sum != ackedSum {
+		t.Fatalf("acked appends after shutdown+recovery: count %d sum %d, want %d / %d",
+			ans.Count, ans.Sum, ackedRows, ackedSum)
+	}
+	// Graceful shutdown checkpointed: recovery replayed no WAL tail.
+	if d := tbl.Info().Durability; d == nil || d.TailFrames != 0 {
+		t.Fatalf("durability after graceful shutdown = %+v, want zero tail", d)
+	}
+}
+
+// TestHealthzBootStates: a durable server answers 503 starting before
+// recovery and 200 ready after, so load balancers hold traffic during
+// WAL replay.
+func TestHealthzBootStates(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-recovery healthz = %d, want 503", resp.StatusCode)
+	}
+	if got := srv.BootState(); got != "starting" {
+		t.Fatalf("BootState = %q, want starting", got)
+	}
+	if _, err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery healthz = %d, want 200", resp.StatusCode)
+	}
+	if got := srv.BootState(); got != "ready" {
+		t.Fatalf("BootState = %q, want ready", got)
+	}
+}
+
+// TestSnapshotCadence: with a short interval, the background loop
+// checkpoints a table that accumulated WAL tail without any explicit
+// Checkpoint call.
+func TestSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := durable.Open(dir, durable.SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: store, SnapshotInterval: time.Millisecond})
+	t.Cleanup(srv.Close)
+	if _, err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Load("t", data.Uniform(1000, 5), catalog.Options{Strategy: progidx.StrategyQuicksort}); err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := srv.Scheduler("t")
+	if _, _, err := sched.Append(context.Background(), []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := srv.Catalog().Get("t")
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if d := tbl.Info().Durability; d != nil && d.CoveredSeq >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background snapshot cadence never checkpointed the table")
+}

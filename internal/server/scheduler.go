@@ -22,10 +22,12 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/catalog"
+	"repro/internal/durable"
 )
 
 // ErrStopped is returned for requests admitted to (or waiting on) a
@@ -62,16 +64,24 @@ type result struct {
 	rows int // table row count after an append task applied
 	err  error
 	info ExecInfo
+	cp   durable.Checkpoint // captured state for a checkpoint task
+	cpOK bool
 }
 
-// task is one admitted request — a query or an append — waiting for
-// execution.
+// task is one admitted request — a query, an append, or a checkpoint
+// capture — waiting for execution.
 type task struct {
 	req      progidx.Request
 	append   []int64 // ingest payload; meaningful when isAppend
 	isAppend bool
-	reply    chan result // buffered(1): the loop never blocks on a reply
-	enqueued time.Time
+	// checkpoint asks the loop to capture the table's durable state
+	// (rows + WAL position + index progress) at a point where no append
+	// can be concurrent — the property that makes the captured pairing
+	// exact. The snapshot file itself is written by the caller, off the
+	// serving loop.
+	checkpoint bool
+	reply      chan result // buffered(1): the loop never blocks on a reply
+	enqueued   time.Time
 }
 
 // Scheduler serializes one table's queries through a single goroutine.
@@ -82,10 +92,14 @@ type Scheduler struct {
 	maxBatch int
 
 	tasks chan *task
-	quit  chan struct{} // closed by Stop
+	quit  chan struct{} // closed by Stop/Drain
 	done  chan struct{} // closed by the loop after the final drain
 
 	stopOnce sync.Once
+	// draining selects the final-drain behavior: Drain (graceful
+	// shutdown) executes whatever is still queued — appends flushed to
+	// the WAL and acked — where Stop (table drop) rejects it.
+	draining atomic.Bool
 
 	mu          sync.Mutex // guards the metrics below
 	queries     uint64
@@ -156,6 +170,15 @@ func (s *Scheduler) Append(ctx context.Context, values []int64) (int, ExecInfo, 
 
 // admit enqueues t and waits for its result.
 func (s *Scheduler) admit(ctx context.Context, t *task) (result, error) {
+	// Check quit with priority before racing it against a queue slot:
+	// once Stop/Drain fired, a caller in a retry loop must see
+	// ErrStopped rather than win the select's coin flip and keep
+	// feeding the final drain forever.
+	select {
+	case <-s.quit:
+		return result{}, ErrStopped
+	default:
+	}
 	select {
 	case s.tasks <- t:
 	case <-s.quit:
@@ -190,16 +213,52 @@ func (s *Scheduler) Stop() {
 	<-s.done
 }
 
+// Drain terminates the loop like Stop, but everything already admitted
+// is executed first: queued appends are applied, flushed to the WAL,
+// and acked (or rejected with an explicit error), and queued queries
+// are answered. Requests arriving after the drain finishes fail with
+// ErrStopped. Used by graceful shutdown so no acked append can be lost
+// and no queued one is silently dropped.
+func (s *Scheduler) Drain() {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.quit)
+	})
+	<-s.done
+}
+
+// Checkpoint rides the admission queue to capture the table's durable
+// state at a batch boundary, then writes the snapshot file and
+// truncates the covered WAL prefix — the file I/O happens on the
+// caller's goroutine, so the serving loop is blocked only for the
+// in-memory capture. ok == false means the table is not durable.
+func (s *Scheduler) Checkpoint(ctx context.Context) (ok bool, err error) {
+	r, err := s.admit(ctx, &task{checkpoint: true, reply: make(chan result, 1), enqueued: time.Now()})
+	if err != nil {
+		return false, err
+	}
+	if r.err != nil || !r.cpOK {
+		return false, r.err
+	}
+	return true, s.table.WriteCheckpoint(r.cp)
+}
+
 // loop is the per-table serving goroutine.
 func (s *Scheduler) loop() {
 	defer func() {
-		// Final drain: everything still queued fails cleanly. New
-		// admissions race with this drain, but Execute also watches
-		// s.done, which closes strictly after it.
+		// Final drain. Under Stop, everything still queued fails
+		// cleanly; under Drain it executes — batched through the normal
+		// path, so queued appends reach the WAL (and are synced) before
+		// their acks. New admissions race with this drain, but Execute
+		// also watches s.done, which closes strictly after it.
 		for {
 			select {
 			case t := <-s.tasks:
-				t.reply <- result{err: ErrStopped}
+				if s.draining.Load() {
+					s.runBatch(s.collect(t))
+				} else {
+					t.reply <- result{err: ErrStopped}
+				}
 			default:
 				close(s.done)
 				return
@@ -281,7 +340,15 @@ func (s *Scheduler) runBatch(batch []*task) {
 		nAppends   uint64
 		nAppendRow uint64
 	)
+	var (
+		appendIdx []int // batch positions of successful appends
+		cpIdx     []int // batch positions of checkpoint tasks
+	)
 	for i, t := range batch {
+		if t.checkpoint {
+			cpIdx = append(cpIdx, i)
+			continue
+		}
 		if !t.isAppend {
 			reqIdx = append(reqIdx, i)
 			continue
@@ -293,7 +360,26 @@ func (s *Scheduler) runBatch(batch []*task) {
 			// appends counter — a rejected batch changed nothing.
 			nAppends++
 			nAppendRow += uint64(len(t.append))
+			appendIdx = append(appendIdx, i)
 		}
+	}
+	if nAppends > 0 {
+		// Ack-after-WAL: one fsync makes the whole batch's appends
+		// durable before any reply goes out (no-op on an ephemeral
+		// table or under the always/off policies). If the sync fails,
+		// nothing in this batch was promised to disk — every append
+		// that thought it succeeded is un-acked.
+		if err := s.table.SyncLog(); err != nil {
+			for _, i := range appendIdx {
+				results[i].err = err
+			}
+			nAppends, nAppendRow = 0, 0
+		}
+	}
+	for _, i := range cpIdx {
+		// Capture after this batch's appends so the checkpoint covers
+		// them; the caller serializes the snapshot file off-loop.
+		results[i].cp, results[i].cpOK = s.table.CaptureCheckpoint()
 	}
 	if len(reqIdx) > 0 {
 		reqs := make([]progidx.Request, len(reqIdx))

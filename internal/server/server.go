@@ -29,11 +29,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/catalog"
 	"repro/internal/data"
+	"repro/internal/durable"
 )
 
 // Config tunes the server; the zero value is fully usable.
@@ -45,6 +47,14 @@ type Config struct {
 	// MaxLoadRows caps generator-spec loads to keep one request from
 	// exhausting memory (<= 0 means the 100M default).
 	MaxLoadRows int
+	// Store enables durability: tables persist (WAL + snapshots) into
+	// it, /healthz reports starting|recovering until Recover has
+	// replayed the on-disk state, and a background checkpoint cadence
+	// runs. Nil keeps the server fully in-memory.
+	Store *durable.Store
+	// SnapshotInterval is the background checkpoint cadence for durable
+	// tables (<= 0 means the 30s default). Only meaningful with Store.
+	SnapshotInterval time.Duration
 }
 
 const defaultMaxLoadRows = 100_000_000
@@ -58,19 +68,35 @@ type Server struct {
 	mu     sync.Mutex
 	scheds map[string]*Scheduler
 	closed bool
+
+	// boot is the /healthz lifecycle (durability.go); snapQuit/snapDone
+	// bound the background snapshot-cadence goroutine.
+	boot     atomic.Int32
+	snapQuit chan struct{}
+	snapDone chan struct{}
 }
 
-// New returns a server with an empty catalog.
+// New returns a server with an empty catalog. With Config.Store set the
+// catalog is durable and the server reports "starting" until Recover is
+// called — start the HTTP listener first if clients should see the boot
+// progress, then Recover.
 func New(cfg Config) *Server {
 	if cfg.MaxLoadRows <= 0 {
 		cfg.MaxLoadRows = defaultMaxLoadRows
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
-		catalog: catalog.New(),
 		started: time.Now(),
 		scheds:  make(map[string]*Scheduler),
 	}
+	if cfg.Store != nil {
+		s.catalog = catalog.NewDurable(cfg.Store)
+		s.boot.Store(bootStarting)
+	} else {
+		s.catalog = catalog.New()
+		s.boot.Store(bootReady)
+	}
+	return s
 }
 
 // Catalog exposes the underlying catalog (tests, preloading).
@@ -153,9 +179,13 @@ func (s *Server) Scheduler(name string) (*Scheduler, bool) {
 	return sched, ok
 }
 
-// Close stops every scheduler. The HTTP handler keeps answering
-// catalog reads but fails queries; callers normally shut the listener
-// down first (http.Server.Shutdown) and then Close.
+// Close stops every scheduler, rejecting queued requests — the hard
+// stop, also used by crash tests to simulate dying without a final
+// checkpoint (the WAL is closed but no snapshot is taken). For the
+// graceful path that drains queues and checkpoints, use Shutdown
+// (durability.go). The HTTP handler keeps answering catalog reads but
+// fails queries; callers normally shut the listener down first
+// (http.Server.Shutdown) and then Close.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -169,8 +199,12 @@ func (s *Server) Close() {
 	}
 	s.scheds = make(map[string]*Scheduler)
 	s.mu.Unlock()
+	s.stopSnapshotLoop()
 	for _, sched := range scheds {
 		sched.Stop()
+	}
+	if s.cfg.Store != nil {
+		s.cfg.Store.Close()
 	}
 }
 
@@ -408,8 +442,17 @@ type errorResponse struct {
 
 // --- handlers ---
 
+// handleHealthz reports the boot lifecycle: starting|recovering|ready.
+// Non-ready states answer 503 so load balancers (and the load
+// generator's wait-for-ready poll) hold traffic during boot-time WAL
+// replay instead of racing tables that are still loading.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	state := s.BootState()
+	code := http.StatusOK
+	if state != "ready" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
 }
 
 // Request body caps: loads may carry large inline value arrays (the
@@ -651,6 +694,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(ts TableStats) (float64, bool) {
 			return ts.Scheduler.P99LatencyUs / 1e6, ts.Scheduler.LatencyWindow > 0
 		})
+	writeFamily("progidx_table_wal_seq", "gauge", "Sequence number of the newest WAL frame.",
+		func(ts TableStats) (float64, bool) {
+			if ts.Durability == nil {
+				return 0, false
+			}
+			return float64(ts.Durability.WALSeq), true
+		})
+	writeFamily("progidx_table_wal_covered_seq", "gauge", "WAL sequence covered by the newest snapshot.",
+		func(ts TableStats) (float64, bool) {
+			if ts.Durability == nil {
+				return 0, false
+			}
+			return float64(ts.Durability.CoveredSeq), true
+		})
+	writeFamily("progidx_table_wal_tail_frames", "gauge", "WAL frames a crash right now would replay.",
+		func(ts TableStats) (float64, bool) {
+			if ts.Durability == nil {
+				return 0, false
+			}
+			return float64(ts.Durability.TailFrames), true
+		})
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"progidx_wal_frames_total", "WAL frames appended across all tables.", st.Frames},
+			{"progidx_wal_syncs_total", "WAL fsync calls issued.", st.Syncs},
+			{"progidx_snapshots_total", "Snapshot files written.", st.Snapshots},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+		}
+	}
 	w.Write([]byte(b.String()))
 }
 

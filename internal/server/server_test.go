@@ -218,7 +218,7 @@ func TestHTTPHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
 	var health map[string]string
 	do(t, http.MethodGet, ts.URL+"/healthz", nil, http.StatusOK, &health)
-	if health["status"] != "ok" {
+	if health["status"] != "ready" {
 		t.Fatalf("healthz = %v", health)
 	}
 }
