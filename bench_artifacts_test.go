@@ -48,3 +48,55 @@ func TestBenchArtifactsRecordMachine(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchKernelsEncodings guards the compressed-storage section of
+// the committed kernels artifact: every measured encoding must have
+// answered bit-identically to the raw kernel, and the headline claim —
+// FOR-BP on the uniform column at ≥2x compression with at most a 20%
+// range-scan penalty — must hold in the committed numbers, so a kernel
+// regression cannot land silently behind a stale artifact.
+func TestBenchKernelsEncodings(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_kernels.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		Encodings []struct {
+			Data        string  `json:"data"`
+			Encoding    string  `json:"encoding"`
+			Kind        string  `json:"kind"`
+			Aggs        string  `json:"aggs"`
+			BytesPerRow float64 `json:"bytes_per_row"`
+			Ratio       float64 `json:"compression_ratio"`
+			Penalty     float64 `json:"scan_penalty_vs_raw"`
+			Identical   bool    `json:"identical_answer"`
+		} `json:"encodings"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	if len(artifact.Encodings) == 0 {
+		t.Fatal("BENCH_kernels.json: no encodings section; re-run `go run ./cmd/bench -suite kernels`")
+	}
+	sawUniformFORBP := false
+	for _, e := range artifact.Encodings {
+		if !e.Identical {
+			t.Errorf("encoding %s/%s (%s): answer not identical to the raw kernel", e.Data, e.Encoding, e.Aggs)
+		}
+		if e.BytesPerRow <= 0 || e.BytesPerRow > 8.5 {
+			t.Errorf("encoding %s/%s: implausible bytes_per_row %g", e.Data, e.Encoding, e.BytesPerRow)
+		}
+		if e.Data == "uniform" && e.Encoding == "forbp" {
+			sawUniformFORBP = true
+			if e.Ratio < 2 {
+				t.Errorf("uniform/forbp (%s): compression ratio %.2f < 2x target", e.Aggs, e.Ratio)
+			}
+			if e.Penalty > 0.20 {
+				t.Errorf("uniform/forbp (%s): scan penalty %.1f%% exceeds the 20%% budget", e.Aggs, e.Penalty*100)
+			}
+		}
+	}
+	if !sawUniformFORBP {
+		t.Error("BENCH_kernels.json: no uniform/forbp encoding rows")
+	}
+}

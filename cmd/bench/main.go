@@ -39,6 +39,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/column"
 	"repro/internal/durable"
+	"repro/internal/encode"
 	"repro/internal/parallel"
 )
 
@@ -89,12 +90,40 @@ type KernelResult struct {
 	Identical    bool    `json:"identical_answer"`
 }
 
+// EncodingResult is one (dataset, encoding, aggregate-mask) scan
+// measurement over a column held as a single encode.Segment: resident
+// footprint (bytes/row, vs 8 for a raw int64 column) and the cost of
+// scanning the compressed representation relative to the raw kernel on
+// the same machine, with answer identity verified on every run.
+type EncodingResult struct {
+	Data     string `json:"data"`     // uniform | skewed_lowcard
+	Encoding string `json:"encoding"` // requested mode
+	Kind     string `json:"kind"`     // physical encoding chosen
+	Aggs     string `json:"aggs"`     // sum_count | all
+	N        int    `json:"n"`
+	// WidthBits is the packed bit width (delta bits for FOR-BP, code
+	// bits for dict; 64 for raw).
+	WidthBits        int     `json:"width_bits"`
+	BytesPerRow      float64 `json:"bytes_per_row"`
+	RawBytesPerRow   float64 `json:"raw_bytes_per_row"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	ResidentMB       float64 `json:"resident_mb"`
+	RawResidentMB    float64 `json:"raw_resident_mb"`
+	ScanNsPerOp      float64 `json:"scan_ns_per_op"`
+	RawScanNsPerOp   float64 `json:"raw_scan_ns_per_op"`
+	// ScanPenaltyVsRaw is scan/raw - 1: positive means the compressed
+	// scan is slower than the raw kernel, negative means faster.
+	ScanPenaltyVsRaw float64 `json:"scan_penalty_vs_raw"`
+	Identical        bool    `json:"identical_answer"`
+}
+
 type kernelsReport struct {
-	Host      Host           `json:"host"`
-	N         int            `json:"n"`
-	Reps      int            `json:"reps"`
-	Timestamp string         `json:"timestamp"`
-	Results   []KernelResult `json:"results"`
+	Host      Host             `json:"host"`
+	N         int              `json:"n"`
+	Reps      int              `json:"reps"`
+	Timestamp string           `json:"timestamp"`
+	Results   []KernelResult   `json:"results"`
+	Encodings []EncodingResult `json:"encodings"`
 }
 
 // ShardResult is one (shards, selectivity) run of the sharded
@@ -302,7 +331,87 @@ func runKernels(n, reps int) kernelsReport {
 			Identical:    sinkRes == wantSum,
 		})
 	}
+	rep.Encodings = runEncodings(n, reps)
 	return rep
+}
+
+// runEncodings measures the compressed storage layer on two data
+// shapes: uniform values in [0, n) (the kernel benchmark's column —
+// FOR-BP territory, ~log2(n) delta bits) and a low-cardinality column
+// whose 1000 distinct values are spread over a 40-bit domain (dict
+// territory: FOR-BP would need ~40 bits, codes need 10). Each segment
+// scans the middle half of its value domain under both aggregate masks
+// and is compared against the raw kernel for time and for answer bits.
+func runEncodings(n, reps int) []EncodingResult {
+	rng := rand.New(rand.NewSource(42))
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(int64(n))
+	}
+	drng := rand.New(rand.NewSource(43))
+	dictVals := make([]int64, 1000)
+	for i := range dictVals {
+		dictVals[i] = drng.Int63n(1 << 40)
+	}
+	skewed := make([]int64, n)
+	for i := range skewed {
+		skewed[i] = dictVals[drng.Intn(len(dictVals))]
+	}
+
+	datasets := []struct {
+		name string
+		vals []int64
+	}{{"uniform", uniform}, {"skewed_lowcard", skewed}}
+	masks := []struct {
+		name string
+		aggs column.Aggregates
+	}{
+		{"sum_count", column.AggSum | column.AggCount},
+		{"all", column.AggAll},
+	}
+	modes := []struct {
+		name string
+		mode encode.Mode
+	}{
+		{"forbp", encode.ModeFORBP},
+		{"dict", encode.ModeDict},
+		{"auto", encode.ModeAuto},
+	}
+
+	var out []EncodingResult
+	var sink column.Agg
+	for _, ds := range datasets {
+		mn, mx := column.MinMax(ds.vals)
+		lo := mn + (mx-mn)/4
+		hi := mn + 3*(mx-mn)/4
+		for _, m := range masks {
+			want := column.AggRange(ds.vals, lo, hi, m.aggs)
+			rawT := timeBest(reps, func() { sink = column.AggRange(ds.vals, lo, hi, m.aggs) })
+			for _, md := range modes {
+				seg, err := encode.New(ds.vals, mn, mx, md.mode)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				t := timeBest(reps, func() { sink = seg.AggRange(lo, hi, m.aggs) })
+				out = append(out, EncodingResult{
+					Data: ds.name, Encoding: md.name, Kind: seg.Kind().String(),
+					Aggs: m.name, N: n,
+					WidthBits:        int(seg.Width()),
+					BytesPerRow:      seg.BytesPerRow(),
+					RawBytesPerRow:   8,
+					CompressionRatio: 8 / seg.BytesPerRow(),
+					ResidentMB:       float64(seg.SizeBytes()) / (1 << 20),
+					RawResidentMB:    float64(n) * 8 / (1 << 20),
+					ScanNsPerOp:      t * 1e9,
+					RawScanNsPerOp:   rawT * 1e9,
+					ScanPenaltyVsRaw: t/rawT - 1,
+					Identical:        sink == want,
+				})
+			}
+		}
+	}
+	return out
 }
 
 func runConvergence(n, maxQueries int, delta float64) convergenceReport {
@@ -616,6 +725,11 @@ func main() {
 		for _, r := range rep.Results {
 			fmt.Printf("  %-12s workers=%d  %8.2f ms/op  %6.2fx  identical=%v\n",
 				r.Kernel, r.Workers, r.NsPerOp/1e6, r.SpeedupVsSer, r.Identical)
+		}
+		for _, r := range rep.Encodings {
+			fmt.Printf("  %-14s %-5s→%-5s %-9s %4.2f B/row (%4.2fx)  penalty=%+6.1f%%  identical=%v\n",
+				r.Data, r.Encoding, r.Kind, r.Aggs, r.BytesPerRow, r.CompressionRatio,
+				r.ScanPenaltyVsRaw*100, r.Identical)
 		}
 	}
 	if *suite == "all" || *suite == "convergence" {

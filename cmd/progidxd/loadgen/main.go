@@ -60,6 +60,7 @@ func main() {
 		strategy   = flag.String("strategy", "PQ", "index strategy abbreviation")
 		delta      = flag.Float64("delta", 0.25, "indexing fraction per query")
 		shards     = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
+		encoding   = flag.String("encoding", "", "columnar encoding for the table (raw, auto, forbp, dict; empty = raw)")
 		sessions   = flag.Int("sessions", 8, "concurrent query sessions")
 		queries    = flag.Int("queries", 50, "queries per session")
 		writers    = flag.Int("writers", 0, "concurrent writer sessions appending rows while readers query")
@@ -90,12 +91,16 @@ func main() {
 		loadBody := server.LoadRequest{
 			Name:     *table,
 			Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
-			Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards},
+			Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards, Encoding: *encoding},
 		}
 		if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
 			fatal("load table: %v", err)
 		}
-		fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d) on %s\n", *table, *n, *strategy, *delta, *shards, *addr)
+		enc := *encoding
+		if enc == "" {
+			enc = "raw"
+		}
+		fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d, encoding=%s) on %s\n", *table, *n, *strategy, *delta, *shards, enc, *addr)
 	}
 
 	var oracle progidx.Index

@@ -46,6 +46,22 @@ func Recommend(h WorkloadHints) Strategy {
 	}
 }
 
+// RecommendEncoding extends the decision tree to the storage mode: a
+// memory-constrained deployment gets EncodingFORBP — the packed shards
+// serve queries in place at a fraction of the resident bytes, and the
+// claim-on-heat path decompresses only the shards the workload proves
+// it needs, so the steady state honors the "at most one extra copy"
+// contract where an eagerly decoded table could not. Everything else
+// gets EncodingRaw: with memory to spare, raw storage skips even the
+// modest compressed-scan penalty and lets every shard start its
+// progressive build on first touch.
+func RecommendEncoding(h WorkloadHints) Encoding {
+	if h.MemoryConstrained {
+		return EncodingFORBP
+	}
+	return EncodingRaw
+}
+
 // HintsFromRequests derives the workload-shape hints the decision tree
 // can observe from a sample of v2 requests: a session issuing only
 // point predicates (Point, or degenerate ranges) selects the paper's

@@ -1,0 +1,111 @@
+// Round-trip of an encoded table through the durability subsystem.
+// This lives in the external test package: it drives the catalog and
+// durable store, which themselves import the root package.
+package progidx_test
+
+import (
+	"math/rand"
+	"testing"
+
+	progidx "repro"
+	"repro/internal/catalog"
+	"repro/internal/column"
+	"repro/internal/durable"
+)
+
+// TestEncodedSnapshotRecoverRoundTrip checkpoints a FOR-BP table —
+// whose snapshot payload is a marshaled segment, not raw rows — appends
+// a WAL tail past the checkpoint, reopens the store cold, and requires
+// the recovered table to answer bit-identically to the branching oracle
+// over the full pre-crash contents. It also pins the metadata
+// round-trip: the recovered options must still say forbp, or the table
+// would silently re-materialize raw on restart.
+func TestEncodedSnapshotRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := durable.Open(dir, durable.SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := catalog.NewDurable(store)
+
+	rng := rand.New(rand.NewSource(77))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(50_000) - 25_000
+	}
+	tbl, err := c.Load("enc", vals, catalog.Options{
+		Strategy: progidx.StrategyQuicksort, Delta: 0.5, Shards: 3,
+		Encoding: progidx.EncodingFORBP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := append([]int64(nil), vals...)
+	appendBatch := func(base int64) {
+		b := make([]int64, 64)
+		for i := range b {
+			b[i] = base + int64(i)
+		}
+		if err := tbl.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		expect = append(expect, b...)
+	}
+	appendBatch(100_000) // covered by the checkpoint below
+	cp, ok := tbl.CaptureCheckpoint()
+	if !ok {
+		t.Fatal("CaptureCheckpoint on a durable table returned ok=false")
+	}
+	if err := tbl.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	appendBatch(200_000) // WAL tail, replayed on recovery
+	if err := tbl.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2, err := durable.Open(dir, durable.SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	recs, warns, err := store2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) > 0 || len(recs) != 1 {
+		t.Fatalf("recovered %d tables, warnings %v", len(recs), warns)
+	}
+	if recs[0].Meta.Encoding != "forbp" {
+		t.Fatalf("recovered meta encoding %q, want %q", recs[0].Meta.Encoding, "forbp")
+	}
+	tbl2, err := catalog.NewDurable(store2).LoadRecovered(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl2.Len(); got != len(expect) {
+		t.Fatalf("recovered %d rows, want %d", got, len(expect))
+	}
+	for _, q := range []struct{ lo, hi int64 }{
+		{-25_000, 25_000},
+		{0, 10_000},
+		{100_000, 100_063},
+		{200_000, 200_063},
+		{-1 << 40, 1 << 40},
+	} {
+		ans, err := tbl2.Index().Execute(progidx.Request{
+			Pred: progidx.Range(q.lo, q.hi), Aggs: progidx.AllAggregates,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := column.AggRangeBranching(expect, q.lo, q.hi)
+		if ans.Sum != want.Sum || ans.Count != want.Count {
+			t.Fatalf("range [%d,%d]: sum/count %d/%d, want %d/%d", q.lo, q.hi, ans.Sum, ans.Count, want.Sum, want.Count)
+		}
+		if want.Count > 0 && (ans.Min != want.Min || ans.Max != want.Max) {
+			t.Fatalf("range [%d,%d]: min/max %d/%d, want %d/%d", q.lo, q.hi, ans.Min, ans.Max, want.Min, want.Max)
+		}
+	}
+}

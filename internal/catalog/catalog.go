@@ -70,6 +70,12 @@ type Options struct {
 	// table's scheduler. nil means auto: on exactly when the strategy
 	// is convergent (refining a never-convergent index would spin).
 	IdleRefine *bool
+	// Encoding selects compressed columnar storage (progidx.Encoding):
+	// compressed tables keep no raw base column — shards serve queries
+	// from packed segments and decompress only when the workload's heat
+	// claims them — and their snapshots persist compressed too. The zero
+	// value (raw) is the uncompressed default.
+	Encoding progidx.Encoding
 }
 
 // IdleRefineEnabled resolves the tri-state IdleRefine switch.
@@ -90,6 +96,7 @@ func (o Options) progidxOptions() progidx.Options {
 		Calibrate: o.Calibrate,
 		Workers:   o.Workers,
 		Shards:    o.Shards,
+		Encoding:  o.Encoding,
 	}
 }
 
@@ -101,8 +108,11 @@ func (o Options) progidxOptions() progidx.Options {
 // growth: Append routes through it, and the catalog only keeps the
 // ingest counters that feed Info.
 type Table struct {
-	name    string
-	col     *column.Column
+	name string
+	// col is the raw base column; atomic because compressed tables
+	// release it once the handle owns the (packed) data, and Info/Values
+	// may be reading it concurrently at that moment. nil afterwards.
+	col     atomic.Pointer[column.Column]
 	idx     progidx.Handle
 	opts    Options
 	created time.Time
@@ -136,7 +146,7 @@ func (t *Table) MinValue() int64 {
 		mn, _ := b.ValueBounds()
 		return mn
 	}
-	return t.col.Min()
+	return t.col.Load().Min()
 }
 
 // MaxValue returns the column's maximum value.
@@ -145,15 +155,25 @@ func (t *Table) MaxValue() int64 {
 		_, mx := b.ValueBounds()
 		return mx
 	}
-	return t.col.Max()
+	return t.col.Load().Max()
 }
 
-// Values exposes the base column for oracle checks in tests and the
-// load generator. Callers must not mutate it, and must not interleave
-// it with concurrent Appends (the slice header is only stable while
-// nothing is ingesting); writers keep their own oracle of what they
-// appended instead.
-func (t *Table) Values() []int64 { return t.col.Values() }
+// Values exposes the table's rows for oracle checks in tests and the
+// load generator. Raw tables return the base column directly — callers
+// must not mutate it, and must not interleave it with concurrent
+// Appends (the slice header is only stable while nothing is
+// ingesting); writers keep their own oracle of what they appended
+// instead. Compressed tables keep no base column, so the rows are
+// materialized through the handle into a fresh copy the caller owns.
+func (t *Table) Values() []int64 {
+	if c := t.col.Load(); c != nil {
+		return c.Values()
+	}
+	if m, ok := t.idx.(progidx.Materializer); ok {
+		return m.MaterializeRows()
+	}
+	return nil
+}
 
 // Append ingests values at the tail of the table through the index
 // handle: the rows are visible to every query admitted after Append
@@ -226,6 +246,7 @@ type Info struct {
 	MaxValue int64  `json:"max_value"`
 	Strategy string `json:"strategy"`
 	Shards   int    `json:"shards"`
+	Encoding string `json:"encoding,omitempty"`
 	Status   string `json:"status"`
 	// Appends counts Append calls absorbed; AppendedRows the rows they
 	// carried (Rows already includes them).
@@ -257,8 +278,15 @@ func (t *Table) Info() Info {
 		CreatedAt:    t.created.UTC().Format(time.RFC3339),
 		Durability:   t.durabilityInfo(),
 	}
+	if t.opts.Encoding.Compressed() {
+		info.Encoding = t.opts.Encoding.String()
+	}
 	if t.Status() == StatusLoading {
-		info.MinValue, info.MaxValue = t.col.Min(), t.col.Max()
+		// A compressed table mid-load may already have released its base
+		// column; the zone then isn't knowable until the handle attaches.
+		if c := t.col.Load(); c != nil {
+			info.MinValue, info.MaxValue = c.Min(), c.Max()
+		}
 		return info
 	}
 	info.MinValue, info.MaxValue = t.MinValue(), t.MaxValue()
@@ -303,7 +331,8 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
 	}
 
-	t := &Table{name: name, col: col, opts: opts, created: time.Now()}
+	t := &Table{name: name, opts: opts, created: time.Now()}
+	t.col.Store(col)
 	t.rows.Store(int64(col.Len()))
 	t.status.Store(int32(StatusLoading))
 
@@ -342,6 +371,13 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 			return fail(fmt.Errorf("catalog: load %q: %w", name, err))
 		}
 		t.log = log
+	}
+	if opts.Encoding.Compressed() {
+		// The segments are the data now: dropping the catalog's column
+		// reference releases the only remaining raw copy of the load rows
+		// (the compressed handle never retained the column). Values and
+		// checkpoints materialize through the handle from here on.
+		t.col.Store(nil)
 	}
 	if !t.status.CompareAndSwap(int32(StatusLoading), int32(StatusReady)) {
 		// A concurrent Drop removed our reservation mid-build; honor it

@@ -22,7 +22,7 @@ import (
 // JSON-friendly TableMeta. Delta is stored in parts-per-million so the
 // round-trip is exact for any δ a client can reasonably configure.
 func (o Options) meta() durable.TableMeta {
-	return durable.TableMeta{
+	m := durable.TableMeta{
 		Strategy:   o.Strategy.String(),
 		DeltaPPM:   int64(o.Delta*1e6 + 0.5),
 		BudgetNs:   o.Budget.Nanoseconds(),
@@ -32,11 +32,21 @@ func (o Options) meta() durable.TableMeta {
 		Shards:     o.Shards,
 		IdleRefine: o.IdleRefine,
 	}
+	// Raw stays the empty string so manifests and snapshot headers of
+	// pre-encoding tables remain byte-identical.
+	if o.Encoding.Compressed() {
+		m.Encoding = o.Encoding.String()
+	}
+	return m
 }
 
 // optionsFromMeta inverts Options.meta at recovery time.
 func optionsFromMeta(m durable.TableMeta) (Options, error) {
 	strat, err := progidx.ParseStrategy(m.Strategy)
+	if err != nil {
+		return Options{}, fmt.Errorf("catalog: recovered table meta: %w", err)
+	}
+	enc, err := progidx.ParseEncoding(m.Encoding)
 	if err != nil {
 		return Options{}, fmt.Errorf("catalog: recovered table meta: %w", err)
 	}
@@ -49,6 +59,7 @@ func optionsFromMeta(m durable.TableMeta) (Options, error) {
 		Workers:    m.Workers,
 		Shards:     m.Shards,
 		IdleRefine: m.IdleRefine,
+		Encoding:   enc,
 	}, nil
 }
 
@@ -135,9 +146,18 @@ func (t *Table) CaptureCheckpoint() (durable.Checkpoint, bool) {
 	if t.log == nil {
 		return durable.Checkpoint{}, false
 	}
+	// Raw tables freeze the base column; compressed tables materialize
+	// their rows through the handle (a fresh copy, so the background
+	// snapshot write never races the live segments).
+	var rows []int64
+	if c := t.col.Load(); c != nil {
+		rows = c.Snapshot().Values()
+	} else {
+		rows = t.Values()
+	}
 	return durable.Checkpoint{
 		Seq:        t.log.LastSeq(),
-		Rows:       t.col.Snapshot().Values(),
+		Rows:       rows,
 		Progress:   t.idx.Progress(),
 		Converged:  t.idx.Converged(),
 		Appends:    t.appends.Load(),
@@ -181,7 +201,8 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("catalog: recover %q: %w", rec.Name, err)
 	}
-	t := &Table{name: rec.Name, col: col, opts: opts, created: time.Unix(0, rec.CreatedAt)}
+	t := &Table{name: rec.Name, opts: opts, created: time.Unix(0, rec.CreatedAt)}
+	t.col.Store(col)
 	t.rows.Store(int64(col.Len()))
 	t.status.Store(int32(StatusLoading))
 
@@ -209,6 +230,11 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	t.idx = idx
 	t.log = rec.Log
 	t.snapProgressStore(rec.Progress)
+	if opts.Encoding.Compressed() {
+		// As in Load: the handle's segments own the data now; drop the
+		// recovery copy of the raw rows.
+		t.col.Store(nil)
+	}
 
 	// Replay the WAL tail through the normal ingest path: each batch
 	// lands in the pending tail / tail shard exactly as it originally

@@ -10,6 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/column"
+	"repro/internal/encode"
 )
 
 // Snapshot file layout:
@@ -46,7 +49,17 @@ type snapshotMeta struct {
 	// CreatedAt is the table's original creation time (Unix nanos).
 	CreatedAt int64     `json:"created_at"`
 	Meta      TableMeta `json:"meta"`
+	// Payload names the format of the values section: empty means rows×8
+	// raw little-endian int64s (every snapshot before encodings existed),
+	// payloadSegment means one marshaled encode.Segment holding the same
+	// rows. Readers branch on this field, so raw snapshots of compressed
+	// tables (the fallback when encoding fails) stay loadable.
+	Payload string `json:"payload,omitempty"`
 }
+
+// payloadSegment marks a snapshot whose values section is a marshaled
+// encode.Segment instead of raw int64s.
+const payloadSegment = "segment"
 
 // snapshotName formats a snapshot file name from the WAL sequence it
 // covers; like segments, fixed-width decimal keeps lexical order equal
@@ -81,6 +94,19 @@ func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error)
 	if meta.Rows != len(values) {
 		return fmt.Errorf("durable: snapshot meta rows %d != %d values", meta.Rows, len(values))
 	}
+	// Compressed tables persist compressed: the rows section becomes one
+	// marshaled segment in the table's encoding, so the on-disk footprint
+	// tracks the resident one. Any encoding failure falls back to the raw
+	// layout — a raw snapshot of a compressed table is always loadable
+	// (readers branch on meta.Payload, not meta.Meta.Encoding).
+	var segPayload []byte
+	if mode, err := encode.ParseMode(meta.Meta.Encoding); err == nil && mode.Compressed() && len(values) > 0 {
+		mn, mx := column.MinMax(values)
+		if seg, err := encode.New(values, mn, mx, mode); err == nil {
+			meta.Payload = payloadSegment
+			segPayload = seg.Marshal()
+		}
+	}
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
 		return err
@@ -109,16 +135,22 @@ func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error)
 	if _, err := cw.Write(metaJSON); err != nil {
 		return err
 	}
-	var buf [8 << 10]byte
-	for off := 0; off < len(values); {
-		n := 0
-		for off < len(values) && n+8 <= len(buf) {
-			binary.LittleEndian.PutUint64(buf[n:], uint64(values[off]))
-			n += 8
-			off++
-		}
-		if _, err := cw.Write(buf[:n]); err != nil {
+	if segPayload != nil {
+		if _, err := cw.Write(segPayload); err != nil {
 			return err
+		}
+	} else {
+		var buf [8 << 10]byte
+		for off := 0; off < len(values); {
+			n := 0
+			for off < len(values) && n+8 <= len(buf) {
+				binary.LittleEndian.PutUint64(buf[n:], uint64(values[off]))
+				n += 8
+				off++
+			}
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return err
+			}
 		}
 	}
 	binary.LittleEndian.PutUint32(u32[:], cw.crc)
@@ -167,6 +199,23 @@ func readSnapshot(path string) (snapshotMeta, []int64, error) {
 		return meta, nil, fmt.Errorf("durable: snapshot %s meta: %w", filepath.Base(path), err)
 	}
 	raw := rest[metaLen:]
+	switch meta.Payload {
+	case "":
+		// Raw layout: rows×8 little-endian int64s.
+	case payloadSegment:
+		// Compressed layout: one marshaled segment, deep-validated by
+		// Unmarshal (a segment that unmarshals cleanly is safe to decode).
+		seg, err := encode.Unmarshal(raw)
+		if err != nil {
+			return meta, nil, fmt.Errorf("durable: snapshot %s payload: %w", filepath.Base(path), err)
+		}
+		if seg.Len() != meta.Rows {
+			return meta, nil, fmt.Errorf("durable: snapshot %s segment has %d rows, want %d", filepath.Base(path), seg.Len(), meta.Rows)
+		}
+		return meta, seg.Decode(), nil
+	default:
+		return meta, nil, fmt.Errorf("durable: snapshot %s unknown payload format %q", filepath.Base(path), meta.Payload)
+	}
 	if len(raw) != 8*meta.Rows {
 		return meta, nil, fmt.Errorf("durable: snapshot %s has %d value bytes, want %d", filepath.Base(path), len(raw), 8*meta.Rows)
 	}

@@ -24,6 +24,10 @@ type TableMeta struct {
 	Workers    int    `json:"workers,omitempty"`
 	Shards     int    `json:"shards,omitempty"`
 	IdleRefine *bool  `json:"idle_refine,omitempty"`
+	// Encoding is the table's storage mode wire spelling ("auto",
+	// "forbp", "dict"); empty means raw. Compressed tables also get
+	// compressed snapshot payloads (see snapshotMeta.Payload).
+	Encoding string `json:"encoding,omitempty"`
 }
 
 // manifest is the per-table manifest.json: identity plus the durable

@@ -1,0 +1,113 @@
+package encode
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/parallel"
+)
+
+// Compressed-kernel microbenchmarks: the scan-on-compressed penalty vs
+// the raw kernels shows up directly in
+// `go test -bench 'EncodedAggRange' ./internal/encode ./internal/column`
+// (same input shape and predicate as the column benchmarks).
+
+const benchN = 1 << 22 // 4M elements, 32 MiB raw: larger than L3 on most hosts
+
+var (
+	benchVals []int64
+	benchSegs map[Mode]*Segment
+	benchSink column.Agg
+)
+
+func benchSegment(b *testing.B, mode Mode) *Segment {
+	if benchVals == nil {
+		rng := rand.New(rand.NewSource(42))
+		benchVals = make([]int64, benchN)
+		for i := range benchVals {
+			benchVals[i] = rng.Int63n(benchN)
+		}
+		benchSegs = make(map[Mode]*Segment)
+	}
+	seg, ok := benchSegs[mode]
+	if !ok {
+		mn, mx := column.MinMax(benchVals)
+		var err error
+		seg, err = New(benchVals, mn, mx, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSegs[mode] = seg
+	}
+	return seg
+}
+
+func BenchmarkEncodedAggRange(b *testing.B) {
+	for _, mode := range []Mode{ModeFORBP, ModeRaw} {
+		seg := benchSegment(b, mode)
+		for _, aggs := range []struct {
+			name string
+			mask column.Aggregates
+		}{{"sum_count", column.AggSum | column.AggCount}, {"all", column.AggAll}} {
+			b.Run(fmt.Sprintf("%s/%s", mode, aggs.name), func(b *testing.B) {
+				b.SetBytes(int64(seg.SizeBytes()))
+				for i := 0; i < b.N; i++ {
+					benchSink = seg.AggRange(benchN/4, 3*benchN/4, aggs.mask)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEncodedParAggRange(b *testing.B) {
+	seg := benchSegment(b, ModeFORBP)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := parallel.New(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(seg.SizeBytes()))
+			for i := 0; i < b.N; i++ {
+				benchSink = seg.ParAggRange(p, benchN/4, 3*benchN/4, column.AggAll)
+			}
+		})
+	}
+}
+
+func BenchmarkEncodedDictAggRange(b *testing.B) {
+	// Low-cardinality input: 64 distinct values over the same row count.
+	rng := rand.New(rand.NewSource(43))
+	vals := make([]int64, benchN)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(64)) * 1_000_003
+	}
+	mn, mx := column.MinMax(vals)
+	seg, err := New(vals, mn, mx, ModeDict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(seg.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = seg.AggRange(mn, mx/2, column.AggAll)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, mode := range []Mode{ModeAuto, ModeFORBP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			seg := benchSegment(b, ModeRaw) // warm benchVals
+			_ = seg
+			mn, mx := column.MinMax(benchVals)
+			b.SetBytes(8 * benchN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := New(benchVals, mn, mx, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink.Count = int64(s.Len())
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package encode
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/column"
+)
+
+// FOR-BP storage is vertical (bit-sliced): each 64-row block stores
+// its deltas as width bit-planes, one uint64 word per plane, where
+// plane j's bit i is bit j of row i's delta v - ref. The layout costs
+// exactly the same space as horizontal packing — width words per
+// 64-row block — but lets the scan kernels evaluate the predicate for
+// all 64 rows of a block with ~4 word operations per plane (a
+// word-parallel carry-ripple compare, LSB plane first) instead of a
+// shift-and-mask gather per row, and accumulate the SUM of matching
+// rows as one popcount per plane. On one core this scans faster than
+// the raw kernel once the width drops below ~32 bits: the compare
+// touches width/8 bytes per row instead of 8.
+//
+// newFORBP packs values as deltas v - min in forWidth(min, max) bit
+// planes. A constant segment (min == max) packs to zero words.
+func newFORBP(values []int64, min, max int64) *Segment {
+	w := forWidth(min, max)
+	words := packVertical(len(values), uint(w), func(i int) uint64 { return uint64(values[i] - min) })
+	return &Segment{kind: KindFORBP, n: len(values), min: min, max: max, ref: min, width: w, words: words}
+}
+
+// packVertical bit-slices n values (already reduced to their packed
+// form by get) into width-w planes, 64 values per block. Lanes past n
+// in the final block stay zero; the scan kernels mask them out.
+func packVertical(n int, w uint, get func(i int) uint64) []uint64 {
+	if w == 0 {
+		return nil
+	}
+	words := make([]uint64, packedWords(n, w))
+	for i := 0; i < n; i++ {
+		d := get(i)
+		base := (i / blockLen) * int(w)
+		lane := uint(i & (blockLen - 1))
+		for d != 0 {
+			j := bits.TrailingZeros64(d)
+			words[base+j] |= 1 << lane
+			d &= d - 1
+		}
+	}
+	return words
+}
+
+// aggFORBP aggregates rows [from, to) against the clamped predicate
+// [lo, hi]; from must be block-aligned (the parallel splitter chunks
+// on block boundaries) and callers guarantee s.min <= lo <= hi <=
+// s.max. The predicate is rewritten into FOR space once — dlo = lo-ref
+// and dhi = hi-ref — and evaluated per block with a word-parallel
+// compare that resolves v >= dlo and v <= dhi for all 64 lanes in one
+// plane pass, branch-free and selectivity-independent. SUM adds
+// popcount(plane & match) << j per plane: the popcount decomposition
+// equals the sum of matching deltas exactly, and all arithmetic wraps
+// mod 2^64, so deltaSum + count*ref is bit-identical to summing the
+// raw values in row order. MIN/MAX descend the planes restricting a
+// candidate-lane mask (choose the 0-side for min, the 1-side for max),
+// touching only blocks that matched at all.
+func (s *Segment) aggFORBP(from, to int, lo, hi int64, aggs column.Aggregates) column.Agg {
+	a := column.NewAgg()
+	if to <= from {
+		return a
+	}
+	if s.width == 0 {
+		// Constant segment: clamping pinned lo == ref == hi, so every
+		// row matches. count*ref == ref summed count times mod 2^64.
+		cnt := int64(to - from)
+		a.Sum, a.Count = cnt*s.ref, cnt
+		if aggs.NeedsMinMax() {
+			a.Min, a.Max = s.ref, s.ref
+		}
+		return a
+	}
+	w := int(s.width)
+	dlo, dhi := uint64(lo-s.ref), uint64(hi-s.ref)
+	// The two bound tests run as word-parallel ripple-carry adders over
+	// the planes, LSB first (Lamport's comparison-by-addition):
+	//   v >= dlo  <=>  v + (~dlo) + 1 carries out of bit w
+	//   v >  dhi  <=>  v + (2^w-1-dhi)  carries out of bit w
+	// so each plane needs only the carry recurrence
+	//   carry' = (p & carry) | (t & (p | carry))
+	// with t the all-ones/zero mask of the addend's bit j.
+	var loNot, hiNot [64]uint64
+	for j := 0; j < w; j++ {
+		loNot[j] = -(^dlo >> uint(j) & 1)
+		hiNot[j] = -(^dhi >> uint(j) & 1)
+	}
+	needMM := aggs.NeedsMinMax()
+	var sum, count int64
+	mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+	words := s.words
+	for i, block := from, from/blockLen; i < to; block++ {
+		k := to - i
+		if k > blockLen {
+			k = blockLen
+		}
+		planes := words[block*w : (block+1)*w]
+		cl, ch := ^uint64(0), uint64(0)
+		for j := 0; j < w; j++ {
+			p := planes[j]
+			nl, nh := loNot[j], hiNot[j]
+			cl = (p & cl) | (nl & (p | cl))
+			ch = (p & ch) | (nh & (p | ch))
+		}
+		m := cl &^ ch // carried past dlo, did not carry past dhi
+		if k < blockLen {
+			m &= uint64(1)<<uint(k) - 1
+		}
+		count += int64(bits.OnesCount64(m))
+		for j := 0; j < w; j++ {
+			sum += int64(bits.OnesCount64(planes[j]&m)) << uint(j)
+		}
+		if needMM && m != 0 {
+			// Plane descent for the block extrema, branch-free per
+			// plane (nonzero test via the sign of z | -z). Two
+			// short-circuits keep the steady-state cost near zero: once
+			// the running extremum reaches the predicate bound itself no
+			// later block can improve it, and within a block the descent
+			// abandons as soon as its decided high-bit prefix proves the
+			// block cannot beat the running extremum — the undecided low
+			// bits can only move a block's min up and its max down.
+			if mn > int64(dlo) {
+				cand := m
+				var minD int64
+				for j := w - 1; j >= 0; j-- {
+					z := cand &^ planes[j]
+					t := -((z | -z) >> 63) // all-ones iff some candidate has bit j clear
+					cand = (z & t) | (cand &^ t)
+					minD |= int64(1<<uint(j)) &^ int64(t)
+					if minD >= mn {
+						minD = math.MaxInt64 // cannot improve; poison the update
+						break
+					}
+				}
+				if minD < mn {
+					mn = minD
+				}
+			}
+			if mx < int64(dhi) {
+				cand := m
+				var maxD int64
+				for j := w - 1; j >= 0; j-- {
+					o := cand & planes[j]
+					t := -((o | -o) >> 63)
+					cand = (o & t) | (cand &^ t)
+					maxD |= int64(1<<uint(j)) & int64(t)
+					if maxD|(int64(1)<<uint(j)-1) <= mx {
+						maxD = math.MinInt64 // cannot improve; poison the update
+						break
+					}
+				}
+				if maxD > mx {
+					mx = maxD
+				}
+			}
+		}
+		i += k
+	}
+	a.Sum, a.Count = sum+count*s.ref, count
+	if needMM && count > 0 {
+		// Extrema tracked in delta space shift back by the reference;
+		// with no matches (or no MIN/MAX request) the NewAgg sentinels
+		// must survive untouched so answers stay field-for-field
+		// identical to the raw kernel.
+		a.Min, a.Max = mn+s.ref, mx+s.ref
+	}
+	return a
+}
+
+// appendFORBP decodes all rows in original order onto dst.
+func (s *Segment) appendFORBP(dst []int64) []int64 {
+	if s.width == 0 {
+		for i := 0; i < s.n; i++ {
+			dst = append(dst, s.ref)
+		}
+		return dst
+	}
+	w := int(s.width)
+	for i := 0; i < s.n; i++ {
+		planes := s.words[(i/blockLen)*w:]
+		lane := uint(i & (blockLen - 1))
+		var d uint64
+		for j := 0; j < w; j++ {
+			d |= (planes[j] >> lane & 1) << uint(j)
+		}
+		dst = append(dst, int64(d)+s.ref)
+	}
+	return dst
+}

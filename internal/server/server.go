@@ -249,6 +249,10 @@ type OptionsSpec struct {
 	Shards int `json:"shards,omitempty"`
 	// IdleRefine overrides the default (on for convergent strategies).
 	IdleRefine *bool `json:"idle_refine,omitempty"`
+	// Encoding selects compressed columnar storage: "auto", "forbp",
+	// "dict", or "raw"/empty for the uncompressed default (see
+	// catalog.Options.Encoding).
+	Encoding string `json:"encoding,omitempty"`
 }
 
 func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
@@ -257,6 +261,10 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 		return opts, nil
 	}
 	strat, err := progidx.ParseStrategy(o.Strategy)
+	if err != nil {
+		return opts, err
+	}
+	enc, err := progidx.ParseEncoding(o.Encoding)
 	if err != nil {
 		return opts, err
 	}
@@ -276,6 +284,7 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 	opts.Workers = o.Workers
 	opts.Shards = o.Shards
 	opts.IdleRefine = o.IdleRefine
+	opts.Encoding = enc
 	return opts, nil
 }
 

@@ -33,6 +33,21 @@
 // view swapped atomically by Append, so a query operates on a
 // consistent snapshot while ingestion proceeds.
 //
+// With Config.Encoding set, shards are born cold: each partition is
+// compressed into an encode.Segment (frame-of-reference bit-packing,
+// dictionary, or raw — selected per shard from the same min/max pass
+// that builds the zone map) and queries aggregate directly over the
+// packed words with the scan-on-compressed kernels, under a shared
+// lock, with no progressive index and no budget spend. A cold shard is
+// decompressed only when the workload earns it: once its heat crosses
+// Config.ClaimHeat, the next Execute claims the shard — decodes the
+// segment, builds the factory index over the raw rows — and from then
+// on it converges like any loaded shard. Appends still land in the raw
+// pending tail and are compressed at seal time, so ingestion never
+// pays an encode on the hot path. In encoded mode the table retains no
+// raw base column at all; the segments, any claimed shards' rows, and
+// the pending tail are the only copies of the data.
+//
 // The Sharded type exposes the same concurrency-safe surface as
 // progidx.Synchronized (Execute, TryExecute, ExecuteBatch, Append,
 // RefineStep, Progress, Phase), with per-shard locking: queries on
@@ -48,6 +63,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/costmodel"
+	"repro/internal/encode"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -82,8 +98,20 @@ type state struct {
 	mu  sync.RWMutex
 	idx Index
 
+	// seg is the shard's compressed form while it is cold (idx == nil):
+	// queries scan it in place under the shared lock. A claim decodes it
+	// into vals, builds idx, and clears seg — all under the write lock.
+	// vals is retained after the claim because in encoded mode it is the
+	// only raw copy of the shard's rows (there is no base column).
+	seg  *encode.Segment
+	vals []int64
+
 	start, end int   // row range [start, end) in the base column
 	min, max   int64 // zone map: extrema of the shard's rows
+
+	// cold mirrors seg != nil for lock-free claim probes; cleared under
+	// the write lock at claim time, before converged flips false.
+	cold atomic.Bool
 
 	// converged is the sticky read-path switch, exactly as in
 	// progidx.Synchronized: set after observing idx.Converged() under
@@ -104,9 +132,19 @@ type state struct {
 // noteConverged records the shard index's terminal state; the caller
 // holds the shard lock in either mode (the true-store is idempotent).
 func (st *state) noteConverged() {
-	if !st.converged.Load() && st.idx.Converged() {
+	if !st.converged.Load() && st.idx != nil && st.idx.Converged() {
 		st.converged.Store(true)
 	}
+}
+
+// newColdState births a cold shard: compressed rows, zone map, and the
+// converged switch already set — cold is the shard's terminal serving
+// state (shared-lock scans, zero budget) until a claim re-opens it.
+func newColdState(seg *encode.Segment, start, end int) *state {
+	st := &state{seg: seg, start: start, end: end, min: seg.Min(), max: seg.Max()}
+	st.cold.Store(true)
+	st.converged.Store(true)
+	return st
 }
 
 // view is one immutable snapshot of the table structure: the sealed
@@ -135,12 +173,17 @@ type view struct {
 // tail. It is safe for concurrent use; see the package comment for the
 // execution model.
 type Sharded struct {
-	col            *column.Column // logical column; mutated only under amu
+	col            *column.Column // logical column; nil in encoded mode; mutated only under amu
 	pool           *parallel.Pool
 	name           string
 	factory        Factory
 	sealRows       int
 	budgetSizedFor int // Config.BudgetSizedFor (0 = δ-mode, no correction)
+
+	// encoding is the shard storage mode; claimHeat the heat at which a
+	// cold shard is decoded and handed to the factory (≤ 0: never).
+	encoding  encode.Mode
+	claimHeat uint64
 
 	// rr sequences idle-refinement steps round-robin through the
 	// heat-ordered unconverged shards.
@@ -152,6 +195,14 @@ type Sharded struct {
 	tailStart int   // first logical row not covered by a sealed shard
 	tailMin   int64 // zone of the pending tail (amu-guarded master copy)
 	tailMax   int64
+
+	// Encoded-mode masters (col == nil): the raw pending tail and the
+	// logical zone, owned by amu. tailBuf is never mutated in place once
+	// published — Append grows it and seal replaces it — so views can
+	// pin it length-capped exactly like a column snapshot.
+	tailBuf []int64
+	vminEnc int64
+	vmaxEnc int64
 
 	cur atomic.Pointer[view]
 }
@@ -177,7 +228,22 @@ type Config struct {
 	// shard count. 0 means δ-mode budgets: fractions of each shard's
 	// own rows, which must grow with the table and get no correction.
 	BudgetSizedFor int
+	// Encoding selects compressed shard storage (see the package
+	// comment): shards are born cold as encode.Segments, scanned in
+	// place, and decoded for indexing only when claimed. The zero value
+	// (raw) is exactly the pre-encoding behavior.
+	Encoding encode.Mode
+	// ClaimHeat is the heat at which a cold shard is claimed: decoded
+	// and handed to the factory for progressive indexing. 0 means
+	// DefaultClaimHeat; negative means never claim (permanently cold).
+	// Ignored in raw mode.
+	ClaimHeat int
 }
+
+// DefaultClaimHeat is the default Config.ClaimHeat: a cold shard that
+// survived pruning this many times has a workload that will amortize
+// the decode + progressive build it pays for.
+const DefaultClaimHeat = 16
 
 // New partitions col into cfg.Shards contiguous row ranges and builds
 // one index per shard with factory. The zone statistics of every shard
@@ -199,18 +265,32 @@ func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
 		s = n
 	}
 	pool := parallel.New(cfg.Workers)
+	encoded := cfg.Encoding.Compressed()
 
 	shards := make([]*state, s)
 	vals := col.Values()
 	var firstErr atomic.Pointer[error]
 	// One pass per shard: compute the zone map while the partition is
 	// hot, then construct the shard column with NewWithStats (no second
-	// min/max scan) and its index. Shards are scanned concurrently.
+	// min/max scan) and its index — or, in encoded mode, compress the
+	// partition into a cold segment and build nothing: the same stats
+	// drive the per-shard encoding choice, and the partition's raw rows
+	// are not retained. Shards are scanned concurrently.
 	pool.Run(s, 1, func(_, a, b int) {
 		for i := a; i < b; i++ {
 			start, end := i*n/s, (i+1)*n/s
 			part := vals[start:end:end]
 			mn, mx := column.MinMax(part)
+			if encoded {
+				seg, err := encode.New(part, mn, mx, cfg.Encoding)
+				if err != nil {
+					err = fmt.Errorf("shard %d [%d, %d): %w", i, start, end, err)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				shards[i] = newColdState(seg, start, end)
+				continue
+			}
 			pcol, err := column.NewWithStats(part, mn, mx)
 			if err == nil {
 				var idx Index
@@ -233,14 +313,33 @@ func New(col *column.Column, cfg Config, factory Factory) (*Sharded, error) {
 	if seal < 1 {
 		seal = 1
 	}
+	name := "ENC"
+	if !encoded {
+		name = shards[0].idx.Name()
+	}
 	sh := &Sharded{
-		col:            col,
 		pool:           pool,
-		name:           fmt.Sprintf("%s/S%d", shards[0].idx.Name(), s),
+		name:           fmt.Sprintf("%s/S%d", name, s),
 		factory:        factory,
 		sealRows:       seal,
 		budgetSizedFor: cfg.BudgetSizedFor,
+		encoding:       cfg.Encoding,
 		tailStart:      n,
+	}
+	if encoded {
+		// The base column is deliberately not retained: the segments are
+		// now the data. Appends accumulate in tailBuf and the logical
+		// zone lives in the amu-guarded masters.
+		sh.vminEnc, sh.vmaxEnc = col.Min(), col.Max()
+		sh.claimHeat = DefaultClaimHeat
+		switch {
+		case cfg.ClaimHeat > 0:
+			sh.claimHeat = uint64(cfg.ClaimHeat)
+		case cfg.ClaimHeat < 0:
+			sh.claimHeat = 0 // never
+		}
+	} else {
+		sh.col = col
 	}
 	sh.publishLocked(shards)
 	return sh, nil
@@ -272,15 +371,29 @@ func (s *Sharded) applyBudgetFactor(shares []float64, shardCount int) {
 // publishLocked swaps in a fresh view of the current structure. The
 // caller holds amu (or is the constructor, before the value escapes).
 func (s *Sharded) publishLocked(shards []*state) {
-	n := s.col.Len()
-	v := &view{
-		shards:  shards,
-		rows:    n,
-		vmin:    s.col.Min(),
-		vmax:    s.col.Max(),
-		tail:    s.col.Values()[s.tailStart:n:n],
-		tailMin: s.tailMin,
-		tailMax: s.tailMax,
+	var v *view
+	if s.col != nil {
+		n := s.col.Len()
+		v = &view{
+			shards:  shards,
+			rows:    n,
+			vmin:    s.col.Min(),
+			vmax:    s.col.Max(),
+			tail:    s.col.Values()[s.tailStart:n:n],
+			tailMin: s.tailMin,
+			tailMax: s.tailMax,
+		}
+	} else {
+		t := s.tailBuf
+		v = &view{
+			shards:  shards,
+			rows:    s.tailStart + len(t),
+			vmin:    s.vminEnc,
+			vmax:    s.vmaxEnc,
+			tail:    t[0:len(t):len(t)],
+			tailMin: s.tailMin,
+			tailMax: s.tailMax,
+		}
 	}
 	s.cur.Store(v)
 }
@@ -300,11 +413,29 @@ func (s *Sharded) Append(values []int64) error {
 	}
 	s.amu.Lock()
 	defer s.amu.Unlock()
-	hadTail := s.col.Len() > s.tailStart
-	if err := s.col.AppendSlice(values); err != nil {
-		return err
-	}
 	mn, mx := column.MinMax(values)
+	var hadTail bool
+	if s.col != nil {
+		hadTail = s.col.Len() > s.tailStart
+		if err := s.col.AppendSlice(values); err != nil {
+			return err
+		}
+	} else {
+		// Encoded mode: the same domain check AppendSlice would make,
+		// then the batch joins the raw tail buffer and the amu-guarded
+		// logical zone widens (there is no column to do either for us).
+		if mn <= -column.MaxMagnitude || mx >= column.MaxMagnitude {
+			return fmt.Errorf("shard: appended values must lie strictly inside ±2^62 (min=%d max=%d)", mn, mx)
+		}
+		hadTail = len(s.tailBuf) > 0
+		s.tailBuf = append(s.tailBuf, values...)
+		if mn < s.vminEnc {
+			s.vminEnc = mn
+		}
+		if mx > s.vmaxEnc {
+			s.vmaxEnc = mx
+		}
+	}
 	if !hadTail {
 		s.tailMin, s.tailMax = mn, mx
 	} else {
@@ -316,7 +447,7 @@ func (s *Sharded) Append(values []int64) error {
 		}
 	}
 	shards := s.cur.Load().shards
-	if s.col.Len()-s.tailStart >= s.sealRows {
+	if s.pendingLocked() >= s.sealRows {
 		if sealed, err := s.sealLocked(); err == nil {
 			shards = sealed
 		}
@@ -327,26 +458,49 @@ func (s *Sharded) Append(values []int64) error {
 	return nil
 }
 
+// pendingLocked is the pending-tail size; caller holds amu.
+func (s *Sharded) pendingLocked() int {
+	if s.col != nil {
+		return s.col.Len() - s.tailStart
+	}
+	return len(s.tailBuf)
+}
+
 // sealLocked turns the entire pending tail into a fresh indexed shard
-// and returns the extended shard list. Caller holds amu.
+// — or, in encoded mode, a fresh cold compressed shard: appends ride
+// raw and pay the encode exactly once, here — and returns the extended
+// shard list. Caller holds amu.
 func (s *Sharded) sealLocked() ([]*state, error) {
-	n := s.col.Len()
-	part := s.col.Values()[s.tailStart:n:n]
-	pcol, err := column.NewWithStats(part, s.tailMin, s.tailMax)
-	if err != nil {
-		return nil, err
+	var st *state
+	if s.col != nil {
+		n := s.col.Len()
+		part := s.col.Values()[s.tailStart:n:n]
+		pcol, err := column.NewWithStats(part, s.tailMin, s.tailMax)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := s.factory(pcol)
+		if err != nil {
+			return nil, err
+		}
+		st = &state{idx: idx, start: s.tailStart, end: n, min: s.tailMin, max: s.tailMax}
+		st.noteConverged() // e.g. a full-index shard is terminal at birth
+		s.tailStart = n
+	} else {
+		seg, err := encode.New(s.tailBuf, s.tailMin, s.tailMax, s.encoding)
+		if err != nil {
+			return nil, err
+		}
+		st = newColdState(seg, s.tailStart, s.tailStart+len(s.tailBuf))
+		s.tailStart += len(s.tailBuf)
+		// Published views pin the old buffer; dropping the reference
+		// (rather than truncating it) keeps them immutable.
+		s.tailBuf = nil
 	}
-	idx, err := s.factory(pcol)
-	if err != nil {
-		return nil, err
-	}
-	st := &state{idx: idx, start: s.tailStart, end: n, min: s.tailMin, max: s.tailMax}
-	st.noteConverged() // e.g. a full-index shard is terminal at birth
 	old := s.cur.Load().shards
 	shards := make([]*state, len(old)+1)
 	copy(shards, old)
 	shards[len(old)] = st
-	s.tailStart = n
 	return shards, nil
 }
 
@@ -445,17 +599,22 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 		return query.NewAnswer(column.NewAgg(), aggs, s.prunedStats(v)), nil
 	}
 
-	// Heat first (so this query's own hits participate in the split),
+	// Heat first (so this query's own hits participate in the split and
+	// the claim probe sees them), then at most one cold-shard claim,
 	// then the budget shares over the survivors. Fully converged
 	// survivor sets skip the share computation: their budgeters have
 	// nothing left to plan.
 	sc.grow(len(surv))
 	heats, parts := sc.heats, sc.parts
-	allConverged := true
 	for k, i := range surv {
 		heats[k] = v.shards[i].heat.Add(1)
+	}
+	s.maybeClaim(v, surv, heats)
+	allConverged := true
+	for _, i := range surv {
 		if !v.shards[i].converged.Load() {
 			allConverged = false
+			break
 		}
 	}
 	var shares []float64
@@ -476,7 +635,7 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 			if shares != nil {
 				scale = shares[k]
 			}
-			parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, false)
+			parts[k] = s.executeShard(v.shards[surv[k]], sub, lo, hi, scale, false)
 		}
 	} else {
 		s.pool.Run(len(surv), 1, func(_, a, b int) {
@@ -485,7 +644,7 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 				if shares != nil {
 					scale = shares[k]
 				}
-				parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, false)
+				parts[k] = s.executeShard(v.shards[surv[k]], sub, lo, hi, scale, false)
 			}
 		})
 	}
@@ -493,21 +652,93 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 	return s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
 }
 
+// maybeClaim decodes at most one cold survivor whose heat has crossed
+// the claim threshold, building its progressive index over the raw rows
+// — this is the only place compressed data is ever decompressed on the
+// query path, and it is bounded to one shard per query so a scattered
+// predicate cannot stall on S decodes at once. The shard list is then
+// republished so the fresh view's all-converged switch restarts false.
+func (s *Sharded) maybeClaim(v *view, surv []int, heats []uint64) {
+	if s.claimHeat == 0 {
+		return
+	}
+	for k, i := range surv {
+		st := v.shards[i]
+		if heats[k] < s.claimHeat || !st.cold.Load() {
+			continue
+		}
+		if s.claim(st) {
+			s.amu.Lock()
+			s.publishLocked(s.cur.Load().shards)
+			s.amu.Unlock()
+		}
+		return
+	}
+}
+
+// claim decompresses one cold shard and opens it for progressive
+// indexing: decode under the write lock, factory over the raw rows,
+// converged cleared so the heat-weighted budget machinery takes over.
+// The decoded rows are retained (they are the shard's only raw copy);
+// the segment is dropped.
+func (s *Sharded) claim(st *state) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.seg == nil {
+		return false // lost the race to another query's claim
+	}
+	vals := st.seg.Decode()
+	pcol, err := column.NewWithStats(vals, st.min, st.max)
+	if err != nil {
+		return false
+	}
+	idx, err := s.factory(pcol)
+	if err != nil {
+		// The shard stays cold and exact; the next crossing retries.
+		return false
+	}
+	st.idx = idx
+	st.vals = vals
+	st.seg = nil
+	st.cold.Store(false)
+	st.converged.Store(false)
+	st.noteConverged() // a terminal-at-birth factory index (e.g. FI)
+	return true
+}
+
 // executeShard runs one sub-request against one shard under its lock.
 // A converged shard takes the shared lock (read-only execution, any
-// number of concurrent queries); an unconverged shard takes the write
-// lock, applies the heat-weighted budget scale, and optionally runs
-// with indexing suspended (the batch amortization hook).
-func (s *Sharded) executeShard(st *state, sub query.Request, scale float64, suspend bool) partial {
+// number of concurrent queries) — for a cold shard that means scanning
+// the compressed segment in place with the clamped bounds; an
+// unconverged shard takes the write lock, applies the heat-weighted
+// budget scale, and optionally runs with indexing suspended (the batch
+// amortization hook).
+func (s *Sharded) executeShard(st *state, sub query.Request, lo, hi int64, scale float64, suspend bool) partial {
 	st.executes.Add(1)
 	if st.converged.Load() {
 		st.mu.RLock()
-		defer st.mu.RUnlock()
-		ans, err := st.idx.Execute(sub)
-		return partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
+		if st.seg != nil {
+			p := coldPartial(st.seg.AggRange(lo, hi, sub.Aggs))
+			st.mu.RUnlock()
+			return p
+		}
+		if st.converged.Load() {
+			ans, err := st.idx.Execute(sub)
+			st.mu.RUnlock()
+			return partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
+		}
+		// A claim slipped in between the converged probe and the lock:
+		// the shard is open for indexing again, so take the write path.
+		st.mu.RUnlock()
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.seg != nil {
+		// Cold shards are converged by construction, so reaching the
+		// write path with a segment means the probe raced a seal/claim
+		// transition; the in-place scan is still the right answer.
+		return coldPartial(st.seg.AggRange(lo, hi, sub.Aggs))
+	}
 	if sc, ok := st.idx.(budgetScaler); ok {
 		sc.SetBudgetScale(scale)
 	}
@@ -520,6 +751,13 @@ func (s *Sharded) executeShard(st *state, sub query.Request, scale float64, susp
 	ans, err := st.idx.Execute(sub)
 	st.noteConverged()
 	return partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
+}
+
+// coldPartial shapes a compressed in-place scan's contribution: no
+// indexing work, terminal phase (cold is the shard's serving steady
+// state until a claim re-opens it).
+func coldPartial(agg column.Agg) partial {
+	return partial{agg: agg, stats: query.Stats{Phase: query.PhaseDone}}
 }
 
 // mergeAnswer folds the survivors' partials, in shard order, into one
@@ -651,10 +889,26 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 	}
 	sub := query.Request{Pred: req.Pred, Aggs: aggs}
 	parts := make([]partial, len(surv))
-	for k, i := range surv {
-		st := v.shards[i]
+	for k := range surv {
+		// locks was built in surv order, so locks[k] holds survivor k.
+		st := locks[k].st
 		st.executes.Add(1)
-		if shares != nil && !st.converged.Load() {
+		if locks[k].shared {
+			if st.seg != nil {
+				parts[k] = coldPartial(st.seg.AggRange(lo, hi, aggs))
+				continue
+			}
+			if !st.converged.Load() {
+				// A claim slipped in between the converged probe and the
+				// shared lock: the shard needs the write lock now, which
+				// the non-blocking path does not retry for.
+				return query.Answer{}, false, nil
+			}
+			ans, err := st.idx.Execute(sub)
+			parts[k] = partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
+			continue
+		}
+		if shares != nil {
 			if sc, ok := st.idx.(budgetScaler); ok {
 				sc.SetBudgetScale(shares[k])
 			}
@@ -710,7 +964,7 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 				if shares != nil {
 					scale = shares[k]
 				}
-				parts[k] = s.executeShard(v.shards[surv[k]], sub, scale, suspend)
+				parts[k] = s.executeShard(v.shards[surv[k]], sub, lo, hi, scale, suspend)
 			}
 		})
 		answers[qi], errs[qi] = s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
@@ -780,7 +1034,7 @@ func (s *Sharded) RefineStep() (query.Stats, bool) {
 func (s *Sharded) flushTail() {
 	s.amu.Lock()
 	defer s.amu.Unlock()
-	if s.col.Len() == s.tailStart {
+	if s.pendingLocked() == 0 {
 		return // a concurrent seal beat us to it
 	}
 	shards, err := s.sealLocked()
@@ -920,6 +1174,11 @@ type Info struct {
 	Refines   uint64  `json:"refine_slices"`
 	Converged bool    `json:"converged"`
 	Progress  float64 `json:"convergence"`
+	// Encoding is the shard's storage form ("raw" for decoded or
+	// raw-mode shards) and Bytes its resident payload size — 8·rows
+	// raw, the packed-word footprint while cold.
+	Encoding string `json:"encoding"`
+	Bytes    int    `json:"resident_bytes"`
 }
 
 // ShardStats snapshots every sealed shard. A shard with Executes == 0
@@ -937,9 +1196,18 @@ func (s *Sharded) ShardStats() []Info {
 			Heat:     st.heat.Load(),
 			Executes: st.executes.Load(),
 			Refines:  st.refines.Load(),
+			Encoding: encode.KindRaw.String(),
+			Bytes:    8 * (st.end - st.start),
 		}
 		if st.converged.Load() {
 			info.Converged, info.Progress = true, 1
+			if st.cold.Load() {
+				st.mu.RLock()
+				if st.seg != nil {
+					info.Encoding, info.Bytes = st.seg.Kind().String(), st.seg.SizeBytes()
+				}
+				st.mu.RUnlock()
+			}
 		} else {
 			st.mu.RLock()
 			info.Converged = st.idx.Converged()
@@ -953,4 +1221,30 @@ func (s *Sharded) ShardStats() []Info {
 		out[i] = info
 	}
 	return out
+}
+
+// MaterializeRows returns a fresh copy of every logical row in order
+// (sealed shards, then the pending tail) — the raw-extraction surface
+// snapshots use when the table keeps no base column. Cold shards
+// decode into the output without being claimed; claimed shards copy
+// their retained rows.
+func (s *Sharded) MaterializeRows() []int64 {
+	s.amu.Lock()
+	v := s.cur.Load()
+	s.amu.Unlock()
+	if s.col != nil {
+		vals := s.col.Values()[:v.rows]
+		return append(make([]int64, 0, v.rows), vals...)
+	}
+	out := make([]int64, 0, v.rows)
+	for _, st := range v.shards {
+		st.mu.RLock()
+		if st.seg != nil {
+			out = st.seg.AppendTo(out)
+		} else {
+			out = append(out, st.vals...)
+		}
+		st.mu.RUnlock()
+	}
+	return append(out, v.tail...)
 }

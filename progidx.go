@@ -337,6 +337,21 @@ type Options struct {
 	// concurrent use as-is and must not be wrapped in Synchronize.
 	Shards int
 
+	// Encoding selects compressed columnar storage (see Encoding). With
+	// a compressed mode and Shards > 1, shards are born cold — scanned
+	// in place over the packed words — and decompressed into the
+	// selected strategy only when the workload's heat claims them;
+	// unsharded compressed tables stay cold for life. The zero value
+	// (EncodingRaw) is exactly the uncompressed behavior.
+	Encoding Encoding
+
+	// ClaimHeat is the per-shard heat at which a cold compressed shard
+	// is claimed: decoded and handed to the progressive strategy. 0
+	// means the shard layer's default; negative means never claim
+	// (shards stay compressed for life). Ignored unless Encoding is
+	// compressed and Shards > 1.
+	ClaimHeat int
+
 	// Seed drives the stochastic cracking baselines.
 	Seed int64
 }
@@ -358,6 +373,12 @@ func New(values []int64, opts Options) (Index, error) {
 func NewFromColumn(col *column.Column, opts Options) (Index, error) {
 	if opts.Shards > 1 {
 		return NewShardedFromColumn(col, opts)
+	}
+	if opts.Encoding.Compressed() {
+		// Unsharded compressed: one cold segment over the whole column,
+		// converged from birth. The strategy machinery only re-enters
+		// through the shard layer's claim path (Shards > 1).
+		return newEncodedIndex(col, opts.Encoding, opts.Workers)
 	}
 	ccfg := core.Config{
 		Delta:      opts.Delta,

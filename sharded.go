@@ -47,13 +47,16 @@ func NewSharded(values []int64, opts Options) (*Sharded, error) {
 
 // NewShardedFromColumn is NewSharded for a pre-built column.
 func NewShardedFromColumn(col *column.Column, opts Options) (*Sharded, error) {
-	cfg := shard.Config{Shards: opts.Shards, Workers: opts.Workers}
+	cfg := shard.Config{Shards: opts.Shards, Workers: opts.Workers, Encoding: opts.Encoding, ClaimHeat: opts.ClaimHeat}
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
 	child := opts
 	child.Shards = 0
 	child.Workers = 1 // the shard fan-out is the parallelism
+	// Claimed shards decompress into the selected strategy over raw
+	// rows; the factory must not re-encode what the claim just decoded.
+	child.Encoding = EncodingRaw
 	// Keep the wall-clock budget truthful: S shards of N/S rows each
 	// must together spend what one index over N rows would, so each
 	// shard's budgeter is sized at 1/S of the per-query time budget
@@ -91,7 +94,11 @@ func NewHandle(values []int64, opts Options) (Handle, error) {
 // Handle.Append; the index itself is built over a frozen snapshot, so
 // the strategies never observe mutation (DESIGN.md section 10).
 func NewHandleFromColumn(col *column.Column, opts Options) (Handle, error) {
-	if opts.Shards > 1 {
+	if opts.Shards > 1 || opts.Encoding.Compressed() {
+		// Compressed tables always serve through the shard layer (a
+		// single shard when unsharded): it owns the cold-scan, claim and
+		// seal-time-encode machinery, and its per-shard locks make the
+		// handle safe by construction.
 		return NewShardedFromColumn(col, opts)
 	}
 	frozen := col.Snapshot()
