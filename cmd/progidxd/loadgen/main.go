@@ -114,6 +114,7 @@ func main() {
 		failures     atomic.Uint64
 		latMu        sync.Mutex
 		latencies    []time.Duration
+		perSession   []sessionSummary
 		batchSum     atomic.Uint64
 		appendedRows atomic.Uint64
 		writerChecks atomic.Uint64
@@ -126,6 +127,7 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed*1000 + int64(session)))
 			local := make([]time.Duration, 0, *queries)
+			errs := 0
 			for q := 0; q < *queries; q++ {
 				req, wire := randomQuery(rng, int64(*n), writerMode)
 				qs := time.Now()
@@ -134,6 +136,7 @@ func main() {
 				local = append(local, time.Since(qs))
 				if err != nil {
 					failures.Add(1)
+					errs++
 					fmt.Fprintf(os.Stderr, "loadgen: session %d query %d: %v\n", session, q, err)
 					continue
 				}
@@ -144,8 +147,15 @@ func main() {
 						session, q, req.Pred)
 				}
 			}
+			sorted := append([]time.Duration(nil), local...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			sum := sessionSummary{id: session, errors: errs}
+			if len(sorted) > 0 {
+				sum.p50, sum.p99 = pct(sorted, 0.50), pct(sorted, 0.99)
+			}
 			latMu.Lock()
 			latencies = append(latencies, local...)
+			perSession = append(perSession, sum)
 			latMu.Unlock()
 		}(g)
 	}
@@ -248,14 +258,29 @@ func main() {
 			float64(batchSum.Load())/float64(total-int(failures.Load())))
 	}
 
+	// End-of-run summary: per-session quantiles and error counts, then
+	// the aggregate throughput split by traffic kind.
+	sort.Slice(perSession, func(i, j int) bool { return perSession[i].id < perSession[j].id })
+	for _, ss := range perSession {
+		fmt.Printf("loadgen: session %2d: p50=%v p99=%v errors=%d\n", ss.id, ss.p50, ss.p99, ss.errors)
+	}
+	fmt.Printf("loadgen: throughput: %.0f queries/s", float64(total)/elapsed.Seconds())
+	if appendedRows.Load() > 0 && !*verifyOnly {
+		fmt.Printf(", %.0f appended rows/s", float64(appendedRows.Load())/elapsed.Seconds())
+	}
+	fmt.Printf("; %d transport errors\n", failures.Load())
+
 	if writerMode {
 		if *verifyOnly {
-			fmt.Printf("loadgen: verified %d recovered writer ranges (%d rows, %d checks)\n",
-				*writers, appendedRows.Load(), writerChecks.Load())
+			fmt.Printf("loadgen: verified %d recovered writer ranges (%d rows, %d checks) in %v\n",
+				*writers, appendedRows.Load(), writerChecks.Load(), elapsed.Round(time.Millisecond))
 		} else {
 			fmt.Printf("loadgen: %d writers appended %d rows (%d growing-oracle checks)\n",
 				*writers, appendedRows.Load(), writerChecks.Load())
 		}
+	}
+	if *verifyOnly {
+		fmt.Printf("loadgen: recovery check completed in %v\n", elapsed.Round(time.Millisecond))
 	}
 
 	var info struct {
@@ -392,6 +417,14 @@ func waitForReady(client *http.Client, base string, timeout time.Duration) error
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// sessionSummary is one query session's end-of-run line: its latency
+// quantiles and how many of its requests failed in transport.
+type sessionSummary struct {
+	id       int
+	p50, p99 time.Duration
+	errors   int
 }
 
 func pct(sorted []time.Duration, q float64) time.Duration {

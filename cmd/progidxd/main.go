@@ -36,8 +36,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -62,8 +64,24 @@ func main() {
 		datadir  = flag.String("datadir", "", "durability directory (empty = in-memory only; tables there are recovered on boot)")
 		fsync    = flag.String("fsync", "batch", "WAL fsync policy: always (per append), batch (per admission batch), off")
 		snapIvl  = flag.Duration("snapshot-interval", 0, "background snapshot cadence for durable tables (0 = default 30s)")
+
+		debugAddr   = flag.String("debug-addr", "", "separate listener exposing net/http/pprof (empty = disabled)")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query log threshold (0 = default 250ms, negative = disabled)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		traceSample = flag.Int("trace-sample", 0, "trace one in every N queries into /debug/traces (0 = off; ?trace=1 always works)")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "progidxd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(1)
+	}
 
 	var store *durable.Store
 	if *datadir != "" {
@@ -83,7 +101,32 @@ func main() {
 		MaxBatch:         *maxBatch,
 		Store:            store,
 		SnapshotInterval: *snapIvl,
+		TraceSample:      *traceSample,
+		SlowQuery:        *slowQuery,
+		Logger:           logger,
 	})
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so the profiling surface is
+		// never exposed on the serving address by accident.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progidxd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("progidxd debug (pprof) listening on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "progidxd: debug listener:", err)
+			}
+		}()
+	}
 
 	// Serve before recovering: /healthz answers starting/recovering
 	// (503) while WAL replay rebuilds the tables, so clients can poll

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/column"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -119,7 +120,15 @@ type Synchronized struct {
 	// ing is the ingestion state; nil for a bare Synchronize wrap (no
 	// owned column, Append refused).
 	ing *ingest
+
+	// sink, when set, receives convergence-timeline events (rebuild
+	// swaps). Nil costs one atomic load per event site.
+	sink atomic.Pointer[obs.Timeline]
 }
+
+// SetEventSink routes this handle's structural events (tail-merge
+// rebuild swaps) into tl. Safe to call at any time; nil detaches.
+func (s *Synchronized) SetEventSink(tl *obs.Timeline) { s.sink.Store(tl) }
 
 // ingest is the appendable handle's pending-tail state. Everything in
 // it is guarded by the owning Synchronized's write lock.
@@ -256,6 +265,7 @@ func (g *ingest) maybeStartRebuild(s *Synchronized, force bool) {
 	if !g.convergent {
 		s.inner = idx
 		g.indexed = snap.Len()
+		s.sink.Load().Record(obs.EvRebuildSwap, -1, float64(g.indexed), 0)
 		return
 	}
 	g.rebuild = idx
@@ -281,6 +291,7 @@ func (g *ingest) driveRebuild(s *Synchronized, into *Stats) {
 		g.indexed = g.rebuildRows
 		g.rebuild, g.rebuildRows = nil, 0
 		g.recomputeTailZone()
+		s.sink.Load().Record(obs.EvRebuildSwap, -1, float64(g.indexed), 0)
 	}
 }
 
@@ -518,17 +529,35 @@ func (s *Synchronized) TryExecute(req Request) (ans Answer, ok bool, err error) 
 // index suspended and the one budget goes to the merge. Answers are
 // exact either way and positionally match reqs, as do the errors.
 func (s *Synchronized) ExecuteBatch(reqs []Request) ([]Answer, []error) {
+	return s.ExecuteBatchTraced(reqs, nil)
+}
+
+// ExecuteBatchTraced is ExecuteBatch with optional per-request span
+// recording: traces[qi], when non-nil, receives an "index" span under
+// its attach point covering that request's inner execute + tail merge,
+// with the answer's work stats as attributes. A nil or short traces
+// slice is valid; untraced requests pay one nil test per span site.
+func (s *Synchronized) ExecuteBatchTraced(reqs []Request, traces []*obs.Trace) ([]Answer, []error) {
 	answers := make([]Answer, len(reqs))
 	errs := make([]error, len(reqs))
 	if len(reqs) == 0 {
 		return answers, errs
+	}
+	traceAt := func(i int) *obs.Trace {
+		if i < len(traces) {
+			return traces[i]
+		}
+		return nil
 	}
 	if s.converged.Load() {
 		s.mu.RLock()
 		if s.converged.Load() {
 			defer s.mu.RUnlock()
 			for i, req := range reqs {
+				tr := traceAt(i)
+				tsp := tr.Start(tr.AttachPoint(), "index")
 				answers[i], errs[i] = s.inner.Execute(req)
+				s.traceIndexSpan(tr, tsp, answers[i])
 			}
 			return answers, errs
 		}
@@ -549,16 +578,43 @@ func (s *Synchronized) ExecuteBatch(reqs []Request) ([]Answer, []error) {
 		if i == 1 && !driving && suspendable {
 			sp.SetIndexingSuspended(true)
 		}
+		tr := traceAt(i)
+		tsp := tr.Start(tr.AttachPoint(), "index")
+		if tr != nil {
+			if i > 0 || driving {
+				tr.Bool(tsp, "suspended", true)
+			}
+			if s.ing != nil {
+				tr.Int(tsp, "pending_rows", int64(s.ing.pending()))
+			}
+		}
 		answers[i], errs[i] = s.answerLocked(req)
+		s.traceIndexSpan(tr, tsp, answers[i])
 	}
 	if suspendable && (driving || len(reqs) > 1) {
 		sp.SetIndexingSuspended(false)
 	}
 	if driving && errs[0] == nil {
+		tr := traceAt(0)
+		rsp := tr.Start(tr.AttachPoint(), "rebuild_slice")
 		s.ing.driveRebuild(s, &answers[0].Stats)
+		tr.End(rsp)
 	}
 	s.noteConverged()
 	return answers, errs
+}
+
+// traceIndexSpan closes an "index" span with the answer's work stats.
+func (s *Synchronized) traceIndexSpan(tr *obs.Trace, sp obs.SpanID, ans Answer) {
+	if tr == nil {
+		return
+	}
+	st := ans.Stats
+	tr.Str(sp, "phase", st.Phase.String())
+	tr.Float(sp, "delta", st.Delta)
+	tr.Float(sp, "budget_spent_s", st.WorkSeconds)
+	tr.Int(sp, "rows_scanned", int64(st.AlphaElems))
+	tr.End(sp)
 }
 
 // idleRequest is the canonical no-client-query request RefineStep

@@ -17,6 +17,7 @@ import (
 	"repro"
 	"repro/internal/column"
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 // Status is a table's lifecycle state.
@@ -130,6 +131,24 @@ type Table struct {
 	rows       atomic.Int64
 	appends    atomic.Uint64
 	appendRows atomic.Uint64
+
+	// obs is the table's observability state (convergence timeline +
+	// histograms); nil when the catalog has no registry attached. Every
+	// obs type is nil-tolerant, so hooks below need no branching.
+	obs *obs.Table
+}
+
+// Obs returns the table's observability state (nil when the catalog
+// has no registry).
+func (t *Table) Obs() *obs.Table { return t.obs }
+
+// timeline returns the table's convergence timeline; nil (a no-op
+// sink) when observability is not attached.
+func (t *Table) timeline() *obs.Timeline {
+	if t.obs == nil {
+		return nil
+	}
+	return t.obs.Timeline
 }
 
 // Name returns the table's catalog name.
@@ -311,6 +330,30 @@ type Catalog struct {
 	// store persists tables when set (NewDurable); nil means the
 	// catalog is ephemeral and every durability hook is a no-op.
 	store *durable.Store
+
+	// reg hands each table its observability state (SetObservability);
+	// nil keeps every observability hook a no-op.
+	reg *obs.Registry
+}
+
+// SetObservability attaches an observability registry: every table
+// loaded (or recovered) afterwards gets a convergence timeline and
+// per-table histograms, and its index handle's structural events
+// (tail seals, cold-shard claims, rebuild swaps) are routed into the
+// timeline. Call before loading tables.
+func (c *Catalog) SetObservability(reg *obs.Registry) { c.reg = reg }
+
+// attachObs hands t its observability state and points the index
+// handle's event stream at the table's timeline. No-op without a
+// registry.
+func (c *Catalog) attachObs(t *Table) {
+	if c.reg == nil {
+		return
+	}
+	t.obs = c.reg.Table(t.name)
+	if s, ok := t.idx.(progidx.EventSinkSetter); ok {
+		s.SetEventSink(t.obs.Timeline)
+	}
 }
 
 // New returns an empty catalog.
@@ -362,6 +405,7 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 		return fail(fmt.Errorf("catalog: load %q: %w", name, err))
 	}
 	t.idx = idx
+	c.attachObs(t)
 	if c.store != nil {
 		// Establish the on-disk state — base snapshot with the load
 		// rows plus manifest, durable before the load is acked — so a
@@ -427,9 +471,11 @@ func (c *Catalog) Drop(name string) (*Table, error) {
 		// concurrently is a client race today just as it was without
 		// durability.
 		if err := c.store.Drop(name); err != nil {
+			c.reg.Drop(name)
 			return t, fmt.Errorf("catalog: drop %q on-disk state: %w", name, err)
 		}
 	}
+	c.reg.Drop(name)
 	return t, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro"
 	"repro/internal/column"
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 // This file is the catalog half of the durability subsystem
@@ -176,10 +177,12 @@ func (t *Table) WriteCheckpoint(cp durable.Checkpoint) error {
 	if t.log == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := t.log.WriteCheckpoint(cp); err != nil {
 		return err
 	}
 	t.snapProgressStore(cp.Progress)
+	t.timeline().Record(obs.EvCheckpoint, -1, float64(len(cp.Rows)), time.Since(start).Seconds())
 	return nil
 }
 
@@ -230,6 +233,11 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	t.idx = idx
 	t.log = rec.Log
 	t.snapProgressStore(rec.Progress)
+	// Attach observability before replay so /healthz can report this
+	// table's frames-replayed progress while recovery is running, and
+	// so the replayed appends' structural events (tail seals) land in
+	// the timeline like live ones would.
+	c.attachObs(t)
 	if opts.Encoding.Compressed() {
 		// As in Load: the handle's segments own the data now; drop the
 		// recovery copy of the raw rows.
@@ -239,13 +247,23 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	// Replay the WAL tail through the normal ingest path: each batch
 	// lands in the pending tail / tail shard exactly as it originally
 	// did, and the index absorbs it under its usual budget discipline.
+	tl := t.timeline()
+	total := uint64(len(rec.Batches))
+	tl.SetReplayProgress(0, total)
+	if total > 0 {
+		tl.Record(obs.EvReplay, -1, 0, float64(total))
+	}
 	var tailRows uint64
-	for _, b := range rec.Batches {
+	for i, b := range rec.Batches {
 		if err := idx.Append(b); err != nil {
 			return fail(fmt.Errorf("catalog: recover %q: replay append: %w", rec.Name, err))
 		}
 		t.rows.Add(int64(len(b)))
 		tailRows += uint64(len(b))
+		tl.SetReplayProgress(uint64(i+1), total)
+	}
+	if total > 0 {
+		tl.Record(obs.EvReplay, -1, float64(total), float64(total))
 	}
 	t.appends.Store(rec.Appends + uint64(len(rec.Batches)))
 	t.appendRows.Store(rec.AppendRows + tailRows)

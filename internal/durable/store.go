@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TableMeta is the durable copy of a table's catalog options, stored in
@@ -86,6 +87,29 @@ type Store struct {
 	frames    atomic.Uint64 // WAL frames appended
 	syncs     atomic.Uint64 // fsync calls issued for WAL batches
 	snapshots atomic.Uint64 // snapshot files written
+
+	// syncObs, when set, receives the wall-clock duration of every WAL
+	// fsync (the serving layer feeds it into a latency histogram).
+	// Atomic so the observer can be attached after Open without racing
+	// live appends.
+	syncObs atomic.Pointer[func(time.Duration)]
+}
+
+// SetSyncObserver registers fn to receive the duration of every WAL
+// fsync across all tables; nil clears it. The callback runs on the
+// syncing goroutine and must be cheap and non-blocking.
+func (s *Store) SetSyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		s.syncObs.Store(nil)
+		return
+	}
+	s.syncObs.Store(&fn)
+}
+
+func (s *Store) observeSync(d time.Duration) {
+	if fn := s.syncObs.Load(); fn != nil {
+		(*fn)(d)
+	}
 }
 
 // Open prepares (creating if needed) a durability root at dir. Any
@@ -393,6 +417,12 @@ func (t *TableLog) Append(values []int64) (uint64, error) {
 	if t.closed {
 		return 0, fmt.Errorf("durable: table %q log closed", t.name)
 	}
+	// Under the always policy the append call carries its own fsync, so
+	// its duration is the WAL-durability latency the client waits on.
+	var start time.Time
+	if t.store.policy == SyncAlways {
+		start = time.Now()
+	}
 	seq, err := t.w.append(values)
 	if err != nil {
 		return 0, err
@@ -401,6 +431,7 @@ func (t *TableLog) Append(values []int64) (uint64, error) {
 	t.store.frames.Add(1)
 	if t.store.policy == SyncAlways {
 		t.store.syncs.Add(1)
+		t.store.observeSync(time.Since(start))
 	}
 	return seq, nil
 }
@@ -416,10 +447,12 @@ func (t *TableLog) Sync() error {
 	if t.store.policy != SyncBatch || !t.w.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := t.w.sync(); err != nil {
 		return err
 	}
 	t.store.syncs.Add(1)
+	t.store.observeSync(time.Since(start))
 	return nil
 }
 

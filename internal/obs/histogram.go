@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, lock-free histogram in the Prometheus
+// style: Observe is a couple of atomic adds (no allocation, no lock),
+// and Expose renders the cumulative `_bucket{le=...}` / `_sum` /
+// `_count` series for the /metrics text format. Bucket bounds are
+// fixed at construction; the implicit +Inf bucket is always present.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given strictly-increasing
+// upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// ExpBuckets returns n exponentially spaced bounds starting at start
+// with the given growth factor — the usual latency bucket shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. Safe for concurrent use; allocates
+// nothing.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search would save a few comparisons for large bucket
+	// counts, but the histograms here have ~15 buckets and a linear
+	// scan is branch-predictor friendly.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Expose writes the Prometheus text-format series for this histogram:
+// cumulative buckets ending with le="+Inf", then _sum and _count.
+// labels is either empty or a rendered label set like `table="t"`
+// (without braces); the le label is appended to it.
+func (h *Histogram) Expose(w io.Writer, name, labels string) {
+	if h == nil {
+		return
+	}
+	var cum uint64
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which instruments allocations and invalidates the
+// zero-allocation pins.
+const raceEnabled = true

@@ -191,6 +191,12 @@ type Stats struct {
 	// Workers is the parallel worker count the index's scan kernels
 	// were sized for on this call (1 = serial execution).
 	Workers int
+	// ShardsScanned and ShardsPruned report the shard fan-out for
+	// this call: how many shards survived zone-map pruning and were
+	// scanned, and how many the zone maps excluded outright. Both are
+	// zero for unsharded indexes.
+	ShardsScanned int
+	ShardsPruned  int
 }
 
 // Answer is the response to a Request: the requested aggregate values

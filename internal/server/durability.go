@@ -67,7 +67,7 @@ func (s *Server) Recover() (warnings []error, err error) {
 			warnings = append(warnings, lerr)
 			continue
 		}
-		sched := newScheduler(t, s.cfg.QueueDepth, s.cfg.MaxBatch)
+		sched := newScheduler(t, s.cfg.QueueDepth, s.cfg.MaxBatch, s.obs)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()

@@ -20,6 +20,7 @@ package server
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"repro"
 	"repro/internal/catalog"
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 // ErrStopped is returned for requests admitted to (or waiting on) a
@@ -82,6 +84,11 @@ type task struct {
 	checkpoint bool
 	reply      chan result // buffered(1): the loop never blocks on a reply
 	enqueued   time.Time
+	// trace, when non-nil, records this request's lifecycle spans
+	// (queue wait, WAL sync, execute with per-shard children). Set at
+	// admission for sampled queries and for ?trace=1 requests; nil for
+	// everything else, which keeps the batch path allocation-free.
+	trace *obs.Trace
 }
 
 // Scheduler serializes one table's queries through a single goroutine.
@@ -90,6 +97,19 @@ type Scheduler struct {
 	idx      progidx.Handle
 	idle     bool // idle-time refinement enabled
 	maxBatch int
+
+	// reg and tobs are the observability hooks (both nil when the
+	// scheduler runs unobserved, e.g. in library tests): reg samples
+	// traces and owns the trace ring and the slow-query logger, tobs
+	// holds this table's convergence timeline and histograms.
+	// lastProgress/lastPhase remember the convergence state the loop
+	// last published to the timeline; only the loop goroutine touches
+	// them, so they need no lock.
+	reg          *obs.Registry
+	tobs         *obs.Table
+	lastProgress float64
+	lastPhase    progidx.Phase
+	phaseKnown   bool
 
 	tasks chan *task
 	quit  chan struct{} // closed by Stop/Drain
@@ -126,8 +146,9 @@ func (s *Scheduler) recordLatency(d time.Duration) {
 }
 
 // newScheduler starts the serving loop for t. queueDepth and maxBatch
-// fall back to the defaults when <= 0.
-func newScheduler(t *catalog.Table, queueDepth, maxBatch int) *Scheduler {
+// fall back to the defaults when <= 0; reg may be nil (no tracing, no
+// histograms, no slow-query log).
+func newScheduler(t *catalog.Table, queueDepth, maxBatch int, reg *obs.Registry) *Scheduler {
 	if queueDepth <= 0 {
 		queueDepth = defaultQueueDepth
 	}
@@ -139,22 +160,54 @@ func newScheduler(t *catalog.Table, queueDepth, maxBatch int) *Scheduler {
 		idx:      t.Index(),
 		idle:     t.Options().IdleRefineEnabled(),
 		maxBatch: maxBatch,
+		reg:      reg,
 		tasks:    make(chan *task, queueDepth),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if reg != nil {
+		s.tobs = reg.Table(t.Name())
+	}
+	s.lastProgress = s.idx.Progress()
+	if ph, ok := s.idx.Phase(); ok {
+		s.lastPhase, s.phaseKnown = ph, true
 	}
 	go s.loop()
 	return s
 }
 
 // Execute admits req and blocks until the scheduler answers it, the
-// context is cancelled, or the scheduler stops.
+// context is cancelled, or the scheduler stops. One in every
+// Config.TraceSample queries carries a full-fidelity trace into the
+// registry's ring; when sampling is off the only cost is one atomic
+// load in Sample.
 func (s *Scheduler) Execute(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, error) {
-	r, err := s.admit(ctx, &task{req: req, reply: make(chan result, 1), enqueued: time.Now()})
+	t := &task{req: req, reply: make(chan result, 1), enqueued: time.Now()}
+	if s.reg.Sample() {
+		t.trace = obs.NewTrace("query", s.table.Name())
+	}
+	r, err := s.admit(ctx, t)
 	if err != nil {
 		return progidx.Answer{}, ExecInfo{}, err
 	}
 	return r.ans, r.info, r.err
+}
+
+// ExecuteTraced is Execute with a caller-forced full-fidelity trace —
+// the ?trace=1 path. The finished trace is returned inline alongside
+// the answer and also retained in the registry's /debug/traces ring.
+func (s *Scheduler) ExecuteTraced(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, *obs.Trace, error) {
+	t := &task{
+		req:      req,
+		reply:    make(chan result, 1),
+		enqueued: time.Now(),
+		trace:    obs.NewTrace("query", s.table.Name()),
+	}
+	r, err := s.admit(ctx, t)
+	if err != nil {
+		return progidx.Answer{}, ExecInfo{}, nil, err
+	}
+	return r.ans, r.info, t.trace, r.err
 }
 
 // Append admits an ingest task on the same queue as queries and blocks
@@ -304,10 +357,42 @@ func (s *Scheduler) idleEligible() bool {
 // idleSlice performs one budget-bounded refinement step and records it.
 func (s *Scheduler) idleSlice() {
 	st, _ := s.idx.RefineStep()
+	if s.tobs != nil {
+		s.tobs.SliceBudget.Observe(st.WorkSeconds)
+	}
+	s.noteConvergence()
 	s.mu.Lock()
 	s.idleSlices++
 	s.idleWorkSec += st.WorkSeconds
 	s.mu.Unlock()
+}
+
+// progressEventEpsilon filters sub-0.1% progress deltas out of the
+// timeline, so a long convergence does not evict the structural
+// events (seals, claims, checkpoints) from the bounded ring.
+const progressEventEpsilon = 1e-3
+
+// noteConvergence publishes progress deltas and phase transitions to
+// the table's timeline. Called only from the loop goroutine, so the
+// last-seen fields need no lock.
+func (s *Scheduler) noteConvergence() {
+	if s.tobs == nil {
+		return
+	}
+	p := s.idx.Progress()
+	if d := p - s.lastProgress; d >= progressEventEpsilon || -d >= progressEventEpsilon ||
+		(p >= 1 && s.lastProgress < 1) {
+		s.tobs.Timeline.Record(obs.EvProgress, -1, p, d)
+		s.lastProgress = p
+	}
+	if ph, ok := s.idx.Phase(); ok && (!s.phaseKnown || ph != s.lastPhase) {
+		prev := float64(s.lastPhase)
+		if !s.phaseKnown {
+			prev = -1
+		}
+		s.tobs.Timeline.Record(obs.EvPhase, -1, float64(ph), prev)
+		s.lastPhase, s.phaseKnown = ph, true
+	}
 }
 
 // collect drains queued tasks behind first into one batch, up to
@@ -334,6 +419,14 @@ func (s *Scheduler) collect(first *task) []*task {
 // executed, so a caller's next request always lands in a later batch.
 func (s *Scheduler) runBatch(batch []*task) {
 	started := time.Now()
+	for _, t := range batch {
+		if t.trace != nil {
+			// The root opened at admission; a closed queue_wait span
+			// makes the admission wait visible in the tree.
+			sp := t.trace.StartAt(t.trace.Root(), "queue_wait", t.enqueued)
+			t.trace.EndAt(sp, started)
+		}
+	}
 	results := make([]result, len(batch))
 	var (
 		reqIdx     []int // batch positions of the query tasks
@@ -369,7 +462,18 @@ func (s *Scheduler) runBatch(batch []*task) {
 		// table or under the always/off policies). If the sync fails,
 		// nothing in this batch was promised to disk — every append
 		// that thought it succeeded is un-acked.
-		if err := s.table.SyncLog(); err != nil {
+		syncStart := time.Now()
+		err := s.table.SyncLog()
+		syncEnd := time.Now()
+		for _, t := range batch {
+			if t.trace != nil {
+				// The sync is batch-level work every traced request in
+				// the batch waited on, so each trace carries it.
+				sp := t.trace.StartAt(t.trace.Root(), "wal_sync", syncStart)
+				t.trace.EndAt(sp, syncEnd)
+			}
+		}
+		if err != nil {
 			for _, i := range appendIdx {
 				results[i].err = err
 			}
@@ -383,15 +487,30 @@ func (s *Scheduler) runBatch(batch []*task) {
 	}
 	if len(reqIdx) > 0 {
 		reqs := make([]progidx.Request, len(reqIdx))
+		traced := false
 		for k, i := range reqIdx {
 			reqs[k] = batch[i].req
+			if batch[i].trace != nil {
+				traced = true
+			}
 		}
-		answers, errs := s.idx.ExecuteBatch(reqs)
+		answers, errs := s.executeQueries(reqs, reqIdx, batch, traced)
 		for k, i := range reqIdx {
 			results[i].ans, results[i].err = answers[k], errs[k]
 		}
+		if s.tobs != nil {
+			if errs[0] == nil {
+				// The batch leader carries the batch's one indexing
+				// budget; followers run with indexing suspended.
+				s.tobs.SliceBudget.Observe(answers[0].Stats.WorkSeconds)
+			}
+			if len(reqIdx) > 1 {
+				s.tobs.Timeline.Record(obs.EvSuspend, -1, float64(len(reqIdx)-1), 0)
+			}
+		}
 	}
 	finished := time.Now()
+	s.noteConvergence()
 
 	s.mu.Lock()
 	s.queries += uint64(len(reqIdx))
@@ -406,10 +525,91 @@ func (s *Scheduler) runBatch(batch []*task) {
 	}
 	s.mu.Unlock()
 
+	if s.tobs != nil {
+		s.tobs.BatchSize.Observe(float64(len(batch)))
+	}
+	slow := s.reg.SlowThreshold()
 	for i, t := range batch {
 		results[i].info = ExecInfo{Batch: len(batch), QueueWait: started.Sub(t.enqueued)}
+		s.observeTask(t, &results[i], started, finished, slow)
 		t.reply <- results[i]
 	}
+}
+
+// executeQueries dispatches one batch's query requests through the
+// handle. When any of them carries a trace and the handle implements
+// progidx.BatchTracer, the traced variant runs instead and each traced
+// query gets an "execute" span that the handle's children (index work,
+// per-shard fan-out, tail scan, merge) attach under via the trace's
+// attach point.
+func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch []*task, traced bool) ([]progidx.Answer, []error) {
+	bt, ok := s.idx.(progidx.BatchTracer)
+	if !traced || !ok {
+		return s.idx.ExecuteBatch(reqs)
+	}
+	traces := make([]*obs.Trace, len(reqs))
+	spans := make([]obs.SpanID, len(reqs))
+	for k, i := range reqIdx {
+		tr := batch[i].trace
+		traces[k] = tr
+		if tr == nil {
+			continue
+		}
+		sp := tr.Start(tr.Root(), "execute")
+		tr.Int(sp, "batch", int64(len(batch)))
+		tr.SetAttach(sp)
+		spans[k] = sp
+	}
+	answers, errs := bt.ExecuteBatchTraced(reqs, traces)
+	for k, tr := range traces {
+		if tr != nil {
+			tr.End(spans[k])
+		}
+	}
+	return answers, errs
+}
+
+// observeTask finishes one task's observability work: the
+// query-latency histogram, trace finalization into the registry ring,
+// the slow-query log line, and a retroactive coarse trace for slow
+// queries that were not sampled.
+func (s *Scheduler) observeTask(t *task, r *result, started, finished time.Time, slow time.Duration) {
+	isQuery := !t.isAppend && !t.checkpoint
+	lat := finished.Sub(t.enqueued)
+	if isQuery && s.tobs != nil {
+		s.tobs.QueryDur.Observe(lat.Seconds())
+	}
+	if t.trace != nil {
+		t.trace.FinishAt(finished)
+		if s.reg != nil {
+			s.reg.Traces.Add(t.trace)
+		}
+	}
+	if !isQuery || slow <= 0 || lat < slow {
+		return
+	}
+	if t.trace == nil && s.reg != nil {
+		// Not sampled: synthesize a coarse trace from the timestamps
+		// the loop already had, so /debug/traces still shows the slow
+		// query's queue/execute split even with sampling off.
+		tr := s.reg.NewRetro(s.table.Name(), t.enqueued)
+		sp := tr.StartAt(tr.Root(), "queue_wait", t.enqueued)
+		tr.EndAt(sp, started)
+		sp = tr.StartAt(tr.Root(), "execute", started)
+		tr.EndAt(sp, finished)
+		tr.FinishAt(finished)
+		s.reg.Traces.Add(tr)
+	}
+	s.reg.Logger().Warn("slow query",
+		slog.String("table", s.table.Name()),
+		slog.String("pred", t.req.Pred.String()),
+		slog.String("pred_kind", t.req.Pred.Kind.String()),
+		slog.String("phase", r.ans.Stats.Phase.String()),
+		slog.Int("shards_scanned", r.ans.Stats.ShardsScanned),
+		slog.Int("shards_pruned", r.ans.Stats.ShardsPruned),
+		slog.Int("batch", r.info.Batch),
+		slog.Duration("duration", lat),
+	)
 }
 
 // Metrics is a point-in-time snapshot of a scheduler's counters and

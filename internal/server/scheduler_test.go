@@ -21,7 +21,7 @@ func loadTable(t *testing.T, n int, opts catalog.Options) (*catalog.Table, *Sche
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := newScheduler(tbl, 0, 0)
+	sched := newScheduler(tbl, 0, 0, nil)
 	t.Cleanup(sched.Stop)
 	return tbl, sched
 }
@@ -258,7 +258,7 @@ func TestSchedulerShardedTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched := newScheduler(tbl, 0, 0)
+	sched := newScheduler(tbl, 0, 0, nil)
 	defer sched.Stop()
 
 	oracle := progidx.MustNew(vals, progidx.Options{Strategy: progidx.StrategyFullScan, Workers: 1})

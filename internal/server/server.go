@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/data"
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 // Config tunes the server; the zero value is fully usable.
@@ -55,6 +57,15 @@ type Config struct {
 	// SnapshotInterval is the background checkpoint cadence for durable
 	// tables (<= 0 means the 30s default). Only meaningful with Store.
 	SnapshotInterval time.Duration
+	// TraceSample traces one in every N queries at full per-shard
+	// fidelity into the /debug/traces ring. 0 disables sampling;
+	// ?trace=1 requests and slow queries are always traced.
+	TraceSample int
+	// SlowQuery is the latency threshold above which a query is logged
+	// and retro-traced (0 = the 250ms default, negative = disabled).
+	SlowQuery time.Duration
+	// Logger receives slow-query lines; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 const defaultMaxLoadRows = 100_000_000
@@ -63,6 +74,7 @@ const defaultMaxLoadRows = 100_000_000
 type Server struct {
 	cfg     Config
 	catalog *catalog.Catalog
+	obs     *obs.Registry
 	started time.Time
 
 	mu     sync.Mutex
@@ -89,18 +101,30 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		scheds:  make(map[string]*Scheduler),
 	}
+	s.obs = obs.NewRegistry(obs.Config{
+		SampleEvery: cfg.TraceSample,
+		SlowQuery:   cfg.SlowQuery,
+		Logger:      cfg.Logger,
+	})
 	if cfg.Store != nil {
 		s.catalog = catalog.NewDurable(cfg.Store)
 		s.boot.Store(bootStarting)
+		cfg.Store.SetSyncObserver(func(d time.Duration) {
+			s.obs.WALSync.Observe(d.Seconds())
+		})
 	} else {
 		s.catalog = catalog.New()
 		s.boot.Store(bootReady)
 	}
+	s.catalog.SetObservability(s.obs)
 	return s
 }
 
 // Catalog exposes the underlying catalog (tests, preloading).
 func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
+
+// Observability exposes the server's registry (tests, debug tooling).
+func (s *Server) Observability() *obs.Registry { return s.obs }
 
 // Load registers a table and starts its scheduler. It is the
 // programmatic twin of POST /tables, used by the daemon's preload flag
@@ -125,7 +149,7 @@ func (s *Server) Load(name string, values []int64, opts catalog.Options) (*catal
 	if err != nil {
 		return nil, err
 	}
-	sched := newScheduler(t, s.cfg.QueueDepth, s.cfg.MaxBatch)
+	sched := newScheduler(t, s.cfg.QueueDepth, s.cfg.MaxBatch, s.obs)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -220,6 +244,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /tables/{name}/append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /tables/{name}/debug", s.handleTableDebug)
 	return mux
 }
 
@@ -388,6 +414,10 @@ type StatsJSON struct {
 	Delta       float64 `json:"delta"`
 	WorkSeconds float64 `json:"work_seconds"`
 	Workers     int     `json:"workers"`
+	// ShardsScanned/ShardsPruned report the shard fan-out (both zero
+	// on unsharded tables).
+	ShardsScanned int `json:"shards_scanned,omitempty"`
+	ShardsPruned  int `json:"shards_pruned,omitempty"`
 }
 
 // QueryResponse is the query answer plus serving metadata. Optional
@@ -403,16 +433,21 @@ type QueryResponse struct {
 	Stats       StatsJSON `json:"stats"`
 	BatchSize   int       `json:"batch_size"`
 	QueueMicros int64     `json:"queue_us"`
+	// Trace is the query's span tree, present only on ?trace=1
+	// requests.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func queryResponse(ans progidx.Answer, info ExecInfo) QueryResponse {
 	resp := QueryResponse{
 		Count: ans.Count,
 		Stats: StatsJSON{
-			Phase:       ans.Stats.Phase.String(),
-			Delta:       ans.Stats.Delta,
-			WorkSeconds: ans.Stats.WorkSeconds,
-			Workers:     ans.Stats.Workers,
+			Phase:         ans.Stats.Phase.String(),
+			Delta:         ans.Stats.Delta,
+			WorkSeconds:   ans.Stats.WorkSeconds,
+			Workers:       ans.Stats.Workers,
+			ShardsScanned: ans.Stats.ShardsScanned,
+			ShardsPruned:  ans.Stats.ShardsPruned,
 		},
 		BatchSize:   info.Batch,
 		QueueMicros: info.QueueWait.Microseconds(),
@@ -451,17 +486,41 @@ type errorResponse struct {
 
 // --- handlers ---
 
+// ReplayProgress is one table's boot-time WAL replay state, reported
+// by /healthz while the server is recovering.
+type ReplayProgress struct {
+	FramesReplayed uint64 `json:"frames_replayed"`
+	TailFrames     uint64 `json:"tail_frames"`
+}
+
+// HealthResponse is the /healthz body. Recovery is present only while
+// the server replays WALs, keyed by table name.
+type HealthResponse struct {
+	Status   string                    `json:"status"`
+	Recovery map[string]ReplayProgress `json:"recovery,omitempty"`
+}
+
 // handleHealthz reports the boot lifecycle: starting|recovering|ready.
 // Non-ready states answer 503 so load balancers (and the load
 // generator's wait-for-ready poll) hold traffic during boot-time WAL
-// replay instead of racing tables that are still loading.
+// replay instead of racing tables that are still loading. While
+// recovering, the body carries per-table replay progress (WAL frames
+// replayed out of the tail total) instead of a bare 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	state := s.BootState()
 	code := http.StatusOK
 	if state != "ready" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": state})
+	resp := HealthResponse{Status: state}
+	if state == "recovering" {
+		resp.Recovery = make(map[string]ReplayProgress)
+		for _, ot := range s.obs.Tables() {
+			done, total := ot.Obs.Timeline.ReplayProgress()
+			resp.Recovery[ot.Name] = ReplayProgress{FramesReplayed: done, TailFrames: total}
+		}
+	}
+	writeJSON(w, code, resp)
 }
 
 // Request body caps: loads may carry large inline value arrays (the
@@ -577,10 +636,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ans, info, err := sched.Execute(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+	var (
+		ans   progidx.Answer
+		info  ExecInfo
+		trace *obs.Trace
+	)
+	if r.URL.Query().Get("trace") == "1" {
+		ans, info, trace, err = sched.ExecuteTraced(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+	} else {
+		ans, info, err = sched.Execute(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+	}
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, queryResponse(ans, info))
+		resp := queryResponse(ans, info)
+		if trace != nil {
+			resp.Trace = trace.Tree()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, ErrStopped):
 		writeError(w, http.StatusGone, fmt.Errorf("table %q dropped", name))
 	case r.Context().Err() != nil:
@@ -645,6 +717,78 @@ func (s *Server) tableStats() []TableStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// handleTraces returns the registry's retained traces (sampled,
+// ?trace=1 and slow-query retro traces), newest first, as nested span
+// trees.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.obs.Traces.Snapshot()
+	out := make([]*obs.TraceJSON, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// ShardDebug is one shard's deep-inspection state: the catalog's
+// ShardInfo plus this shard's share of the table's total access heat.
+type ShardDebug struct {
+	ID int `json:"id"`
+	progidx.ShardInfo
+	// HeatShare is this shard's fraction of the table's total heat —
+	// the weight the budget split gives it at query time.
+	HeatShare float64 `json:"heat_share"`
+}
+
+// TableDebug is the GET /tables/{name}/debug body: the table's info,
+// per-shard state, scheduler metrics, the convergence-timeline event
+// ring, and (when relevant) boot-time replay progress.
+type TableDebug struct {
+	catalog.Info
+	Scheduler Metrics         `json:"scheduler"`
+	ShardInfo []ShardDebug    `json:"shard_state,omitempty"`
+	Events    []obs.EventJSON `json:"events"`
+	Replay    *ReplayProgress `json:"replay,omitempty"`
+}
+
+// handleTableDebug is the deep-inspection surface for one table.
+func (s *Server) handleTableDebug(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := s.catalog.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("table %q not found", name))
+		return
+	}
+	resp := TableDebug{Info: t.Info()}
+	if sched, ok := s.Scheduler(name); ok {
+		resp.Scheduler = sched.Metrics()
+	}
+	if infos, ok := t.ShardStats(); ok {
+		var totalHeat uint64
+		for _, si := range infos {
+			totalHeat += si.Heat
+		}
+		resp.ShardInfo = make([]ShardDebug, len(infos))
+		for i, si := range infos {
+			sd := ShardDebug{ID: i, ShardInfo: si}
+			if totalHeat > 0 {
+				sd.HeatShare = float64(si.Heat) / float64(totalHeat)
+			}
+			resp.ShardInfo[i] = sd
+		}
+	}
+	if tobs := t.Obs(); tobs != nil {
+		events := tobs.Timeline.Snapshot()
+		resp.Events = make([]obs.EventJSON, len(events))
+		for i, e := range events {
+			resp.Events[i] = e.JSON()
+		}
+		if done, total := tobs.Timeline.ReplayProgress(); total > 0 {
+			resp.Replay = &ReplayProgress{FramesReplayed: done, TailFrames: total}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -736,6 +880,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		} {
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 		}
+	}
+	// Real histogram families, observed on the serving hot path with
+	// atomic adds (internal/obs): cumulative le buckets, _sum, _count.
+	obsTables := s.obs.Tables()
+	writeHistFamily := func(name, help string, pick func(*obs.Table) *obs.Histogram) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, ot := range obsTables {
+			pick(ot.Obs).Expose(&b, name, fmt.Sprintf("table=%q", ot.Name))
+		}
+	}
+	writeHistFamily("progidx_query_duration_seconds",
+		"End-to-end query latency (admission to reply).",
+		func(t *obs.Table) *obs.Histogram { return t.QueryDur })
+	writeHistFamily("progidx_batch_size",
+		"Tasks coalesced into one scheduler batch.",
+		func(t *obs.Table) *obs.Histogram { return t.BatchSize })
+	writeHistFamily("progidx_slice_budget_spent",
+		"Indexing budget spent per slice, in cost-model seconds.",
+		func(t *obs.Table) *obs.Histogram { return t.SliceBudget })
+	if s.cfg.Store != nil {
+		fmt.Fprintf(&b, "# HELP progidx_wal_sync_seconds WAL fsync latency.\n# TYPE progidx_wal_sync_seconds histogram\n")
+		s.obs.WALSync.Expose(&b, "progidx_wal_sync_seconds", "")
 	}
 	w.Write([]byte(b.String()))
 }

@@ -60,10 +60,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/column"
 	"repro/internal/costmodel"
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/query"
 )
@@ -205,7 +207,17 @@ type Sharded struct {
 	vmaxEnc int64
 
 	cur atomic.Pointer[view]
+
+	// sink, when set, receives convergence-timeline events (seal,
+	// claim). A nil sink costs one atomic load per event site; the
+	// Timeline's recording path itself never allocates, so events can
+	// fire from inside the structure locks.
+	sink atomic.Pointer[obs.Timeline]
 }
+
+// SetEventSink routes this table's structural events (tail seals,
+// cold-shard claims) into tl. Safe to call at any time; nil detaches.
+func (s *Sharded) SetEventSink(tl *obs.Timeline) { s.sink.Store(tl) }
 
 // Config sizes a Sharded index.
 type Config struct {
@@ -501,6 +513,7 @@ func (s *Sharded) sealLocked() ([]*state, error) {
 	shards := make([]*state, len(old)+1)
 	copy(shards, old)
 	shards[len(old)] = st
+	s.sink.Load().Record(obs.EvShardSeal, int32(len(old)), float64(st.end-st.start), 0)
 	return shards, nil
 }
 
@@ -649,7 +662,7 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 		})
 	}
 
-	return s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
+	return s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit, nil, obs.NoSpan)
 }
 
 // maybeClaim decodes at most one cold survivor whose heat has crossed
@@ -658,9 +671,10 @@ func (s *Sharded) Execute(req query.Request) (query.Answer, error) {
 // query path, and it is bounded to one shard per query so a scattered
 // predicate cannot stall on S decodes at once. The shard list is then
 // republished so the fresh view's all-converged switch restarts false.
-func (s *Sharded) maybeClaim(v *view, surv []int, heats []uint64) {
+// It returns the claimed shard's index, or -1 when nothing was claimed.
+func (s *Sharded) maybeClaim(v *view, surv []int, heats []uint64) int {
 	if s.claimHeat == 0 {
-		return
+		return -1
 	}
 	for k, i := range surv {
 		st := v.shards[i]
@@ -668,12 +682,15 @@ func (s *Sharded) maybeClaim(v *view, surv []int, heats []uint64) {
 			continue
 		}
 		if s.claim(st) {
+			s.sink.Load().Record(obs.EvShardClaim, int32(i), float64(st.end-st.start), 0)
 			s.amu.Lock()
 			s.publishLocked(s.cur.Load().shards)
 			s.amu.Unlock()
+			return i
 		}
-		return
+		return -1
 	}
+	return -1
 }
 
 // claim decompresses one cold shard and opens it for progressive
@@ -765,15 +782,21 @@ func coldPartial(agg column.Agg) partial {
 // numbers, so it merges last). Work stats are additive (each shard
 // really did that work); the phase reported is the furthest-behind
 // phase among the survivors, with a scanned tail pinning it to
-// creation — unindexed rows are by definition not past creation.
-func (s *Sharded) mergeAnswer(v *view, surv []int, parts []partial, aggs column.Aggregates, lo, hi int64, tailHit bool) (query.Answer, error) {
+// creation — unindexed rows are by definition not past creation. tr,
+// when non-nil, receives merge and tail-scan spans under parent (the
+// hot path passes nil, which costs a nil test per span site).
+func (s *Sharded) mergeAnswer(v *view, surv []int, parts []partial, aggs column.Aggregates, lo, hi int64, tailHit bool, tr *obs.Trace, parent obs.SpanID) (query.Answer, error) {
 	agg := column.NewAgg()
 	var stats query.Stats
 	stats.Workers = s.pool.Workers()
 	stats.Phase = query.PhaseDone
+	stats.ShardsScanned = len(surv)
+	stats.ShardsPruned = len(v.shards) - len(surv)
 	total := float64(v.rows)
+	ms := tr.Start(parent, "merge")
 	for k := range parts {
 		if parts[k].err != nil {
+			tr.End(ms)
 			return query.Answer{}, parts[k].err
 		}
 		agg.Merge(parts[k].agg)
@@ -788,8 +811,12 @@ func (s *Sharded) mergeAnswer(v *view, surv []int, parts []partial, aggs column.
 			stats.Phase = st.Phase
 		}
 	}
+	tr.End(ms)
 	if tailHit {
+		ts := tr.Start(parent, "tail_scan")
+		tr.Int(ts, "rows", int64(len(v.tail)))
 		agg.Merge(column.ParAggRange(s.pool, v.tail, lo, hi, aggs))
+		tr.End(ts)
 		stats.Phase = query.PhaseCreation
 	}
 	s.noteAllDone(v)
@@ -800,7 +827,7 @@ func (s *Sharded) mergeAnswer(v *view, surv []int, parts []partial, aggs column.
 // was pruned: zero work, with the phase a lock-free caller can still
 // know.
 func (s *Sharded) prunedStats(v *view) query.Stats {
-	st := query.Stats{Workers: s.pool.Workers()}
+	st := query.Stats{Workers: s.pool.Workers(), ShardsPruned: len(v.shards)}
 	if v.done.Load() {
 		st.Phase = query.PhaseDone
 	}
@@ -917,7 +944,7 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 		st.noteConverged()
 		parts[k] = partial{agg: query.AnswerAgg(ans), stats: ans.Stats, err: err}
 	}
-	ans, err := s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
+	ans, err := s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit, nil, obs.NoSpan)
 	return ans, true, err
 }
 
@@ -927,10 +954,26 @@ func (s *Sharded) TryExecute(req query.Request) (query.Answer, bool, error) {
 // Synchronized.ExecuteBatch. The whole batch runs against one
 // structure snapshot. Answers positionally match reqs.
 func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
+	return s.ExecuteBatchTraced(reqs, nil)
+}
+
+// ExecuteBatchTraced is ExecuteBatch with optional per-request span
+// recording: traces[qi], when non-nil, receives this request's
+// fan-out spans (one per shard — pruned shards get zero-duration
+// spans with zero scanned rows, survivors get kernel timing, budget
+// granted vs spent, rows touched, and encoding), plus tail-scan and
+// merge spans, all under traces[qi].AttachPoint(). A nil or short
+// traces slice is valid; untraced requests pay one nil test. The
+// scheduler reaches this through the progidx.BatchTracer assertion.
+func (s *Sharded) ExecuteBatchTraced(reqs []query.Request, traces []*obs.Trace) ([]query.Answer, []error) {
 	answers := make([]query.Answer, len(reqs))
 	errs := make([]error, len(reqs))
 	v := s.cur.Load()
 	for qi, req := range reqs {
+		var tr *obs.Trace
+		if qi < len(traces) {
+			tr = traces[qi]
+		}
 		lo, hi, aggs, err := query.Prepare(req, v.vmin, v.vmax)
 		if err != nil {
 			errs[qi] = err
@@ -938,7 +981,16 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 		}
 		surv := survivors(make([]int, 0, len(v.shards)), v.shards, lo, hi)
 		tailHit := v.tailHit(lo, hi)
+		fanout := tr.Start(tr.AttachPoint(), "shard_fanout")
+		if tr != nil {
+			tr.Int(fanout, "shards", int64(len(v.shards)))
+			tr.Int(fanout, "scanned", int64(len(surv)))
+			tr.Int(fanout, "pruned", int64(len(v.shards)-len(surv)))
+			tr.Bool(fanout, "tail_hit", tailHit)
+		}
 		if len(surv) == 0 && !tailHit {
+			s.tracePruned(tr, fanout, v, surv)
+			tr.End(fanout)
 			answers[qi] = query.NewAnswer(column.NewAgg(), aggs, s.prunedStats(v))
 			continue
 		}
@@ -948,6 +1000,13 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 			heats[k] = v.shards[i].heat.Add(1)
 			if !v.shards[i].converged.Load() {
 				allConverged = false
+			}
+		}
+		if qi == 0 {
+			// The batch leader carries the indexing budget, so it also
+			// carries the claim probe, exactly like a lone Execute.
+			if claimed := s.maybeClaim(v, surv, heats); claimed >= 0 && tr != nil {
+				tr.Int(fanout, "claimed_shard", int64(claimed))
 			}
 		}
 		var shares []float64
@@ -964,12 +1023,67 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 				if shares != nil {
 					scale = shares[k]
 				}
-				parts[k] = s.executeShard(v.shards[surv[k]], sub, lo, hi, scale, suspend)
+				if tr == nil {
+					parts[k] = s.executeShard(v.shards[surv[k]], sub, lo, hi, scale, suspend)
+					continue
+				}
+				parts[k] = s.executeShardTraced(v.shards[surv[k]], sub, lo, hi, scale, suspend, tr, fanout, surv[k])
 			}
 		})
-		answers[qi], errs[qi] = s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit)
+		s.tracePruned(tr, fanout, v, surv)
+		answers[qi], errs[qi] = s.mergeAnswer(v, surv, parts, aggs, lo, hi, tailHit, tr, tr.AttachPoint())
+		tr.End(fanout)
 	}
 	return answers, errs
+}
+
+// executeShardTraced wraps executeShard in a per-shard span: the span
+// duration is the shard's kernel + lock time, and the attributes
+// record what the budget split granted versus what the index actually
+// spent. Runs on pool workers; Trace recording is mutex-protected.
+func (s *Sharded) executeShardTraced(st *state, sub query.Request, lo, hi int64, scale float64, suspend bool, tr *obs.Trace, parent obs.SpanID, shardIdx int) partial {
+	sp := tr.Start(parent, "shard")
+	tr.Int(sp, "shard", int64(shardIdx))
+	tr.Int(sp, "rows", int64(st.end-st.start))
+	tr.Float(sp, "budget_scale", scale)
+	if suspend {
+		tr.Bool(sp, "suspended", true)
+	}
+	p := s.executeShard(st, sub, lo, hi, scale, suspend)
+	enc, _ := st.encodingInfo()
+	tr.Str(sp, "encoding", enc)
+	tr.Float(sp, "budget_spent_s", p.stats.WorkSeconds)
+	scanned := int64(p.stats.AlphaElems)
+	if scanned == 0 {
+		// Creation-phase scans touch the raw rows, not index-resident
+		// elements; the shard's row count is the honest figure.
+		scanned = int64(st.end - st.start)
+	}
+	tr.Int(sp, "rows_scanned", scanned)
+	tr.End(sp)
+	return p
+}
+
+// tracePruned emits one zero-duration, zero-work span per pruned
+// shard so a trace accounts for every shard the table has: the span
+// tree and ShardStats must tell the same story. surv is ascending.
+func (s *Sharded) tracePruned(tr *obs.Trace, parent obs.SpanID, v *view, surv []int) {
+	if tr == nil {
+		return
+	}
+	at := time.Now()
+	next := 0
+	for i := range v.shards {
+		if next < len(surv) && surv[next] == i {
+			next++
+			continue
+		}
+		sp := tr.StartAt(parent, "shard", at)
+		tr.Int(sp, "shard", int64(i))
+		tr.Bool(sp, "pruned", true)
+		tr.Int(sp, "rows_scanned", 0)
+		tr.EndAt(sp, at)
+	}
 }
 
 // idleRequest is the canonical no-client-query request RefineStep
@@ -1163,6 +1277,23 @@ func (s *Sharded) Phase() (query.Phase, bool) {
 	return min, true
 }
 
+// encodingInfo reports the shard's storage form and resident payload
+// size — the segment's kind and packed-word footprint while cold,
+// 8·rows raw otherwise. It takes the shared lock only for cold
+// shards.
+func (st *state) encodingInfo() (string, int) {
+	if st.cold.Load() {
+		st.mu.RLock()
+		if st.seg != nil {
+			k, b := st.seg.Kind().String(), st.seg.SizeBytes()
+			st.mu.RUnlock()
+			return k, b
+		}
+		st.mu.RUnlock()
+	}
+	return encode.KindRaw.String(), 8 * (st.end - st.start)
+}
+
 // Info is a point-in-time snapshot of one shard, for the stats
 // endpoints and the benchmark's pruning verification.
 type Info struct {
@@ -1174,6 +1305,9 @@ type Info struct {
 	Refines   uint64  `json:"refine_slices"`
 	Converged bool    `json:"converged"`
 	Progress  float64 `json:"convergence"`
+	// Phase is the shard index's lifecycle phase ("done" for
+	// converged and cold shards, "" when the strategy exposes none).
+	Phase string `json:"phase,omitempty"`
 	// Encoding is the shard's storage form ("raw" for decoded or
 	// raw-mode shards) and Bytes its resident payload size — 8·rows
 	// raw, the packed-word footprint while cold.
@@ -1196,18 +1330,11 @@ func (s *Sharded) ShardStats() []Info {
 			Heat:     st.heat.Load(),
 			Executes: st.executes.Load(),
 			Refines:  st.refines.Load(),
-			Encoding: encode.KindRaw.String(),
-			Bytes:    8 * (st.end - st.start),
 		}
+		info.Encoding, info.Bytes = st.encodingInfo()
 		if st.converged.Load() {
 			info.Converged, info.Progress = true, 1
-			if st.cold.Load() {
-				st.mu.RLock()
-				if st.seg != nil {
-					info.Encoding, info.Bytes = st.seg.Kind().String(), st.seg.SizeBytes()
-				}
-				st.mu.RUnlock()
-			}
+			info.Phase = query.PhaseDone.String()
 		} else {
 			st.mu.RLock()
 			info.Converged = st.idx.Converged()
@@ -1215,6 +1342,9 @@ func (s *Sharded) ShardStats() []Info {
 				info.Progress = p.Progress()
 			} else if info.Converged {
 				info.Progress = 1
+			}
+			if ph, ok := st.idx.(phaser); ok {
+				info.Phase = ph.Phase().String()
 			}
 			st.mu.RUnlock()
 		}

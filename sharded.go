@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/column"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -115,8 +116,33 @@ func NewHandleFromColumn(col *column.Column, opts Options) (Handle, error) {
 	return s, nil
 }
 
-// Both serving handles expose the same scheduler surface.
+// BatchTracer is the optional observability surface of the serving
+// handles: ExecuteBatch with per-request span recording into
+// obs.Trace (see DESIGN.md section 13). traces aligns positionally
+// with reqs; nil entries (or a nil/short slice) leave those requests
+// untraced at no cost beyond a pointer test. The scheduler
+// type-asserts for this only when a batch actually carries traced
+// queries, so the Handle interface — and any custom implementation —
+// stays trace-free.
+type BatchTracer interface {
+	ExecuteBatchTraced(reqs []Request, traces []*obs.Trace) ([]Answer, []error)
+}
+
+// EventSinkSetter is the optional convergence-timeline surface of the
+// serving handles: the catalog attaches each table's obs.Timeline so
+// structural transitions (tail seals, cold-shard claims, rebuild
+// swaps) land in the table's debug event stream.
+type EventSinkSetter interface {
+	SetEventSink(tl *obs.Timeline)
+}
+
+// Both serving handles expose the same scheduler surface, including
+// the optional observability interfaces.
 var (
-	_ Handle = (*Synchronized)(nil)
-	_ Handle = (*Sharded)(nil)
+	_ Handle          = (*Synchronized)(nil)
+	_ Handle          = (*Sharded)(nil)
+	_ BatchTracer     = (*Synchronized)(nil)
+	_ BatchTracer     = (*Sharded)(nil)
+	_ EventSinkSetter = (*Synchronized)(nil)
+	_ EventSinkSetter = (*Sharded)(nil)
 )

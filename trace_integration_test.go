@@ -1,0 +1,161 @@
+package progidx
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+)
+
+// findSpans walks a span tree depth-first collecting every span with
+// the given name.
+func findSpans(n *obs.SpanJSON, name string) []*obs.SpanJSON {
+	var out []*obs.SpanJSON
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		out = append(out, findSpans(c, name)...)
+	}
+	return out
+}
+
+// TestShardedTraceAgreesWithStats drives a traced batch through a
+// sharded handle and checks the span tree against the answer's own
+// shard accounting: every shard appears exactly once under the
+// fan-out span, pruned shards carry zero-work spans, and the
+// scanned/pruned split matches Stats.ShardsScanned/ShardsPruned.
+func TestShardedTraceAgreesWithStats(t *testing.T) {
+	const shards = 8
+	// Sorted values give the positional partition disjoint zone maps,
+	// so a narrow range demonstrably prunes the non-overlapping shards.
+	vals := make([]int64, 16_384)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h, err := NewSharded(vals, Options{Shards: shards, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := Request{Pred: Range(0, 500)}
+	tr := obs.NewTrace("query", "t")
+	answers, errs := h.ExecuteBatchTraced([]Request{req}, []*obs.Trace{tr})
+	tr.Finish()
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	ans := answers[0]
+	if ans.Stats.ShardsScanned+ans.Stats.ShardsPruned != shards {
+		t.Fatalf("stats cover %d shards, want %d", ans.Stats.ShardsScanned+ans.Stats.ShardsPruned, shards)
+	}
+	if ans.Stats.ShardsPruned == 0 {
+		t.Fatalf("narrow range pruned no shards: %+v", ans.Stats)
+	}
+
+	tree := tr.Tree()
+	fanouts := findSpans(tree.Root, "shard_fanout")
+	if len(fanouts) != 1 {
+		t.Fatalf("got %d shard_fanout spans, want 1", len(fanouts))
+	}
+	fo := fanouts[0]
+	if got := fo.Attrs["scanned"]; got != int64(ans.Stats.ShardsScanned) {
+		t.Errorf("fanout scanned attr = %v, want %d", got, ans.Stats.ShardsScanned)
+	}
+	if got := fo.Attrs["pruned"]; got != int64(ans.Stats.ShardsPruned) {
+		t.Errorf("fanout pruned attr = %v, want %d", got, ans.Stats.ShardsPruned)
+	}
+
+	shardSpans := findSpans(fo, "shard")
+	if len(shardSpans) != shards {
+		t.Fatalf("got %d shard spans, want %d (every shard accounted for)", len(shardSpans), shards)
+	}
+	seen := make(map[int64]bool)
+	var pruned, scanned int
+	for _, sp := range shardSpans {
+		id, ok := sp.Attrs["shard"].(int64)
+		if !ok || seen[id] {
+			t.Fatalf("shard span has bad/duplicate id attr %v", sp.Attrs["shard"])
+		}
+		seen[id] = true
+		if p, _ := sp.Attrs["pruned"].(bool); p {
+			pruned++
+			// The observable guarantee behind zone-map pruning: a pruned
+			// shard performs zero work and its span shows it.
+			if rows, _ := sp.Attrs["rows_scanned"].(int64); rows != 0 {
+				t.Errorf("pruned shard %d scanned %d rows, want 0", id, rows)
+			}
+			if sp.DurMicros != 0 {
+				t.Errorf("pruned shard %d has non-zero duration %dus", id, sp.DurMicros)
+			}
+		} else {
+			scanned++
+		}
+		// Span-tree invariant: children fit inside the parent's window.
+		if sp.StartMicros < fo.StartMicros ||
+			sp.StartMicros+sp.DurMicros > fo.StartMicros+fo.DurMicros {
+			t.Errorf("shard span %d [%d, %d] escapes fanout window [%d, %d]",
+				id, sp.StartMicros, sp.StartMicros+sp.DurMicros,
+				fo.StartMicros, fo.StartMicros+fo.DurMicros)
+		}
+	}
+	if pruned != ans.Stats.ShardsPruned || scanned != ans.Stats.ShardsScanned {
+		t.Errorf("trace shows %d scanned / %d pruned, stats say %d / %d",
+			scanned, pruned, ans.Stats.ShardsScanned, ans.Stats.ShardsPruned)
+	}
+
+	// The merged answer must be identical to an untraced execution.
+	h2, err := NewSharded(vals, Options{Shards: shards, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h2.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Sum != want.Sum || ans.Count != want.Count {
+		t.Errorf("traced answer (sum=%d count=%d) differs from untraced (sum=%d count=%d)",
+			ans.Sum, ans.Count, want.Sum, want.Count)
+	}
+}
+
+// TestSynchronizedTraceSpans checks the unsharded handle's traced
+// batch: each request gets an index span, and follower requests in
+// the batch are marked suspended.
+func TestSynchronizedTraceSpans(t *testing.T) {
+	vals := data.Uniform(8_192, 3)
+	h, err := NewHandle(vals, Options{Delta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{{Pred: Range(10, 1000)}, {Pred: Range(2000, 3000)}}
+	traces := []*obs.Trace{obs.NewTrace("query", "t"), obs.NewTrace("query", "t")}
+	bt, ok := h.(BatchTracer)
+	if !ok {
+		t.Fatal("handle does not implement BatchTracer")
+	}
+	_, errs := bt.ExecuteBatchTraced(reqs, traces)
+	for i, tr := range traces {
+		tr.Finish()
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		spans := findSpans(tr.Tree().Root, "index")
+		if len(spans) != 1 {
+			t.Fatalf("trace %d: got %d index spans, want 1", i, len(spans))
+		}
+		if _, ok := spans[0].Attrs["phase"].(string); !ok {
+			t.Errorf("trace %d: index span missing phase attr", i)
+		}
+		suspended, _ := spans[0].Attrs["suspended"].(bool)
+		if i == 0 && suspended {
+			t.Error("batch leader marked suspended")
+		}
+		if i > 0 && !suspended {
+			t.Error("batch follower not marked suspended")
+		}
+	}
+}
