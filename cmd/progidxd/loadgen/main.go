@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,8 +71,11 @@ func main() {
 		keep       = flag.Bool("keep", false, "leave the table loaded when done")
 		verifyOnly = flag.Bool("verify-only", false, "skip load and appends; verify an existing (recovered) table against the oracle for the same flags")
 		waitReady  = flag.Duration("wait-ready", 30*time.Second, "poll /healthz until the server reports ready (0 = don't wait)")
+		deadline   = flag.Int("deadline-ms", 0, "per-query deadline_ms sent with reader queries (0 = none)")
+		retries    = flag.Int("retries", 8, "max retries when the server sheds a request with 429")
 	)
 	flag.Parse()
+	maxRetries = *retries
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -120,6 +124,10 @@ func main() {
 		writerChecks atomic.Uint64
 	)
 	writerMode := *writers > 0
+	queryURL := base + "/tables/" + *table + "/query"
+	if *deadline > 0 {
+		queryURL += fmt.Sprintf("?deadline_ms=%d", *deadline)
+	}
 	start := time.Now()
 	for g := 0; g < *sessions; g++ {
 		wg.Add(1)
@@ -132,7 +140,7 @@ func main() {
 				req, wire := randomQuery(rng, int64(*n), writerMode)
 				qs := time.Now()
 				var resp server.QueryResponse
-				err := postJSON(client, base+"/tables/"+*table+"/query", wire, &resp, http.StatusOK)
+				err := postJSON(client, queryURL, wire, &resp, http.StatusOK)
 				local = append(local, time.Since(qs))
 				if err != nil {
 					failures.Add(1)
@@ -269,6 +277,10 @@ func main() {
 		fmt.Printf(", %.0f appended rows/s", float64(appendedRows.Load())/elapsed.Seconds())
 	}
 	fmt.Printf("; %d transport errors\n", failures.Load())
+	if shedCount.Load() > 0 {
+		fmt.Printf("loadgen: overload: %d requests shed (429), %d retried after backoff\n",
+			shedCount.Load(), retryCount.Load())
+	}
 
 	if writerMode {
 		if *verifyOnly {
@@ -438,24 +450,67 @@ func pct(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i].Round(time.Microsecond)
 }
 
+// Overload accounting: a 429 is load shedding, not a failure — the
+// server is explicitly asking the client to slow down, and a client
+// that counts it as an error (or hammers on regardless) defeats the
+// protection. postJSON honors the Retry-After hint with jittered
+// backoff and retries up to maxRetries times; only exhausting the
+// retry budget surfaces as an error.
+var (
+	shedCount  atomic.Uint64 // 429 responses received
+	retryCount atomic.Uint64 // backoff-then-retry cycles taken
+	maxRetries int           // set from -retries in main
+)
+
 func postJSON(client *http.Client, url string, body, out any, wantStatus int) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && wantStatus != http.StatusTooManyRequests {
+			shedCount.Add(1)
+			if attempt >= maxRetries {
+				return fmt.Errorf("%s: still shed (429) after %d retries: %s", url, attempt, bytes.TrimSpace(payload))
+			}
+			retryCount.Add(1)
+			time.Sleep(shedBackoff(retryAfter, attempt))
+			continue
+		}
+		if resp.StatusCode != wantStatus {
+			return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(payload))
+		}
+		if out != nil {
+			return json.Unmarshal(payload, out)
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	payload, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != wantStatus {
-		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(payload))
+}
+
+// shedBackoff converts the server's Retry-After hint (whole seconds)
+// into a sleep: capped at 2s so an over-capacity smoke run still
+// finishes, and jittered to half-to-full so concurrent sessions spread
+// their retry waves instead of re-colliding. Without a usable hint it
+// doubles from 100ms per attempt.
+func shedBackoff(retryAfter string, attempt int) time.Duration {
+	if attempt > 4 {
+		attempt = 4
 	}
-	if out != nil {
-		return json.Unmarshal(payload, out)
+	d := 100 * time.Millisecond << uint(attempt)
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
 	}
-	return nil
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 func getJSON(client *http.Client, url string, out any) error {

@@ -50,6 +50,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/data"
 	"repro/internal/durable"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -64,6 +65,10 @@ func main() {
 		datadir  = flag.String("datadir", "", "durability directory (empty = in-memory only; tables there are recovered on boot)")
 		fsync    = flag.String("fsync", "batch", "WAL fsync policy: always (per append), batch (per admission batch), off")
 		snapIvl  = flag.Duration("snapshot-interval", 0, "background snapshot cadence for durable tables (0 = default 30s)")
+		deadline = flag.Duration("default-deadline", 0, "default per-query deadline clamping the indexing budget (0 = none; ?deadline_ms= overrides)")
+
+		faultSpec = flag.String("fault", "", "fault-injection spec for chaos testing, e.g. 'wal.sync=error,after=100,count=3;snapshot.write=latency,d=50ms' (requires -datadir)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's deterministic RNG")
 
 		debugAddr   = flag.String("debug-addr", "", "separate listener exposing net/http/pprof (empty = disabled)")
 		slowQuery   = flag.Duration("slow-query", 0, "slow-query log threshold (0 = default 250ms, negative = disabled)")
@@ -90,11 +95,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "progidxd:", err)
 			os.Exit(1)
 		}
-		store, err = durable.Open(*datadir, policy)
+		fs := fault.OS()
+		if *faultSpec != "" {
+			rules, err := fault.ParseSpec(*faultSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "progidxd:", err)
+				os.Exit(1)
+			}
+			in := fault.NewInjector(*faultSeed, rules...)
+			fs = fault.Injecting(fs, in)
+			fmt.Printf("progidxd: fault injection armed (seed %d): %s\n", *faultSeed, in)
+		}
+		store, err = durable.OpenFS(*datadir, policy, fs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "progidxd:", err)
 			os.Exit(1)
 		}
+	} else if *faultSpec != "" {
+		fmt.Fprintln(os.Stderr, "progidxd: -fault requires -datadir (faults inject into the durability layer)")
+		os.Exit(1)
 	}
 	srv := server.New(server.Config{
 		QueueDepth:       *queue,
@@ -103,6 +122,7 @@ func main() {
 		SnapshotInterval: *snapIvl,
 		TraceSample:      *traceSample,
 		SlowQuery:        *slowQuery,
+		DefaultDeadline:  *deadline,
 		Logger:           logger,
 	})
 

@@ -604,6 +604,47 @@ func (s *Synchronized) ExecuteBatchTraced(reqs []Request, traces []*obs.Trace) (
 	return answers, errs
 }
 
+// ExecuteBatchClamped is ExecuteBatch with the indexing budget clamped
+// to zero: every request — the leader included — runs with refinement
+// suspended, and no rebuild slice is driven, so the batch costs only
+// the lookups themselves. The scheduler uses this when a batch's
+// deadline has no headroom for an indexing slice; answers are exact
+// either way, the table just does not converge on this batch's dime.
+// Strategies that cannot suspend degrade to their normal per-request
+// work, which keeps answers correct at the cost of the clamp.
+func (s *Synchronized) ExecuteBatchClamped(reqs []Request) ([]Answer, []error) {
+	answers := make([]Answer, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return answers, errs
+	}
+	if s.converged.Load() {
+		s.mu.RLock()
+		if s.converged.Load() {
+			defer s.mu.RUnlock()
+			for i, req := range reqs {
+				answers[i], errs[i] = s.inner.Execute(req)
+			}
+			return answers, errs
+		}
+		s.mu.RUnlock() // an Append slipped in; take the write path
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp, suspendable := s.inner.(IndexingSuspender)
+	if suspendable {
+		sp.SetIndexingSuspended(true)
+	}
+	for i, req := range reqs {
+		answers[i], errs[i] = s.answerLocked(req)
+	}
+	if suspendable {
+		sp.SetIndexingSuspended(false)
+	}
+	s.noteConverged()
+	return answers, errs
+}
+
 // traceIndexSpan closes an "index" span with the answer's work stats.
 func (s *Synchronized) traceIndexSpan(tr *obs.Trace, sp obs.SpanID, ans Answer) {
 	if tr == nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/column"
 	"repro/internal/encode"
+	"repro/internal/fault"
 )
 
 // Snapshot file layout:
@@ -90,7 +91,7 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 
 // writeSnapshot durably writes a snapshot file for meta+values into
 // dir, then syncs the directory so the rename is durable too.
-func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error) {
+func writeSnapshot(dir string, fs fault.FS, meta snapshotMeta, values []int64) (retErr error) {
 	if meta.Rows != len(values) {
 		return fmt.Errorf("durable: snapshot meta rows %d != %d values", meta.Rows, len(values))
 	}
@@ -112,7 +113,7 @@ func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error)
 		return err
 	}
 	final := filepath.Join(dir, snapshotName(meta.Seq))
-	tmp, err := os.CreateTemp(dir, ".snap-*")
+	tmp, err := fs.CreateTemp(fault.OpSnapshotWrite, dir, ".snap-*")
 	if err != nil {
 		return err
 	}
@@ -166,7 +167,7 @@ func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error)
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := fs.Rename(fault.OpSnapshotWrite, tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
@@ -174,9 +175,9 @@ func writeSnapshot(dir string, meta snapshotMeta, values []int64) (retErr error)
 }
 
 // readSnapshot loads and verifies one snapshot file.
-func readSnapshot(path string) (snapshotMeta, []int64, error) {
+func readSnapshot(path string, fs fault.FS) (snapshotMeta, []int64, error) {
 	var meta snapshotMeta
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(fault.OpRecoveryRead, path)
 	if err != nil {
 		return meta, nil, err
 	}
@@ -248,13 +249,13 @@ func listSnapshots(dir string) ([]uint64, error) {
 // A snapshot that fails verification costs only a longer WAL replay —
 // unless it was the base (seq 0) snapshot, in which case the caller
 // reports the table unrecoverable.
-func newestValidSnapshot(dir string) (snapshotMeta, []int64, bool, error) {
+func newestValidSnapshot(dir string, fs fault.FS) (snapshotMeta, []int64, bool, error) {
 	seqs, err := listSnapshots(dir)
 	if err != nil {
 		return snapshotMeta{}, nil, false, err
 	}
 	for i := len(seqs) - 1; i >= 0; i-- {
-		meta, values, err := readSnapshot(filepath.Join(dir, snapshotName(seqs[i])))
+		meta, values, err := readSnapshot(filepath.Join(dir, snapshotName(seqs[i])), fs)
 		if err == nil {
 			return meta, values, true, nil
 		}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // TableMeta is the durable copy of a table's catalog options, stored in
@@ -79,6 +81,7 @@ func encodeName(name string) string {
 type Store struct {
 	dir    string
 	policy SyncPolicy
+	fs     fault.FS // injectable filesystem (fault.OS() unless OpenFS said otherwise)
 
 	mu     sync.Mutex
 	tables map[string]*TableLog
@@ -115,8 +118,20 @@ func (s *Store) observeSync(d time.Duration) {
 // Open prepares (creating if needed) a durability root at dir. Any
 // half-dropped tables left in .trash by a crash are cleared.
 func Open(dir string, policy SyncPolicy) (*Store, error) {
+	return OpenFS(dir, policy, fault.OS())
+}
+
+// OpenFS is Open with an injectable filesystem: WAL appends and
+// fsyncs, snapshot writes and recovery reads all route through fs, so
+// tests (and the daemon's -fault flag) can inject disk failures at
+// those points. Directory-level metadata operations (mkdir, listing,
+// pruning) stay on the real filesystem.
+func OpenFS(dir string, policy SyncPolicy, fs fault.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("durable: empty data directory")
+	}
+	if fs == nil {
+		fs = fault.OS()
 	}
 	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
 		return nil, err
@@ -127,7 +142,7 @@ func Open(dir string, policy SyncPolicy) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, trashDir), 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, policy: policy, tables: make(map[string]*TableLog)}, nil
+	return &Store{dir: dir, policy: policy, fs: fs, tables: make(map[string]*TableLog)}, nil
 }
 
 // Dir returns the durability root path.
@@ -188,7 +203,7 @@ func (s *Store) Create(name string, meta TableMeta, createdAt int64, values []in
 		CreatedAt: createdAt,
 		Meta:      meta,
 	}
-	if err := writeSnapshot(dir, base, values); err != nil {
+	if err := writeSnapshot(dir, s.fs, base, values); err != nil {
 		return nil, err
 	}
 	man, err := json.Marshal(manifest{Name: name, CreatedAt: createdAt, Meta: meta})
@@ -215,7 +230,7 @@ func (s *Store) Create(name string, meta TableMeta, createdAt int64, values []in
 // openTableLog registers a live TableLog for name whose next WAL frame
 // is nextSeq and whose newest snapshot covers coveredSeq.
 func (s *Store) openTableLog(name, dir string, nextSeq, coveredSeq uint64) (*TableLog, error) {
-	w, err := openWAL(dir, s.policy, nextSeq)
+	w, err := openWAL(dir, s.policy, s.fs, nextSeq)
 	if err != nil {
 		return nil, err
 	}
@@ -348,14 +363,14 @@ func (s *Store) recoverTable(dir string) (Recovered, error) {
 	if man.Name == "" {
 		return rec, fmt.Errorf("manifest: empty table name")
 	}
-	meta, base, ok, err := newestValidSnapshot(dir)
+	meta, base, ok, err := newestValidSnapshot(dir, s.fs)
 	if err != nil {
 		return rec, err
 	}
 	if !ok {
 		return rec, fmt.Errorf("no valid snapshot")
 	}
-	res, err := replayWAL(dir, meta.Seq)
+	res, err := replayWAL(dir, s.fs, meta.Seq)
 	if err != nil {
 		return rec, err
 	}
@@ -512,7 +527,7 @@ func (t *TableLog) WriteCheckpoint(cp Checkpoint) error {
 		CreatedAt:  cp.CreatedAt,
 		Meta:       cp.Meta,
 	}
-	if err := writeSnapshot(t.dir, meta, cp.Rows); err != nil {
+	if err := writeSnapshot(t.dir, t.store.fs, meta, cp.Rows); err != nil {
 		return err
 	}
 	t.store.snapshots.Add(1)

@@ -1,0 +1,93 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestTornAppendRepairedInline: a torn (partial) WAL write is repaired
+// by the writer immediately — the failed frame's bytes are truncated
+// away — so frames appended and acked afterwards are NOT stranded
+// behind an unreadable region: replay must yield exactly the
+// successful appends, in order, with no torn-tail warning.
+func TestTornAppendRepairedInline(t *testing.T) {
+	dir := t.TempDir()
+	// The wal.append op counter sees the segment-create OpenFile first
+	// (op 1) and the first frame's Write second (op 2); tearing op 3
+	// hits the second frame's Write.
+	in := fault.NewInjector(7, fault.Rule{Op: fault.OpWALAppend, Kind: fault.KindTorn, After: 2, Count: 1})
+	s, err := OpenFS(dir, SyncBatch, fault.Injecting(fault.OS(), in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := s.Create("demo", TableMeta{Strategy: "pq"}, 1, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append([]int64{10, 11}); err != nil {
+		t.Fatalf("append A: %v", err)
+	}
+	if _, err := log.Append([]int64{20, 21, 22}); err == nil {
+		t.Fatal("append B survived an injected torn write")
+	}
+	if got := in.Fired(fault.OpWALAppend); got != 1 {
+		t.Fatalf("injected %d torn writes, want 1 (op offsets shifted?)", got)
+	}
+	// The log stays appendable and the sequence is not burned: C takes
+	// the seq the torn B never durably claimed.
+	seqC, err := log.Append([]int64{30})
+	if err != nil {
+		t.Fatalf("append C after repaired tear: %v", err)
+	}
+	if seqC != 2 {
+		t.Fatalf("append C seq = %d, want 2", seqC)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, errs, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		t.Fatalf("recover error: %v", e)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d tables, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Repaired {
+		t.Fatal("replay repaired a torn tail: the writer should have repaired it inline")
+	}
+	want := [][]int64{{10, 11}, {30}}
+	if len(rec.Batches) != len(want) {
+		t.Fatalf("recovered %d batches %v, want %v", len(rec.Batches), rec.Batches, want)
+	}
+	for i := range want {
+		if !eq(rec.Batches[i], want[i]) {
+			t.Fatalf("batch %d = %v, want %v", i, rec.Batches[i], want[i])
+		}
+	}
+}
+
+// TestTornAppendUnrepairableBreaksLog: if the tail truncation itself
+// fails, the log must refuse all further appends — acking frames it
+// would strand behind the unreadable tear would be a silent-loss bug.
+func TestTornAppendUnrepairableBreaksLog(t *testing.T) {
+	w := &wal{dir: t.TempDir(), policy: SyncOff, fs: fault.OS(), nextSeq: 1,
+		broken: errors.New("durable: WAL unwritable (test)")}
+	if _, err := w.append([]int64{1}); err == nil || err != w.broken {
+		t.Fatalf("append on broken log = %v, want the sticky poison error", err)
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // SyncPolicy selects when WAL writes are fsynced.
@@ -147,7 +149,14 @@ func readFrame(r io.Reader) (seq uint64, values []int64, err error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, errTornFrame // short header: torn mid-write
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, errTornFrame // short header: torn mid-write
+		}
+		// A real read error (failing disk, injected fault) is not a torn
+		// tail: truncating here would destroy acked frames the device
+		// might still yield. Surface it so recovery fails this table
+		// loudly instead of silently repairing away good data.
+		return 0, nil, err
 	}
 	seq = binary.LittleEndian.Uint64(hdr[0:8])
 	n := binary.LittleEndian.Uint32(hdr[8:12])
@@ -157,7 +166,10 @@ func readFrame(r io.Reader) (seq uint64, values []int64, err error) {
 	}
 	payload := make([]byte, 8*int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, errTornFrame // short payload
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, errTornFrame // short payload
+		}
+		return 0, nil, err
 	}
 	crc := crc32.Update(0, castagnoli, hdr[0:12])
 	crc = crc32.Update(crc, castagnoli, payload)
@@ -182,11 +194,18 @@ var errTornFrame = fmt.Errorf("durable: torn or corrupt WAL frame")
 type wal struct {
 	dir    string
 	policy SyncPolicy
+	fs     fault.FS // the injectable filesystem seam (fault.OS() in production)
 
-	f        *os.File // active segment (nil until first write after open)
-	segStart uint64   // first sequence number of the active segment
-	nextSeq  uint64   // sequence number the next frame receives
-	dirty    bool     // unsynced bytes in f
+	f        fault.File // active segment (nil until first write after open)
+	segStart uint64     // first sequence number of the active segment
+	nextSeq  uint64     // sequence number the next frame receives
+	dirty    bool       // unsynced bytes in f
+	off      int64      // bytes of fully written frames in the active segment
+	// broken is set when a torn write could not be truncated away: the
+	// log refuses further appends, because frames written after an
+	// unreadable region would be stranded — replay stops at the tear
+	// and would silently discard them even though they were acked.
+	broken error
 
 	scratch []byte // frame encode buffer, reused across appends
 }
@@ -195,19 +214,27 @@ type wal struct {
 // previous frame still exists it is reopened for append (recovery has
 // already truncated any torn tail); otherwise the first write creates a
 // fresh segment named nextSeq.
-func openWAL(dir string, policy SyncPolicy, nextSeq uint64) (*wal, error) {
-	w := &wal{dir: dir, policy: policy, nextSeq: nextSeq}
+func openWAL(dir string, policy SyncPolicy, fs fault.FS, nextSeq uint64) (*wal, error) {
+	w := &wal{dir: dir, policy: policy, fs: fs, nextSeq: nextSeq}
 	starts, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(starts) > 0 {
 		last := starts[len(starts)-1]
-		f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		path := filepath.Join(dir, segmentName(last))
+		f, err := fs.OpenFile(fault.OpWALAppend, path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("durable: reopen WAL segment: %w", err)
 		}
-		w.f, w.segStart = f, last
+		st, err := os.Stat(path)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Recovery already truncated any torn tail, so the current size
+		// is exactly the fully-written frames.
+		w.f, w.segStart, w.off = f, last, st.Size()
 	}
 	return w, nil
 }
@@ -233,6 +260,9 @@ func listSegments(dir string) ([]uint64, error) {
 // under the always policy. The frame is durable only after sync under
 // the batch policy.
 func (w *wal) append(values []int64) (uint64, error) {
+	if w.broken != nil {
+		return 0, w.broken
+	}
 	if w.f == nil {
 		if err := w.roll(); err != nil {
 			return 0, err
@@ -241,11 +271,19 @@ func (w *wal) append(values []int64) (uint64, error) {
 	seq := w.nextSeq
 	w.scratch = appendFrame(w.scratch, seq, values)
 	if _, err := w.f.Write(w.scratch); err != nil {
-		// A short write leaves a torn frame at the tail; recovery
-		// truncates it, so the failed append is simply not durable —
-		// exactly what the caller's error reports.
+		// A short write leaves a torn frame at the tail. Repair it
+		// right now, not at the next recovery: frames appended (and
+		// acked!) after an unreadable region would be stranded behind
+		// it — replay stops at the tear and truncates everything past
+		// it. With the tear cut away the failed append is simply not
+		// durable, exactly what the caller's error reports, and the
+		// log stays appendable.
+		if terr := os.Truncate(filepath.Join(w.dir, segmentName(w.segStart)), w.off); terr != nil {
+			w.broken = fmt.Errorf("durable: WAL unwritable (torn tail could not be repaired): %w", terr)
+		}
 		return 0, fmt.Errorf("durable: WAL append: %w", err)
 	}
+	w.off += int64(len(w.scratch))
 	w.nextSeq++
 	w.dirty = true
 	if w.policy == SyncAlways {
@@ -283,11 +321,15 @@ func (w *wal) roll() error {
 		}
 		w.f = nil
 	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.nextSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND matters for torn-write repair: every write lands at EOF,
+	// so after a failed write's truncate the next frame starts exactly at
+	// the repaired tail instead of the fd's stale offset (which would
+	// leave an unreadable hole stranding every frame behind it).
+	f, err := w.fs.OpenFile(fault.OpWALAppend, filepath.Join(w.dir, segmentName(w.nextSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("durable: create WAL segment: %w", err)
 	}
-	w.f, w.segStart = f, w.nextSeq
+	w.f, w.segStart, w.off = f, w.nextSeq, 0
 	w.dirty = false
 	return syncDir(w.dir)
 }
@@ -340,7 +382,7 @@ type replayResult struct {
 // corrupt frame ends the replay, the segment is truncated at the last
 // good offset, and any later segments (which could only exist through
 // corruption — frames are written strictly in order) are deleted.
-func replayWAL(dir string, coveredSeq uint64) (replayResult, error) {
+func replayWAL(dir string, fs fault.FS, coveredSeq uint64) (replayResult, error) {
 	res := replayResult{lastSeq: coveredSeq}
 	starts, err := listSegments(dir)
 	if err != nil {
@@ -348,7 +390,7 @@ func replayWAL(dir string, coveredSeq uint64) (replayResult, error) {
 	}
 	for si, start := range starts {
 		path := filepath.Join(dir, segmentName(start))
-		torn, err := replaySegment(path, coveredSeq, &res)
+		torn, err := replaySegment(path, fs, coveredSeq, &res)
 		if err != nil {
 			return res, err
 		}
@@ -367,8 +409,8 @@ func replayWAL(dir string, coveredSeq uint64) (replayResult, error) {
 
 // replaySegment replays one segment file into res, returning whether a
 // torn tail was found (and truncated).
-func replaySegment(path string, coveredSeq uint64, res *replayResult) (torn bool, err error) {
-	f, err := os.Open(path)
+func replaySegment(path string, fs fault.FS, coveredSeq uint64, res *replayResult) (torn bool, err error) {
+	f, err := fs.OpenFile(fault.OpRecoveryRead, path, os.O_RDONLY, 0)
 	if err != nil {
 		return false, err
 	}
@@ -381,7 +423,7 @@ func replaySegment(path string, coveredSeq uint64, res *replayResult) (torn bool
 			return false, nil
 		}
 		if err == errTornFrame {
-			return true, truncateAt(path, f, goodOffset)
+			return true, truncateAt(path, fs, f, goodOffset)
 		}
 		if err != nil {
 			return false, err
@@ -395,7 +437,7 @@ func replaySegment(path string, coveredSeq uint64, res *replayResult) (torn bool
 			// corruption (or replaying against an older snapshot than
 			// the one that pruned these segments); treat it like a torn
 			// tail — replay keeps the longest consistent prefix.
-			return true, truncateAt(path, f, goodOffset)
+			return true, truncateAt(path, fs, f, goodOffset)
 		}
 		res.batches = append(res.batches, values)
 		res.lastSeq = seq
@@ -406,12 +448,12 @@ func replaySegment(path string, coveredSeq uint64, res *replayResult) (torn bool
 // truncateAt cuts the segment at offset — the last byte of the final
 // valid frame — removing the torn tail, and syncs the result so the
 // repair itself is durable.
-func truncateAt(path string, f *os.File, offset int64) error {
+func truncateAt(path string, fs fault.FS, f fault.File, offset int64) error {
 	f.Close() // opened read-only; reopen for truncation
-	if err := os.Truncate(path, offset); err != nil {
+	if err := fs.Truncate(fault.OpRecoveryRead, path, offset); err != nil {
 		return fmt.Errorf("durable: truncate torn WAL tail: %w", err)
 	}
-	wf, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	wf, err := fs.OpenFile(fault.OpRecoveryRead, path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}

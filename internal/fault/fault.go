@@ -1,0 +1,246 @@
+// Package fault is a deterministic, seedable fault injector for the
+// durability layer's disk I/O. The serving stack promises bounded
+// per-query latency and ack-after-WAL durability; whether those
+// promises hold under a failing disk is only testable if every
+// disk-failure branch can be reached on demand. This package makes
+// them reachable: internal/durable performs its file I/O through the
+// small FS interface below, and an Injector wraps the real filesystem
+// to fire errors, added latency, or torn (partial) writes at named
+// operation points — WAL append, WAL fsync, snapshot write, recovery
+// read — under rules that are reproducible from a seed.
+//
+// The zero-cost default is OS(): a passthrough to package os with no
+// indirection beyond one interface call. Tests (and the daemon's
+// -fault flag) build an Injector from rules and wrap the base
+// filesystem with Injecting.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op names one failure-injection point in the durability layer. Rules
+// match on it, and files opened through FS are tagged with the op
+// their reads/writes belong to.
+type Op uint8
+
+const (
+	// OpWALAppend: writing a frame into a WAL segment (including
+	// creating or reopening the segment file).
+	OpWALAppend Op = iota
+	// OpWALSync: fsyncing a WAL segment — the call the scheduler's
+	// ack-after-WAL ordering waits on.
+	OpWALSync
+	// OpSnapshotWrite: writing, fsyncing, or renaming a snapshot file
+	// (the temp + fsync + rename protocol).
+	OpSnapshotWrite
+	// OpRecoveryRead: reading snapshots or WAL segments during
+	// recovery, including the torn-tail truncation repair.
+	OpRecoveryRead
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpWALAppend:     "wal.append",
+	OpWALSync:       "wal.sync",
+	OpSnapshotWrite: "snapshot.write",
+	OpRecoveryRead:  "recovery.read",
+}
+
+// String returns the op's spec spelling (e.g. "wal.sync").
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// ParseOp inverts Op.String.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown op %q (want wal.append|wal.sync|snapshot.write|recovery.read)", s)
+}
+
+// Kind selects what a firing rule does to the operation.
+type Kind uint8
+
+const (
+	// KindError fails the operation with the rule's error.
+	KindError Kind = iota
+	// KindLatency delays the operation by the rule's Latency, then
+	// lets it proceed normally.
+	KindLatency
+	// KindTorn writes a prefix of the requested bytes and then fails —
+	// the on-disk signature of a crash mid-write. Only meaningful for
+	// write ops; on reads it degrades to KindError.
+	KindTorn
+)
+
+var kindNames = []string{KindError: "error", KindLatency: "latency", KindTorn: "torn"}
+
+// String returns the kind's spec spelling.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// ErrInjected is the default error a KindError (or KindTorn) rule
+// fails an operation with. Callers distinguishing injected failures
+// from real ones can errors.Is against it.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule arms one fault at one op. A rule fires when all its gates pass,
+// evaluated against the count of matching operations seen so far:
+// the first After matches are skipped, then every Every-th match is a
+// candidate (1 or 0 = all of them), each candidate fires with
+// probability Prob (0 means 1.0), and at most Count total firings
+// happen (0 = unlimited).
+type Rule struct {
+	Op      Op
+	Kind    Kind
+	After   int           // skip the first After matching operations
+	Every   int           // then fire on every Every-th match (<=1 = each)
+	Count   int           // stop after Count firings (0 = unlimited)
+	Prob    float64       // firing probability per candidate (0 = always)
+	Latency time.Duration // KindLatency: the injected delay
+	Err     error         // the injected error (nil = ErrInjected)
+}
+
+// Injector evaluates rules deterministically: the same seed, rules and
+// operation sequence produce the same firings. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []armedRule
+	seen  [numOps]uint64
+	fired [numOps]uint64
+}
+
+type armedRule struct {
+	Rule
+	seen  int // matching ops this rule has observed
+	fired int // times this rule has fired
+}
+
+// NewInjector arms rules under a deterministic seed.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		in.rules = append(in.rules, armedRule{Rule: r})
+	}
+	return in
+}
+
+// decision is what the injector tells a call site to do.
+type decision struct {
+	err     error
+	latency time.Duration
+	torn    bool
+}
+
+// check records one occurrence of op and returns the injected
+// behavior, if any rule fired. The first firing rule wins; latency
+// rules compose with nothing (a delayed op proceeds normally).
+func (in *Injector) check(op Op) decision {
+	if in == nil {
+		return decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[op]++
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != op {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Every > 1 && (r.seen-r.After-1)%r.Every != 0 {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.fired[op]++
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		switch r.Kind {
+		case KindLatency:
+			return decision{latency: r.Latency}
+		case KindTorn:
+			return decision{err: fmt.Errorf("fault: torn write at %s: %w", op, err), torn: true}
+		default:
+			return decision{err: fmt.Errorf("fault: %s: %w", op, err)}
+		}
+	}
+	return decision{}
+}
+
+// tornPrefix picks how many of n bytes a torn write persists: a
+// deterministic draw in [0, n).
+func (in *Injector) tornPrefix(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Seen reports how many operations at op the injector has observed.
+func (in *Injector) Seen(op Op) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seen[op]
+}
+
+// Fired reports how many faults the injector has injected at op.
+func (in *Injector) Fired(op Op) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[op]
+}
+
+// String summarizes the armed rules (for the daemon's boot log).
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: off"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.rules) == 0 {
+		return "fault: no rules"
+	}
+	s := "fault:"
+	for i := range in.rules {
+		r := &in.rules[i]
+		s += fmt.Sprintf(" [%s=%s after=%d every=%d count=%d prob=%g]",
+			r.Op, r.Kind, r.After, r.Every, r.Count, r.Prob)
+	}
+	return s
+}

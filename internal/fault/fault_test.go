@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRuleGates(t *testing.T) {
+	// after=2 count=2: ops 3 and 4 fail, everything else passes.
+	in := NewInjector(1, Rule{Op: OpWALSync, Kind: KindError, After: 2, Count: 2})
+	var errsAt []int
+	for i := 1; i <= 6; i++ {
+		if d := in.check(OpWALSync); d.err != nil {
+			errsAt = append(errsAt, i)
+		}
+	}
+	if len(errsAt) != 2 || errsAt[0] != 3 || errsAt[1] != 4 {
+		t.Fatalf("fired at %v, want [3 4]", errsAt)
+	}
+	if in.Seen(OpWALSync) != 6 || in.Fired(OpWALSync) != 2 {
+		t.Fatalf("seen=%d fired=%d, want 6/2", in.Seen(OpWALSync), in.Fired(OpWALSync))
+	}
+	// Ops the rule does not match are untouched.
+	if d := in.check(OpWALAppend); d.err != nil {
+		t.Fatalf("unmatched op injected: %v", d.err)
+	}
+}
+
+func TestEveryGate(t *testing.T) {
+	in := NewInjector(1, Rule{Op: OpWALAppend, Kind: KindError, Every: 3})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if d := in.check(OpWALAppend); d.err != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 4 || fired[2] != 7 {
+		t.Fatalf("fired at %v, want [1 4 7]", fired)
+	}
+}
+
+func TestDeterministicProb(t *testing.T) {
+	run := func() []int {
+		in := NewInjector(42, Rule{Op: OpWALSync, Kind: KindError, Prob: 0.5})
+		var fired []int
+		for i := 0; i < 100; i++ {
+			if d := in.check(OpWALSync); d.err != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("prob 0.5 fired %d/100 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d firings", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestErrInjectedWrapped(t *testing.T) {
+	in := NewInjector(1, Rule{Op: OpSnapshotWrite, Kind: KindError})
+	d := in.check(OpSnapshotWrite)
+	if !errors.Is(d.err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", d.err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	// After=2 skips the OpenFile check (opens count as wal.append ops
+	// too) and the first write; the second write tears.
+	fs := Injecting(OS(), NewInjector(7, Rule{Op: OpWALAppend, Kind: KindTorn, After: 2, Count: 1}))
+	f, err := fs.OpenFile(OpWALAppend, filepath.Join(dir, "seg"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatal("torn write did not fail")
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("torn write reported %d bytes, want a strict prefix of %d", n, len(payload))
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(payload)+n {
+		t.Fatalf("file holds %d bytes, want %d (full first write + torn prefix %d)", len(data), len(payload)+n, n)
+	}
+}
+
+func TestWALFileSyncMapsToSyncOp(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(1, Rule{Op: OpWALSync, Kind: KindError})
+	fs := Injecting(OS(), in)
+	f, err := fs.OpenFile(OpWALAppend, filepath.Join(dir, "seg"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write hit a sync-only rule: %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync on a WAL-append file did not check the wal.sync op")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	in := NewInjector(1, Rule{Op: OpWALSync, Kind: KindLatency, Latency: 30 * time.Millisecond, Count: 1})
+	start := time.Now()
+	fs := Injecting(OS(), in).(*injectFS)
+	if err := fs.apply(OpWALSync); err != nil {
+		t.Fatalf("latency rule returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+}
+
+func TestNilInjectorPassthrough(t *testing.T) {
+	if got := Injecting(OS(), nil); got != OS() {
+		t.Fatalf("nil injector did not return the base FS")
+	}
+	var in *Injector
+	if d := in.check(OpWALSync); d.err != nil {
+		t.Fatal("nil injector injected")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("wal.sync=error,after=20,count=5; snapshot.write=latency,d=5ms,every=3;wal.append=torn,prob=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpWALSync || r.Kind != KindError || r.After != 20 || r.Count != 5 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Op != OpSnapshotWrite || r.Kind != KindLatency || r.Latency != 5*time.Millisecond || r.Every != 3 {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Op != OpWALAppend || r.Kind != KindTorn || r.Prob != 0.25 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus.op=error",
+		"wal.sync=explode",
+		"wal.sync=error,after=x",
+		"wal.sync=error,prob=1.5",
+		"wal.sync=latency", // latency without d=
+		"wal.sync",         // no kind
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}

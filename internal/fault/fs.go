@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// File is the subset of *os.File the durability layer writes and
+// replays through. Files are tagged with an Op at open time; an
+// injecting FS checks that op on every Read/Write and the related
+// sync op on Sync (see Injecting).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// FS is the injectable filesystem seam. Every method takes the Op the
+// call belongs to, so an injector can target exactly one failure
+// point; the OS implementation ignores it.
+type FS interface {
+	// OpenFile opens name for the tagged op (WAL segments for append,
+	// replay reads, repair writes).
+	OpenFile(op Op, name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp mirrors os.CreateTemp (snapshot temp files).
+	CreateTemp(op Op, dir, pattern string) (File, error)
+	// ReadFile mirrors os.ReadFile (snapshot recovery reads).
+	ReadFile(op Op, name string) ([]byte, error)
+	// Rename mirrors os.Rename (snapshot publish).
+	Rename(op Op, oldpath, newpath string) error
+	// Truncate mirrors os.Truncate (torn WAL tail repair).
+	Truncate(op Op, name string, size int64) error
+}
+
+// osFS is the passthrough filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem: every method forwards to package os
+// and the op tags are ignored.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(_ Op, name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(_ Op, dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) ReadFile(_ Op, name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(_ Op, oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Truncate(_ Op, name string, size int64) error { return os.Truncate(name, size) }
+
+// Injecting wraps base so every operation is first offered to in. A
+// nil injector returns base unchanged.
+func Injecting(base FS, in *Injector) FS {
+	if in == nil {
+		return base
+	}
+	return &injectFS{base: base, in: in}
+}
+
+type injectFS struct {
+	base FS
+	in   *Injector
+}
+
+// apply runs one pre-call check: latency sleeps, errors abort.
+func (fs *injectFS) apply(op Op) error {
+	d := fs.in.check(op)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil && !d.torn {
+		return d.err
+	}
+	return d.err // torn decisions are handled by write sites; plain call sites treat them as errors
+}
+
+func (fs *injectFS) OpenFile(op Op, name string, flag int, perm os.FileMode) (File, error) {
+	if err := fs.apply(op); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.OpenFile(op, name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{f: f, op: op, in: fs.in}, nil
+}
+
+func (fs *injectFS) CreateTemp(op Op, dir, pattern string) (File, error) {
+	if err := fs.apply(op); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.CreateTemp(op, dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{f: f, op: op, in: fs.in}, nil
+}
+
+func (fs *injectFS) ReadFile(op Op, name string) ([]byte, error) {
+	if err := fs.apply(op); err != nil {
+		return nil, err
+	}
+	return fs.base.ReadFile(op, name)
+}
+
+func (fs *injectFS) Rename(op Op, oldpath, newpath string) error {
+	if err := fs.apply(op); err != nil {
+		return err
+	}
+	return fs.base.Rename(op, oldpath, newpath)
+}
+
+func (fs *injectFS) Truncate(op Op, name string, size int64) error {
+	if err := fs.apply(op); err != nil {
+		return err
+	}
+	return fs.base.Truncate(op, name, size)
+}
+
+// injectFile checks the file's tag op on Read/Write. Sync maps to the
+// fault point it actually exercises: a file opened for OpWALAppend
+// fsyncs as OpWALSync (the WAL's write and sync points are distinct
+// rules), every other tag keeps its own op.
+type injectFile struct {
+	f  File
+	op Op
+	in *Injector
+}
+
+func (f *injectFile) Name() string { return f.f.Name() }
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	d := f.in.check(f.op)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	d := f.in.check(f.op)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		if d.torn {
+			// Persist a deterministic prefix, then fail: the frame is
+			// half on disk, exactly like a crash mid-write.
+			n := f.in.tornPrefix(len(p))
+			if n > 0 {
+				f.f.Write(p[:n])
+			}
+			return n, d.err
+		}
+		return 0, d.err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectFile) syncOp() Op {
+	if f.op == OpWALAppend {
+		return OpWALSync
+	}
+	return f.op
+}
+
+func (f *injectFile) Sync() error {
+	d := f.in.check(f.syncOp())
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	return f.f.Sync()
+}
+
+func (f *injectFile) Close() error { return f.f.Close() }

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds rules from the daemon's -fault flag grammar:
+// semicolon-separated rules, each "op=kind" followed by comma-
+// separated options:
+//
+//	wal.sync=error,after=20,count=5
+//	wal.append=torn,after=100,count=1;snapshot.write=error,prob=0.5
+//	wal.sync=latency,d=5ms,every=3
+//
+// Ops: wal.append, wal.sync, snapshot.write, recovery.read.
+// Kinds: error, latency, torn.
+// Options: after=N (skip first N matches), every=N (then every Nth),
+// count=N (max firings, 0 = unlimited), prob=P (firing probability),
+// d=DUR (latency duration, e.g. 5ms).
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ",")
+		opStr, kindStr, found := strings.Cut(fields[0], "=")
+		if !found {
+			return nil, fmt.Errorf("fault: rule %q: want op=kind", part)
+		}
+		op, err := ParseOp(strings.TrimSpace(opStr))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Op: op}
+		switch strings.TrimSpace(kindStr) {
+		case "error":
+			r.Kind = KindError
+		case "latency":
+			r.Kind = KindLatency
+		case "torn":
+			r.Kind = KindTorn
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown kind %q (want error|latency|torn)", part, kindStr)
+		}
+		for _, opt := range fields[1:] {
+			k, v, found := strings.Cut(strings.TrimSpace(opt), "=")
+			if !found {
+				return nil, fmt.Errorf("fault: rule %q: bad option %q", part, opt)
+			}
+			switch k {
+			case "after":
+				r.After, err = strconv.Atoi(v)
+			case "every":
+				r.Every, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+					err = fmt.Errorf("prob %v outside [0,1]", r.Prob)
+				}
+			case "d":
+				r.Latency, err = time.ParseDuration(v)
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown option %q", part, k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: option %q: %w", part, opt, err)
+			}
+		}
+		if r.Kind == KindLatency && r.Latency <= 0 {
+			return nil, fmt.Errorf("fault: rule %q: latency kind needs d=DURATION", part)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	return rules, nil
+}

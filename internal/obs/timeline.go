@@ -37,19 +37,36 @@ const (
 	// EvRebuildSwap: the unsharded handle swapped in a freshly
 	// rebuilt index covering the pending tail. A = rows now indexed.
 	EvRebuildSwap
+	// EvDegrade: persistent WAL sync failure pushed the table into
+	// degraded read-only mode. A = sync attempts the last batch made.
+	EvDegrade
+	// EvShed: admission-queue overflow rejected work (HTTP 429).
+	// A = requests shed since the previous EvShed event (sheds are
+	// coalesced so an overload burst cannot flush the ring).
+	EvShed
+	// EvDeadlineClamp: queries executed with their indexing budget
+	// clamped to meet a deadline. A = clamped queries in the batch.
+	EvDeadlineClamp
+	// EvQuarantine: a panic in the table's scheduler loop quarantined
+	// the table; siblings are unaffected. A is unused.
+	EvQuarantine
 
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	EvProgress:    "progress",
-	EvPhase:       "phase",
-	EvShardSeal:   "shard_seal",
-	EvShardClaim:  "shard_claim",
-	EvCheckpoint:  "checkpoint",
-	EvReplay:      "replay",
-	EvSuspend:     "suspend",
-	EvRebuildSwap: "rebuild_swap",
+	EvProgress:      "progress",
+	EvPhase:         "phase",
+	EvShardSeal:     "shard_seal",
+	EvShardClaim:    "shard_claim",
+	EvCheckpoint:    "checkpoint",
+	EvReplay:        "replay",
+	EvSuspend:       "suspend",
+	EvRebuildSwap:   "rebuild_swap",
+	EvDegrade:       "degrade",
+	EvShed:          "shed",
+	EvDeadlineClamp: "deadline_clamp",
+	EvQuarantine:    "quarantine",
 }
 
 // String returns the event kind's wire name.
@@ -107,6 +124,14 @@ func (e Event) JSON() EventJSON {
 		out.Attrs = map[string]any{"suspended_queries": int64(e.A)}
 	case EvRebuildSwap:
 		out.Attrs = map[string]any{"rows_indexed": int64(e.A)}
+	case EvDegrade:
+		out.Attrs = map[string]any{"sync_attempts": int64(e.A)}
+	case EvShed:
+		out.Attrs = map[string]any{"shed_requests": int64(e.A)}
+	case EvDeadlineClamp:
+		out.Attrs = map[string]any{"clamped_queries": int64(e.A)}
+	case EvQuarantine:
+		// No payload: the event's timestamp is the story.
 	}
 	return out
 }

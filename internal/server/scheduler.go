@@ -20,7 +20,10 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
+	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +39,25 @@ import (
 // scheduler that has been stopped, e.g. because its table was dropped.
 var ErrStopped = errors.New("server: table scheduler stopped")
 
+// ErrOverloaded is returned at admission when the table's queue is
+// full: the request was shed without waiting (HTTP 429). The caller
+// should back off for roughly Scheduler.RetryAfter and retry.
+var ErrOverloaded = errors.New("server: table admission queue full")
+
+// ErrDegraded rejects appends on a table whose WAL stopped accepting
+// syncs: after the retry budget is exhausted the table goes sticky
+// read-only — queries keep serving from memory, but no new append can
+// be honestly acked, so none is accepted (HTTP 503). Only a restart
+// (with the underlying storage healthy again) clears the state.
+var ErrDegraded = errors.New("server: table degraded to read-only (WAL sync failing)")
+
+// ErrQuarantined rejects all work on a table whose serving loop
+// panicked. The panic is contained to this table — sibling tables'
+// loops are independent goroutines — and the state is sticky until
+// restart, because a panicked loop may have left the index in an
+// unknown state.
+var ErrQuarantined = errors.New("server: table quarantined after scheduler panic")
+
 // Scheduler tunables. Defaults are applied by newScheduler.
 const (
 	// defaultQueueDepth bounds how many requests may wait in admission;
@@ -48,6 +70,27 @@ const (
 	// latencyWindow is how many recent request latencies the quantile
 	// estimates are computed over.
 	latencyWindow = 4096
+	// walSyncRetries is how many times a failed batch WAL sync is
+	// retried before the table degrades to read-only. With the initial
+	// 1ms backoff doubling per attempt, the whole retry ladder blocks
+	// the serving loop for under ~50ms.
+	walSyncRetries = 5
+	// walSyncBackoff is the first retry's backoff; later retries double
+	// it, each jittered to half-to-full value.
+	walSyncBackoff = time.Millisecond
+	// overloadWindow: a shed within this window keeps the table
+	// reporting overloaded on /healthz even after the queue drains, so
+	// health checks sampled between bursts still see the pressure.
+	overloadWindow = 5 * time.Second
+	// shedEventInterval throttles EvShed timeline events: sheds inside
+	// the interval coalesce into the next event's count, so an overload
+	// burst cannot flush the bounded event ring.
+	shedEventInterval = time.Second
+	// leadEWMAAlpha/batchEWMAAlpha smooth the leader-slice and
+	// batch-duration estimates that drive deadline clamping and
+	// Retry-After.
+	leadEWMAAlpha  = 0.3
+	batchEWMAAlpha = 0.2
 )
 
 // ExecInfo is the serving metadata attached to one answered request.
@@ -84,6 +127,16 @@ type task struct {
 	checkpoint bool
 	reply      chan result // buffered(1): the loop never blocks on a reply
 	enqueued   time.Time
+	// deadline, when non-zero, is the caller's answer-by time. It does
+	// not cancel the query — it clamps the indexing budget: a batch
+	// whose deadline cannot absorb the estimated leader slice executes
+	// with refinement suspended (or fully clamped), so the answer comes
+	// back exact but the table does not converge on this query's dime.
+	deadline time.Time
+	// panicTest makes runBatch panic when it reaches this task — the
+	// fault-injection point for quarantine tests. Never set in
+	// production paths.
+	panicTest bool
 	// trace, when non-nil, records this request's lifecycle spans
 	// (queue wait, WAL sync, execute with per-shard children). Set at
 	// admission for sampled queries and for ?trace=1 requests; nil for
@@ -121,6 +174,19 @@ type Scheduler struct {
 	// the WAL and acked — where Stop (table drop) rejects it.
 	draining atomic.Bool
 
+	// degraded (sticky): the WAL stopped accepting syncs after the full
+	// retry ladder; appends are rejected with ErrDegraded, reads keep
+	// serving. quarantined (sticky): the serving loop panicked; all work
+	// is rejected with ErrQuarantined. Both clear only on restart.
+	degraded    atomic.Bool
+	quarantined atomic.Bool
+
+	// Loop-goroutine-only state (no lock): the batch currently inside
+	// runBatch (so a panic recovery can fail its unanswered tasks) and
+	// the leader-indexing-slice estimate that drives deadline clamping.
+	inflight []*task
+	leadEWMA float64 // seconds one unclamped batch leader spends indexing
+
 	mu          sync.Mutex // guards the metrics below
 	queries     uint64
 	appends     uint64
@@ -132,6 +198,14 @@ type Scheduler struct {
 	lat         [latencyWindow]time.Duration
 	latLen      int // filled prefix of lat
 	latPos      int // next write position (ring)
+
+	sheds           uint64    // requests rejected with ErrOverloaded
+	shedUnreported  uint64    // sheds not yet carried by an EvShed event
+	lastShed        time.Time // drives the overloaded health window
+	lastShedEvent   time.Time // drives EvShed throttling
+	deadlineClamped uint64    // queries whose indexing budget a deadline clamped
+	syncRetries     uint64    // WAL sync attempts beyond the first, summed
+	batchEWMA       float64   // seconds one batch takes to execute
 }
 
 // recordLatency pushes one request latency into the ring. Caller holds
@@ -182,7 +256,14 @@ func newScheduler(t *catalog.Table, queueDepth, maxBatch int, reg *obs.Registry)
 // registry's ring; when sampling is off the only cost is one atomic
 // load in Sample.
 func (s *Scheduler) Execute(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, error) {
-	t := &task{req: req, reply: make(chan result, 1), enqueued: time.Now()}
+	return s.ExecuteWithDeadline(ctx, req, time.Time{})
+}
+
+// ExecuteWithDeadline is Execute with an answer-by time that clamps
+// the indexing budget (it never cancels the query — see task.deadline).
+// A zero deadline means none.
+func (s *Scheduler) ExecuteWithDeadline(ctx context.Context, req progidx.Request, deadline time.Time) (progidx.Answer, ExecInfo, error) {
+	t := &task{req: req, deadline: deadline, reply: make(chan result, 1), enqueued: time.Now()}
 	if s.reg.Sample() {
 		t.trace = obs.NewTrace("query", s.table.Name())
 	}
@@ -196,9 +277,10 @@ func (s *Scheduler) Execute(ctx context.Context, req progidx.Request) (progidx.A
 // ExecuteTraced is Execute with a caller-forced full-fidelity trace —
 // the ?trace=1 path. The finished trace is returned inline alongside
 // the answer and also retained in the registry's /debug/traces ring.
-func (s *Scheduler) ExecuteTraced(ctx context.Context, req progidx.Request) (progidx.Answer, ExecInfo, *obs.Trace, error) {
+func (s *Scheduler) ExecuteTraced(ctx context.Context, req progidx.Request, deadline time.Time) (progidx.Answer, ExecInfo, *obs.Trace, error) {
 	t := &task{
 		req:      req,
+		deadline: deadline,
 		reply:    make(chan result, 1),
 		enqueued: time.Now(),
 		trace:    obs.NewTrace("query", s.table.Name()),
@@ -221,7 +303,12 @@ func (s *Scheduler) Append(ctx context.Context, values []int64) (int, ExecInfo, 
 	return r.rows, r.info, r.err
 }
 
-// admit enqueues t and waits for its result.
+// admit enqueues t and waits for its result. Queries and appends
+// never wait for a queue slot: a full queue sheds the request with
+// ErrOverloaded immediately (load shedding beats convoying — a caller
+// told "429, retry in 2s" behaves better under overload than one
+// silently parked on a channel). Checkpoint tasks still block: they
+// are rare, internal, and must not be starved by client traffic.
 func (s *Scheduler) admit(ctx context.Context, t *task) (result, error) {
 	// Check quit with priority before racing it against a queue slot:
 	// once Stop/Drain fired, a caller in a retry loop must see
@@ -232,12 +319,31 @@ func (s *Scheduler) admit(ctx context.Context, t *task) (result, error) {
 		return result{}, ErrStopped
 	default:
 	}
-	select {
-	case s.tasks <- t:
-	case <-s.quit:
-		return result{}, ErrStopped
-	case <-ctx.Done():
-		return result{}, ctx.Err()
+	// Sticky failure states reject at the door: a quarantined table
+	// serves nothing, a degraded one serves no appends. Checking here
+	// (not only in the loop) keeps the rejection latency flat even
+	// when the queue has backlog.
+	if s.quarantined.Load() {
+		return result{}, ErrQuarantined
+	}
+	if t.isAppend && s.degraded.Load() {
+		return result{}, ErrDegraded
+	}
+	if t.checkpoint {
+		select {
+		case s.tasks <- t:
+		case <-s.quit:
+			return result{}, ErrStopped
+		case <-ctx.Done():
+			return result{}, ctx.Err()
+		}
+	} else {
+		select {
+		case s.tasks <- t:
+		default:
+			s.noteShed()
+			return result{}, ErrOverloaded
+		}
 	}
 	select {
 	case r := <-t.reply:
@@ -296,29 +402,112 @@ func (s *Scheduler) Checkpoint(ctx context.Context) (ok bool, err error) {
 	return true, s.table.WriteCheckpoint(r.cp)
 }
 
+// noteShed counts one rejected admission and (throttled) publishes it
+// to the table's timeline, coalescing the sheds since the last event
+// into one count so a burst cannot flush the bounded event ring.
+func (s *Scheduler) noteShed() {
+	now := time.Now()
+	s.mu.Lock()
+	s.sheds++
+	s.shedUnreported++
+	s.lastShed = now
+	emit := s.tobs != nil && now.Sub(s.lastShedEvent) >= shedEventInterval
+	var n uint64
+	if emit {
+		n = s.shedUnreported
+		s.shedUnreported = 0
+		s.lastShedEvent = now
+	}
+	s.mu.Unlock()
+	if emit {
+		s.tobs.Timeline.Record(obs.EvShed, -1, float64(n), 0)
+	}
+}
+
+// RetryAfter estimates how long a shed caller should back off: the
+// queue holds roughly queueDepth/maxBatch batches of work, each taking
+// about one smoothed batch duration to drain. Clamped to [1s, 30s] so
+// the hint stays useful before the estimate warms up and bounded when
+// a cold index makes early batches slow.
+func (s *Scheduler) RetryAfter() time.Duration {
+	s.mu.Lock()
+	batchSec := s.batchEWMA
+	s.mu.Unlock()
+	backlog := float64(len(s.tasks))/float64(s.maxBatch) + 1
+	d := time.Duration(batchSec * backlog * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// TableState classifies a table's serving health for /healthz, the
+// debug endpoint, and the progidx_table_state gauge. Values order by
+// severity; the numeric encoding is the gauge's wire value.
+type TableState int
+
+const (
+	StateOK TableState = iota
+	StateOverloaded
+	StateDegraded
+	StateQuarantined
+)
+
+// String returns the state's wire name.
+func (st TableState) String() string {
+	switch st {
+	case StateOverloaded:
+		return "overloaded"
+	case StateDegraded:
+		return "degraded"
+	case StateQuarantined:
+		return "quarantined"
+	}
+	return "ok"
+}
+
+// State reports the table's current serving health: quarantined and
+// degraded are sticky fault states; overloaded means the admission
+// queue shed a request within overloadWindow or is nearly full right
+// now; everything else is ok.
+func (s *Scheduler) State() TableState {
+	if s.quarantined.Load() {
+		return StateQuarantined
+	}
+	if s.degraded.Load() {
+		return StateDegraded
+	}
+	s.mu.Lock()
+	last := s.lastShed
+	s.mu.Unlock()
+	if !last.IsZero() && time.Since(last) < overloadWindow {
+		return StateOverloaded
+	}
+	if c := cap(s.tasks); c > 0 && len(s.tasks) >= c-c/10 {
+		return StateOverloaded
+	}
+	return StateOK
+}
+
 // loop is the per-table serving goroutine.
 func (s *Scheduler) loop() {
-	defer func() {
-		// Final drain. Under Stop, everything still queued fails
-		// cleanly; under Drain it executes — batched through the normal
-		// path, so queued appends reach the WAL (and are synced) before
-		// their acks. New admissions race with this drain, but Execute
-		// also watches s.done, which closes strictly after it.
-		for {
-			select {
-			case t := <-s.tasks:
-				if s.draining.Load() {
-					s.runBatch(s.collect(t))
-				} else {
-					t.reply <- result{err: ErrStopped}
-				}
-			default:
-				close(s.done)
-				return
-			}
-		}
-	}()
+	defer close(s.done)
+	if s.guard(s.serve) {
+		// The serving loop panicked: the table is quarantined. Keep
+		// draining the queue with rejections so callers fail fast
+		// instead of timing out, until Stop/Drain fires.
+		s.rejectUntilQuit()
+	}
+	if s.guard(s.finalDrain) {
+		s.failQueued()
+	}
+}
 
+// serve is the normal request loop; it returns when quit fires.
+func (s *Scheduler) serve() {
 	for {
 		var first *task
 		if s.idleEligible() {
@@ -343,6 +532,95 @@ func (s *Scheduler) loop() {
 
 		batch := s.collect(first)
 		s.runBatch(batch)
+	}
+}
+
+// finalDrain empties the queue after quit. Under Stop, everything
+// still queued fails cleanly; under Drain it executes — batched
+// through the normal path, so queued appends reach the WAL (and are
+// synced) before their acks; on a quarantined table it is rejected
+// either way. New admissions race with this drain, but admit also
+// watches s.done, which closes strictly after it.
+func (s *Scheduler) finalDrain() {
+	for {
+		select {
+		case t := <-s.tasks:
+			switch {
+			case s.quarantined.Load():
+				t.reply <- result{err: ErrQuarantined}
+			case s.draining.Load():
+				s.runBatch(s.collect(t))
+			default:
+				t.reply <- result{err: ErrStopped}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// guard runs fn, converting a panic into sticky table quarantine: the
+// panic is logged with its stack, every in-flight task that has not
+// yet been answered gets ErrQuarantined, and the caller is told so it
+// can keep rejecting queued work. Sibling tables' loops are separate
+// goroutines and never notice — that is the isolation property.
+func (s *Scheduler) guard(fn func()) (panicked bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		panicked = true
+		s.quarantined.Store(true)
+		for _, t := range s.inflight {
+			select {
+			case t.reply <- result{err: ErrQuarantined}:
+			default: // already answered before the panic
+			}
+		}
+		s.inflight = nil
+		if s.tobs != nil {
+			s.tobs.Timeline.Record(obs.EvQuarantine, -1, 0, 0)
+		}
+		s.reg.Logger().Error("table scheduler panicked; table quarantined",
+			slog.String("table", s.table.Name()),
+			slog.Any("panic", r),
+			slog.String("stack", string(debug.Stack())),
+		)
+	}()
+	fn()
+	return false
+}
+
+// rejectUntilQuit answers queued and future tasks with ErrQuarantined
+// until Stop or Drain fires. The loop goroutine must keep consuming
+// the queue here: admit's fast-path rejection races with tasks already
+// admitted before the panic, and those callers are parked on replies.
+func (s *Scheduler) rejectUntilQuit() {
+	for {
+		select {
+		case t := <-s.tasks:
+			t.reply <- result{err: ErrQuarantined}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// failQueued is the last-resort flush when even the final drain
+// panicked: everything still queued is answered with ErrQuarantined,
+// non-blocking, so no caller hangs on a reply that will never come.
+func (s *Scheduler) failQueued() {
+	for {
+		select {
+		case t := <-s.tasks:
+			select {
+			case t.reply <- result{err: ErrQuarantined}:
+			default:
+			}
+		default:
+			return
+		}
 	}
 }
 
@@ -418,8 +696,17 @@ func (s *Scheduler) collect(first *task) []*task {
 // strategy supports it). Replies go out only after the whole batch
 // executed, so a caller's next request always lands in a later batch.
 func (s *Scheduler) runBatch(batch []*task) {
+	// Track the batch so a panic inside any of the calls below can
+	// fail its unanswered tasks instead of leaving callers parked.
+	// Cleared at the bottom, NOT by a defer: a deferred clear would run
+	// while the panic unwinds — before guard's recover — and erase the
+	// very list the recovery needs to reply to.
+	s.inflight = batch
 	started := time.Now()
 	for _, t := range batch {
+		if t.panicTest {
+			panic("test-injected scheduler panic")
+		}
 		if t.trace != nil {
 			// The root opened at admission; a closed queue_wait span
 			// makes the admission wait visible in the tree.
@@ -437,6 +724,7 @@ func (s *Scheduler) runBatch(batch []*task) {
 		appendIdx []int // batch positions of successful appends
 		cpIdx     []int // batch positions of checkpoint tasks
 	)
+	degraded := s.degraded.Load()
 	for i, t := range batch {
 		if t.checkpoint {
 			cpIdx = append(cpIdx, i)
@@ -444,6 +732,13 @@ func (s *Scheduler) runBatch(batch []*task) {
 		}
 		if !t.isAppend {
 			reqIdx = append(reqIdx, i)
+			continue
+		}
+		if degraded {
+			// Admitted before the table degraded (or while racing the
+			// transition): the WAL cannot promise durability, so the
+			// append must not touch the in-memory table either.
+			results[i].err = ErrDegraded
 			continue
 		}
 		results[i].err = s.table.Append(t.append)
@@ -461,10 +756,17 @@ func (s *Scheduler) runBatch(batch []*task) {
 		// durable before any reply goes out (no-op on an ephemeral
 		// table or under the always/off policies). If the sync fails,
 		// nothing in this batch was promised to disk — every append
-		// that thought it succeeded is un-acked.
+		// that thought it succeeded is un-acked. Transient failures are
+		// retried with jittered exponential backoff; exhausting the
+		// ladder degrades the table to sticky read-only.
 		syncStart := time.Now()
-		err := s.table.SyncLog()
+		attempts, err := s.syncLogWithRetry()
 		syncEnd := time.Now()
+		if attempts > 1 {
+			s.mu.Lock()
+			s.syncRetries += uint64(attempts - 1)
+			s.mu.Unlock()
+		}
 		for _, t := range batch {
 			if t.trace != nil {
 				// The sync is batch-level work every traced request in
@@ -474,8 +776,17 @@ func (s *Scheduler) runBatch(batch []*task) {
 			}
 		}
 		if err != nil {
+			s.degraded.Store(true)
+			if s.tobs != nil {
+				s.tobs.Timeline.Record(obs.EvDegrade, -1, float64(attempts), 0)
+			}
+			s.reg.Logger().Error("WAL sync failing persistently; table degraded to read-only",
+				slog.String("table", s.table.Name()),
+				slog.Int("attempts", attempts),
+				slog.Any("error", err),
+			)
 			for _, i := range appendIdx {
-				results[i].err = err
+				results[i].err = fmt.Errorf("%w: %v", ErrDegraded, err)
 			}
 			nAppends, nAppendRow = 0, 0
 		}
@@ -486,6 +797,36 @@ func (s *Scheduler) runBatch(batch []*task) {
 		results[i].cp, results[i].cpOK = s.table.CaptureCheckpoint()
 	}
 	if len(reqIdx) > 0 {
+		// Deadline clamping: only the batch leader pays the indexing
+		// budget, so a deadline only matters for who leads. A query
+		// whose remaining headroom cannot absorb the estimated leader
+		// slice must not lead — swap an unhurried query to the front,
+		// or, when every query is squeezed, run the whole batch with
+		// the budget clamped to zero. Answers stay exact either way.
+		now := time.Now()
+		headroom := time.Duration(s.leadEWMA * float64(time.Second))
+		squeezedN, lead := 0, -1
+		for k, i := range reqIdx {
+			if d := batch[i].deadline; !d.IsZero() && now.Add(headroom).After(d) {
+				squeezedN++
+			} else if lead == -1 {
+				lead = k
+			}
+		}
+		clamp := false
+		clampedQueries := 0
+		if squeezedN > 0 {
+			switch {
+			case lead == -1:
+				clamp = true
+				clampedQueries = squeezedN
+			case lead > 0:
+				reqIdx[0], reqIdx[lead] = reqIdx[lead], reqIdx[0]
+				clampedQueries = squeezedN
+			}
+			// lead == 0: the natural leader has headroom; squeezed
+			// followers run suspended anyway, so nothing to do.
+		}
 		reqs := make([]progidx.Request, len(reqIdx))
 		traced := false
 		for k, i := range reqIdx {
@@ -494,9 +835,24 @@ func (s *Scheduler) runBatch(batch []*task) {
 				traced = true
 			}
 		}
-		answers, errs := s.executeQueries(reqs, reqIdx, batch, traced)
+		answers, errs := s.executeQueries(reqs, reqIdx, batch, traced, clamp)
 		for k, i := range reqIdx {
 			results[i].ans, results[i].err = answers[k], errs[k]
+		}
+		if !clamp && errs[0] == nil {
+			// Fold the leader's actual indexing spend into the slice
+			// estimate that drives future clamp decisions.
+			work := answers[0].Stats.WorkSeconds
+			if s.leadEWMA == 0 {
+				s.leadEWMA = work
+			} else {
+				s.leadEWMA += leadEWMAAlpha * (work - s.leadEWMA)
+			}
+		}
+		if clampedQueries > 0 {
+			s.mu.Lock()
+			s.deadlineClamped += uint64(clampedQueries)
+			s.mu.Unlock()
 		}
 		if s.tobs != nil {
 			if errs[0] == nil {
@@ -506,6 +862,9 @@ func (s *Scheduler) runBatch(batch []*task) {
 			}
 			if len(reqIdx) > 1 {
 				s.tobs.Timeline.Record(obs.EvSuspend, -1, float64(len(reqIdx)-1), 0)
+			}
+			if clampedQueries > 0 {
+				s.tobs.Timeline.Record(obs.EvDeadlineClamp, -1, float64(clampedQueries), 0)
 			}
 		}
 	}
@@ -523,6 +882,12 @@ func (s *Scheduler) runBatch(batch []*task) {
 	for _, t := range batch {
 		s.recordLatency(finished.Sub(t.enqueued))
 	}
+	dur := finished.Sub(started).Seconds()
+	if s.batchEWMA == 0 {
+		s.batchEWMA = dur
+	} else {
+		s.batchEWMA += batchEWMAAlpha * (dur - s.batchEWMA)
+	}
 	s.mu.Unlock()
 
 	if s.tobs != nil {
@@ -534,6 +899,26 @@ func (s *Scheduler) runBatch(batch []*task) {
 		s.observeTask(t, &results[i], started, finished, slow)
 		t.reply <- results[i]
 	}
+	s.inflight = nil
+}
+
+// syncLogWithRetry flushes the table's WAL, retrying transient
+// failures with jittered exponential backoff (1ms, 2ms, 4ms, ... —
+// the whole ladder blocks the loop for under ~50ms). It returns the
+// number of attempts made and the final error; a non-nil error means
+// the retry budget is exhausted and the caller should degrade.
+func (s *Scheduler) syncLogWithRetry() (attempts int, err error) {
+	backoff := walSyncBackoff
+	for attempt := 1; ; attempt++ {
+		err = s.table.SyncLog()
+		if err == nil || attempt > walSyncRetries {
+			return attempt, err
+		}
+		// Jitter to half-to-full backoff: schedulers for many tables
+		// share the disk, and synchronized retry waves would re-collide.
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		backoff *= 2
+	}
 }
 
 // executeQueries dispatches one batch's query requests through the
@@ -541,8 +926,17 @@ func (s *Scheduler) runBatch(batch []*task) {
 // progidx.BatchTracer, the traced variant runs instead and each traced
 // query gets an "execute" span that the handle's children (index work,
 // per-shard fan-out, tail scan, merge) attach under via the trace's
-// attach point.
-func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch []*task, traced bool) ([]progidx.Answer, []error) {
+// attach point. clamp asks for the zero-budget batch variant — used
+// when every query's deadline is squeezed — and wins over tracing (a
+// clamped batch runs untraced; the deadline is the caller's priority).
+// Handles without BudgetClamper degrade to normal execution: answers
+// stay exact, the clamp is best-effort.
+func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch []*task, traced, clamp bool) ([]progidx.Answer, []error) {
+	if clamp {
+		if bc, ok := s.idx.(progidx.BudgetClamper); ok {
+			return bc.ExecuteBatchClamped(reqs)
+		}
+	}
 	bt, ok := s.idx.(progidx.BatchTracer)
 	if !traced || !ok {
 		return s.idx.ExecuteBatch(reqs)
@@ -626,6 +1020,14 @@ type Metrics struct {
 	P50LatencyUs  float64 `json:"p50_latency_us"`
 	P99LatencyUs  float64 `json:"p99_latency_us"`
 	LatencyWindow int     `json:"latency_window"`
+
+	// Robustness counters (DESIGN.md section 14).
+	Sheds           uint64 `json:"sheds"`
+	DeadlineClamped uint64 `json:"deadline_clamped"`
+	SyncRetries     uint64 `json:"wal_sync_retries"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCap        int    `json:"queue_cap"`
+	State           string `json:"state"`
 }
 
 // Metrics snapshots the scheduler's counters. The latency quantiles
@@ -643,10 +1045,17 @@ func (s *Scheduler) Metrics() Metrics {
 		IdleSlices:    s.idleSlices,
 		IdleWorkSec:   s.idleWorkSec,
 		LatencyWindow: s.latLen,
+
+		Sheds:           s.sheds,
+		DeadlineClamped: s.deadlineClamped,
+		SyncRetries:     s.syncRetries,
+		QueueDepth:      len(s.tasks),
+		QueueCap:        cap(s.tasks),
 	}
 	window := make([]time.Duration, s.latLen)
 	copy(window, s.lat[:s.latLen])
 	s.mu.Unlock()
+	m.State = s.State().String()
 
 	if m.Batches > 0 {
 		m.AvgBatch = float64(m.Queries+m.Appends) / float64(m.Batches)

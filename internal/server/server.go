@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,11 @@ type Config struct {
 	// SlowQuery is the latency threshold above which a query is logged
 	// and retro-traced (0 = the 250ms default, negative = disabled).
 	SlowQuery time.Duration
+	// DefaultDeadline is applied to queries that carry no ?deadline_ms=
+	// of their own (0 = none). A deadline never cancels a query — it
+	// clamps the indexing budget so the answer returns promptly at the
+	// cost of convergence progress (DESIGN.md section 14).
+	DefaultDeadline time.Duration
 	// Logger receives slow-query lines; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -494,10 +500,13 @@ type ReplayProgress struct {
 }
 
 // HealthResponse is the /healthz body. Recovery is present only while
-// the server replays WALs, keyed by table name.
+// the server replays WALs, keyed by table name. Tables lists only the
+// tables whose serving state is not ok (degraded | quarantined |
+// overloaded) — an empty/absent map means every table is healthy.
 type HealthResponse struct {
 	Status   string                    `json:"status"`
 	Recovery map[string]ReplayProgress `json:"recovery,omitempty"`
+	Tables   map[string]string         `json:"tables,omitempty"`
 }
 
 // handleHealthz reports the boot lifecycle: starting|recovering|ready.
@@ -506,6 +515,11 @@ type HealthResponse struct {
 // replay instead of racing tables that are still loading. While
 // recovering, the body carries per-table replay progress (WAL frames
 // replayed out of the tail total) instead of a bare 503.
+//
+// Per-table fault states ride along in Tables but never flip the
+// top-level status: a degraded or quarantined table still serves (or
+// cleanly rejects) requests, and taking the whole node out of rotation
+// for one sick table would hurt its healthy siblings.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	state := s.BootState()
 	code := http.StatusOK
@@ -520,6 +534,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			resp.Recovery[ot.Name] = ReplayProgress{FramesReplayed: done, TailFrames: total}
 		}
 	}
+	s.mu.Lock()
+	for name, sched := range s.scheds {
+		if st := sched.State(); st != StateOK {
+			if resp.Tables == nil {
+				resp.Tables = make(map[string]string)
+			}
+			resp.Tables[name] = st.String()
+		}
+	}
+	s.mu.Unlock()
 	writeJSON(w, code, resp)
 }
 
@@ -636,23 +660,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline, derr := s.queryDeadline(r)
+	if derr != nil {
+		writeError(w, http.StatusBadRequest, derr)
+		return
+	}
+
 	var (
 		ans   progidx.Answer
 		info  ExecInfo
 		trace *obs.Trace
 	)
 	if r.URL.Query().Get("trace") == "1" {
-		ans, info, trace, err = sched.ExecuteTraced(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+		ans, info, trace, err = sched.ExecuteTraced(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
 	} else {
-		ans, info, err = sched.Execute(r.Context(), progidx.Request{Pred: pred, Aggs: aggs})
+		ans, info, err = sched.ExecuteWithDeadline(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
 	}
-	switch {
-	case err == nil:
-		resp := queryResponse(ans, info)
-		if trace != nil {
-			resp.Trace = trace.Tree()
+	if err != nil {
+		s.writeSchedError(w, r, sched, name, err)
+		return
+	}
+	resp := queryResponse(ans, info)
+	if trace != nil {
+		resp.Trace = trace.Tree()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryDeadline resolves one query's answer-by time: ?deadline_ms=
+// wins, Config.DefaultDeadline covers the rest, zero means none.
+func (s *Server) queryDeadline(r *http.Request) (time.Time, error) {
+	if ms := r.URL.Query().Get("deadline_ms"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n <= 0 {
+			return time.Time{}, fmt.Errorf("deadline_ms must be a positive integer, got %q", ms)
 		}
-		writeJSON(w, http.StatusOK, resp)
+		return time.Now().Add(time.Duration(n) * time.Millisecond), nil
+	}
+	if s.cfg.DefaultDeadline > 0 {
+		return time.Now().Add(s.cfg.DefaultDeadline), nil
+	}
+	return time.Time{}, nil
+}
+
+// writeSchedError maps a scheduler failure onto HTTP: full queue →
+// 429 with a Retry-After derived from the observed batch latency and
+// queue depth; degraded/quarantined → 503 (the client cannot fix it
+// by retrying soon, but the node as a whole is still up); dropped →
+// 410; client gone → 499; anything else is the request's own fault.
+func (s *Server) writeSchedError(w http.ResponseWriter, r *http.Request, sched *Scheduler, name string, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		retry := sched.RetryAfter()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retry+time.Second-1)/time.Second), 10))
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("table %q overloaded: %w", name, err))
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrQuarantined):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrStopped):
 		writeError(w, http.StatusGone, fmt.Errorf("table %q dropped", name))
 	case r.Context().Err() != nil:
@@ -685,21 +748,16 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rows, info, err := sched.Append(r.Context(), areq.Values)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, AppendResponse{
-			Appended:    len(areq.Values),
-			Rows:        rows,
-			BatchSize:   info.Batch,
-			QueueMicros: info.QueueWait.Microseconds(),
-		})
-	case errors.Is(err, ErrStopped):
-		writeError(w, http.StatusGone, fmt.Errorf("table %q dropped", name))
-	case r.Context().Err() != nil:
-		writeError(w, statusClientClosedRequest, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		s.writeSchedError(w, r, sched, name, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Appended:    len(areq.Values),
+		Rows:        rows,
+		BatchSize:   info.Batch,
+		QueueMicros: info.QueueWait.Microseconds(),
+	})
 }
 
 // statusClientClosedRequest is nginx's non-standard 499.
@@ -839,6 +897,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Batches), true })
 	writeFamily("progidx_table_idle_slices_total", "counter", "Idle-time refinement slices performed.",
 		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.IdleSlices), true })
+	writeFamily("progidx_table_state", "gauge", "Serving state: 0 ok, 1 overloaded, 2 degraded, 3 quarantined.",
+		func(ts TableStats) (float64, bool) {
+			switch ts.Scheduler.State {
+			case "overloaded":
+				return float64(StateOverloaded), true
+			case "degraded":
+				return float64(StateDegraded), true
+			case "quarantined":
+				return float64(StateQuarantined), true
+			}
+			return float64(StateOK), true
+		})
+	writeFamily("progidx_table_sheds_total", "counter", "Requests shed at admission with HTTP 429.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.Sheds), true })
+	writeFamily("progidx_table_deadline_clamped_total", "counter", "Queries whose indexing budget a deadline clamped.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.DeadlineClamped), true })
+	writeFamily("progidx_table_wal_sync_retries_total", "counter", "WAL sync attempts beyond each batch's first.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.SyncRetries), true })
+	writeFamily("progidx_table_queue_depth", "gauge", "Requests waiting in the admission queue.",
+		func(ts TableStats) (float64, bool) { return float64(ts.Scheduler.QueueDepth), true })
 	writeFamily("progidx_table_latency_p50_seconds", "gauge", "p50 request latency over the recent window.",
 		func(ts TableStats) (float64, bool) {
 			return ts.Scheduler.P50LatencyUs / 1e6, ts.Scheduler.LatencyWindow > 0

@@ -966,6 +966,22 @@ func (s *Sharded) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
 // traces slice is valid; untraced requests pay one nil test. The
 // scheduler reaches this through the progidx.BatchTracer assertion.
 func (s *Sharded) ExecuteBatchTraced(reqs []query.Request, traces []*obs.Trace) ([]query.Answer, []error) {
+	return s.executeBatch(reqs, traces, false)
+}
+
+// ExecuteBatchClamped is ExecuteBatch with the indexing budget clamped
+// to zero: every shard of every request — the leader included — runs
+// suspended, and the claim probe is skipped (claiming decodes a whole
+// shard, exactly the work a deadline-squeezed batch cannot afford).
+// Answers are exact; the shards just do not refine on this batch.
+func (s *Sharded) ExecuteBatchClamped(reqs []query.Request) ([]query.Answer, []error) {
+	return s.executeBatch(reqs, nil, true)
+}
+
+// executeBatch is the shared body of the batch entry points; clamp
+// forces every request to run suspended with no claim probe and no
+// heat-share budget split.
+func (s *Sharded) executeBatch(reqs []query.Request, traces []*obs.Trace, clamp bool) ([]query.Answer, []error) {
 	answers := make([]query.Answer, len(reqs))
 	errs := make([]error, len(reqs))
 	v := s.cur.Load()
@@ -1002,7 +1018,7 @@ func (s *Sharded) ExecuteBatchTraced(reqs []query.Request, traces []*obs.Trace) 
 				allConverged = false
 			}
 		}
-		if qi == 0 {
+		if qi == 0 && !clamp {
 			// The batch leader carries the indexing budget, so it also
 			// carries the claim probe, exactly like a lone Execute.
 			if claimed := s.maybeClaim(v, surv, heats); claimed >= 0 && tr != nil {
@@ -1010,11 +1026,11 @@ func (s *Sharded) ExecuteBatchTraced(reqs []query.Request, traces []*obs.Trace) 
 			}
 		}
 		var shares []float64
-		if !allConverged {
+		if !allConverged && !clamp {
 			shares = costmodel.HeatShares(nil, heats)
 			s.applyBudgetFactor(shares, len(v.shards))
 		}
-		suspend := qi > 0
+		suspend := qi > 0 || clamp
 		sub := query.Request{Pred: req.Pred, Aggs: aggs}
 		parts := make([]partial, len(surv))
 		s.pool.Run(len(surv), 1, func(_, a, b int) {

@@ -128,6 +128,19 @@ type BatchTracer interface {
 	ExecuteBatchTraced(reqs []Request, traces []*obs.Trace) ([]Answer, []error)
 }
 
+// BudgetClamper is the optional deadline surface of the serving
+// handles: ExecuteBatch with the per-batch indexing budget clamped to
+// zero. Every request in the batch — including the leader — runs with
+// refinement suspended, so the batch costs only the lookups
+// themselves: a query that arrives with too little deadline headroom
+// to pay an indexing slice still gets an exact answer, it just does
+// not push convergence forward. The scheduler type-asserts for this
+// only when a batch's deadline cannot absorb the estimated leader
+// slice, so the Handle interface stays deadline-free.
+type BudgetClamper interface {
+	ExecuteBatchClamped(reqs []Request) ([]Answer, []error)
+}
+
 // EventSinkSetter is the optional convergence-timeline surface of the
 // serving handles: the catalog attaches each table's obs.Timeline so
 // structural transitions (tail seals, cold-shard claims, rebuild
@@ -143,6 +156,8 @@ var (
 	_ Handle          = (*Sharded)(nil)
 	_ BatchTracer     = (*Synchronized)(nil)
 	_ BatchTracer     = (*Sharded)(nil)
+	_ BudgetClamper   = (*Synchronized)(nil)
+	_ BudgetClamper   = (*Sharded)(nil)
 	_ EventSinkSetter = (*Synchronized)(nil)
 	_ EventSinkSetter = (*Sharded)(nil)
 )
