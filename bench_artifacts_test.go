@@ -19,8 +19,8 @@ func TestBenchArtifactsRecordMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) < 4 {
-		t.Fatalf("expected the four committed bench artifacts (kernels, convergence, shards, durability), found %v", paths)
+	if len(paths) < 5 {
+		t.Fatalf("expected the five committed bench artifacts (kernels, convergence, shards, durability, planner), found %v", paths)
 	}
 	for _, path := range paths {
 		raw, err := os.ReadFile(path)
@@ -98,5 +98,55 @@ func TestBenchKernelsEncodings(t *testing.T) {
 	}
 	if !sawUniformFORBP {
 		t.Error("BENCH_kernels.json: no uniform/forbp encoding rows")
+	}
+}
+
+// TestBenchPlannerArtifact guards the committed planner artifact's
+// headline claim: on the 0.1%-selectivity correlated workload, letting
+// the planner pick the driving column must be at least 2x faster than
+// pinning the worst column, and every driver policy — planner or
+// pinned — must have answered identically to the brute-force oracle
+// (the bit-identity contract of driver choice).
+func TestBenchPlannerArtifact(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_planner.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact struct {
+		TargetSel float64        `json:"target_selectivity"`
+		ActualSel float64        `json:"actual_selectivity_mean"`
+		Picks     map[string]int `json:"planner_driver_picks"`
+		Speedup   float64        `json:"speedup_vs_worst_column"`
+		Results   []struct {
+			Driver       string  `json:"driver"`
+			MeanQueryMs  float64 `json:"mean_query_ms"`
+			AnswersMatch bool    `json:"answers_match_oracle"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	if len(artifact.Results) < 3 {
+		t.Fatalf("planner artifact has %d driver policies, want planner + >=2 pinned; re-run `go run ./cmd/bench -suite planner`", len(artifact.Results))
+	}
+	for _, r := range artifact.Results {
+		if !r.AnswersMatch {
+			t.Errorf("driver policy %q did not answer identically to the oracle", r.Driver)
+		}
+		if r.MeanQueryMs <= 0 {
+			t.Errorf("driver policy %q has implausible mean_query_ms %g", r.Driver, r.MeanQueryMs)
+		}
+	}
+	if artifact.Speedup < 2 {
+		t.Errorf("driver-choice speedup %.2fx < 2x target vs the worst pinned column", artifact.Speedup)
+	}
+	if len(artifact.Picks) == 0 {
+		t.Error("planner artifact records no driver picks")
+	}
+	// The workload is designed at 0.1% selectivity; the measured mean
+	// must be in its neighborhood or the speedup claim is about a
+	// different workload than advertised.
+	if artifact.ActualSel <= 0 || artifact.ActualSel > 5*artifact.TargetSel {
+		t.Errorf("actual selectivity %.5f is not near the %.5f design point", artifact.ActualSel, artifact.TargetSel)
 	}
 }

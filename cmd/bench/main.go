@@ -15,7 +15,13 @@
 //	                         recovery time vs WAL-tail length, and
 //	                         snapshot write cost vs table size, with
 //	                         recovered answers checked against the
-//	                         branching oracle.
+//	                         branching oracle;
+//	BENCH_planner.json     — composite-predicate driver choice on a
+//	                         correlated multi-column table: the
+//	                         planner's pick vs every pinned driving
+//	                         column at 0.1% selectivity, with answers
+//	                         checked per query against a brute-force
+//	                         row scan.
 //
 // Usage:
 //
@@ -38,9 +44,12 @@ import (
 	"repro"
 	"repro/internal/catalog"
 	"repro/internal/column"
+	"repro/internal/data"
 	"repro/internal/durable"
 	"repro/internal/encode"
 	"repro/internal/parallel"
+	"repro/internal/plan"
+	"repro/internal/query"
 )
 
 // Host describes the machine a run happened on; speedups are
@@ -686,6 +695,145 @@ func runDurability(baseRows int) durabilityReport {
 	return rep
 }
 
+// PlannerResult is one driver policy's run over the shared composite
+// workload: the planner's own choice, or one pinned driving column
+// (ExplainConj forceDriver — the worst of these is the baseline the
+// planner must beat).
+type PlannerResult struct {
+	Driver            string  `json:"driver"` // "planner" or a pinned column
+	Queries           int     `json:"queries"`
+	MeanQueryMs       float64 `json:"mean_query_ms"`
+	TotalSec          float64 `json:"total_seconds"`
+	ScannedBlocksMean float64 `json:"scanned_blocks_mean"`
+	PrunedBlocksMean  float64 `json:"pruned_blocks_mean"`
+	SlowdownVsPlanner float64 `json:"slowdown_vs_planner"`
+	AnswersMatch      bool    `json:"answers_match_oracle"`
+}
+
+type plannerReport struct {
+	Host      Host     `json:"host"`
+	Timestamp string   `json:"timestamp"`
+	N         int      `json:"n"`
+	Columns   []string `json:"columns"`
+	Encoding  string   `json:"encoding"`
+	// TargetSelectivity is the workload design point; ActualSelectivity
+	// is the measured mean fraction of rows matching the whole
+	// conjunction.
+	TargetSelectivity float64 `json:"target_selectivity"`
+	ActualSelectivity float64 `json:"actual_selectivity_mean"`
+	// PlannerPicks histograms which column the planner chose to drive.
+	PlannerPicks map[string]int  `json:"planner_driver_picks"`
+	Results      []PlannerResult `json:"results"`
+	// SpeedupVsWorst is mean_query_ms of the slowest pinned driver over
+	// the planner's mean — the headline driver-choice payoff.
+	SpeedupVsWorst float64 `json:"speedup_vs_worst_column"`
+}
+
+// runPlanner measures what picking the driving column is worth on the
+// correlated three-column dataset: the workload is a 0.1%-selectivity
+// range on the correlated column b conjoined with a ~99%-pass filter
+// on the uniform column c, aggregating over the clustered a. The same
+// queries run under the planner and under each pinned driver; the
+// FOR-BP encoding makes block decodes real work, so driving by the
+// unselective column (which touches every involved column in every
+// surviving block) pays its full price.
+func runPlanner(n, queries int) plannerReport {
+	cols := []string{"a", "b", "c"}
+	rep := plannerReport{
+		Host: host(), Timestamp: time.Now().UTC().Format(time.RFC3339),
+		N: n, Columns: cols, Encoding: "forbp",
+		TargetSelectivity: 0.001,
+		PlannerPicks:      map[string]int{},
+	}
+	flat := data.MultiColumn(n, len(cols), 1234)
+	tbl, err := plan.New("bench", cols, flat, progidx.Options{
+		Strategy: progidx.StrategyQuicksort, Delta: 0.25,
+		Encoding: progidx.EncodingFORBP,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	width := int64(float64(n) * rep.TargetSelectivity)
+	if width < 1 {
+		width = 1
+	}
+	cMin := int64(n / 100)
+	qrng := rand.New(rand.NewSource(17))
+	conjs := make([]query.Conjunction, queries)
+	wantSum := make([]int64, queries)
+	wantCount := make([]int64, queries)
+	for i := range conjs {
+		lo := qrng.Int63n(int64(n))
+		conjs[i] = query.Conjunction{
+			Preds: []query.ColPredicate{
+				{Col: "b", Pred: progidx.Range(lo, lo+width)},
+				{Col: "c", Pred: progidx.AtLeast(cMin)},
+			},
+			Target: "a",
+			Aggs:   progidx.Sum | progidx.Count,
+		}
+		for r := 0; r < n; r++ {
+			b, c := flat[r*3+1], flat[r*3+2]
+			if b >= lo && b <= lo+width && c >= cMin {
+				wantSum[i] += flat[r*3]
+				wantCount[i]++
+			}
+		}
+	}
+
+	var matchedRows int64
+	for _, driver := range []string{"planner", "b", "c"} {
+		force := driver
+		if driver == "planner" {
+			force = ""
+		}
+		res := PlannerResult{Driver: driver, Queries: queries, AnswersMatch: true}
+		var scanned, pruned int64
+		for i, c := range conjs {
+			start := time.Now()
+			ans, ch, err := tbl.ExplainConj(c, force)
+			res.TotalSec += time.Since(start).Seconds()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if ans.Sum != wantSum[i] || ans.Count != wantCount[i] {
+				res.AnswersMatch = false
+			}
+			scanned += int64(ch.ScannedBlocks)
+			pruned += int64(ch.PrunedBlocks)
+			if driver == "planner" {
+				rep.PlannerPicks[ch.Driver]++
+				matchedRows += int64(ch.MatchedRows)
+			}
+		}
+		res.MeanQueryMs = res.TotalSec / float64(queries) * 1000
+		res.ScannedBlocksMean = float64(scanned) / float64(queries)
+		res.PrunedBlocksMean = float64(pruned) / float64(queries)
+		rep.Results = append(rep.Results, res)
+	}
+	rep.ActualSelectivity = float64(matchedRows) / float64(queries) / float64(n)
+
+	planner := rep.Results[0].MeanQueryMs
+	worst := planner
+	for _, r := range rep.Results[1:] {
+		if r.MeanQueryMs > worst {
+			worst = r.MeanQueryMs
+		}
+	}
+	for i := range rep.Results {
+		if planner > 0 {
+			rep.Results[i].SlowdownVsPlanner = rep.Results[i].MeanQueryMs / planner
+		}
+	}
+	if planner > 0 {
+		rep.SpeedupVsWorst = worst / planner
+	}
+	return rep
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -710,8 +858,10 @@ func main() {
 		shardN  = flag.Int("shardn", 2_000_000, "shard sweep column size")
 		shardQ  = flag.Int("shardqueries", 96, "shard sweep queries per configuration")
 		durN    = flag.Int("durn", 1_000_000, "durability suite base table size")
+		planN   = flag.Int("plannern", 2_000_000, "planner suite table size (rows × 3 columns)")
+		planQ   = flag.Int("plannerqueries", 96, "planner suite queries per driver policy")
 		outDir  = flag.String("out", ".", "output directory for the JSON artifacts")
-		suite   = flag.String("suite", "all", "kernels|convergence|shards|durability|all")
+		suite   = flag.String("suite", "all", "kernels|convergence|shards|durability|planner|all")
 	)
 	flag.Parse()
 
@@ -748,6 +898,17 @@ func main() {
 				r.Shards, r.Selectivity, r.MeanQueryMs, r.SpeedupVsUnsharded,
 				r.PrunedShards, r.Shards, r.PrunedZeroWork, r.AnswersMatch)
 		}
+	}
+	if *suite == "all" || *suite == "planner" {
+		rep := runPlanner(*planN, *planQ)
+		writeJSON(filepath.Join(*outDir, "BENCH_planner.json"), rep)
+		for _, r := range rep.Results {
+			fmt.Printf("  driver=%-8s mean=%7.3fms  slowdown=%5.2fx  blocks=%.0f scanned/%.0f pruned  match=%v\n",
+				r.Driver, r.MeanQueryMs, r.SlowdownVsPlanner,
+				r.ScannedBlocksMean, r.PrunedBlocksMean, r.AnswersMatch)
+		}
+		fmt.Printf("  planner picks=%v  actual_sel=%.5f  speedup_vs_worst=%.2fx\n",
+			rep.PlannerPicks, rep.ActualSelectivity, rep.SpeedupVsWorst)
 	}
 	if *suite == "all" || *suite == "durability" {
 		rep := runDurability(*durN)

@@ -14,6 +14,17 @@
 // writer verifies the rows it has appended so far (count and closed-
 // form sum over its private range — nobody else writes there).
 //
+// With -columns >= 2 it exercises the multi-column surface instead:
+// the table is loaded from the correlated generator with a c0..c{k-1}
+// schema, reader sessions issue composite queries (a range on the
+// clustered c0 plus extra predicates on the other columns, aggregated
+// over a random target column) and verify each answer against a
+// brute-force scan of the locally regenerated rows, and writers append
+// whole tuples through the Rows form. Writer tuples carry one strictly
+// increasing value replicated across every column, so the closed-form
+// count/sum checks work unchanged — issued as composite queries so the
+// planner path, not the legacy one, serves them.
+//
 // With -verify-only it loads nothing: it expects the table to already
 // exist on the server (recovered from a durable -datadir after a crash
 // or restart) with the same -n/-seed/-writers/-appends/-append-batch a
@@ -38,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -61,6 +73,7 @@ func main() {
 		strategy   = flag.String("strategy", "PQ", "index strategy abbreviation")
 		delta      = flag.Float64("delta", 0.25, "indexing fraction per query")
 		shards     = flag.Int("shards", 0, "range-partition the table into this many index shards (0 = unsharded)")
+		columns    = flag.Int("columns", 1, "columns per row (>= 2 loads a multi-column table and issues composite queries)")
 		encoding   = flag.String("encoding", "", "columnar encoding for the table (raw, auto, forbp, dict; empty = raw)")
 		sessions   = flag.Int("sessions", 8, "concurrent query sessions")
 		queries    = flag.Int("queries", 50, "queries per session")
@@ -85,17 +98,36 @@ func main() {
 	}
 
 	// Load the table server-side from the shared generator spec, and
-	// build the local oracle over the identical column. In verify-only
+	// build the local oracle over the identical rows. In verify-only
 	// mode the table already exists server-side (recovered from a
 	// durable datadir); only the local oracle is rebuilt.
-	vals := data.Uniform(*n, *seed)
+	k := *columns
+	if k < 1 {
+		k = 1
+	}
+	mc := k > 1
+	var (
+		vals []int64 // single-column mode
+		flat []int64 // multi-column mode: row-major tuples
+	)
+	if mc {
+		flat = data.MultiColumn(*n, k, *seed)
+	} else {
+		vals = data.Uniform(*n, *seed)
+	}
 	if *verifyOnly {
 		fmt.Printf("loadgen: verify-only against existing %q (%d loaded rows expected) on %s\n", *table, *n, *addr)
 	} else {
+		kind := "uniform"
+		var schema []string
+		if mc {
+			kind = "correlated"
+			schema = colNames(k)
+		}
 		loadBody := server.LoadRequest{
 			Name:     *table,
-			Generate: &server.GenerateSpec{Kind: "uniform", N: *n, Seed: *seed},
-			Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards, Encoding: *encoding},
+			Generate: &server.GenerateSpec{Kind: kind, N: *n, Seed: *seed},
+			Options:  &server.OptionsSpec{Strategy: *strategy, Delta: *delta, Shards: *shards, Encoding: *encoding, Columns: schema},
 		}
 		if err := postJSON(client, base+"/tables", loadBody, nil, http.StatusCreated); err != nil {
 			fatal("load table: %v", err)
@@ -104,11 +136,11 @@ func main() {
 		if enc == "" {
 			enc = "raw"
 		}
-		fmt.Printf("loadgen: loaded %q (%d rows, %s, δ=%g, shards=%d, encoding=%s) on %s\n", *table, *n, *strategy, *delta, *shards, enc, *addr)
+		fmt.Printf("loadgen: loaded %q (%d rows × %d cols, %s, δ=%g, shards=%d, encoding=%s) on %s\n", *table, *n, k, *strategy, *delta, *shards, enc, *addr)
 	}
 
 	var oracle progidx.Index
-	if *check {
+	if *check && !mc {
 		oracle = progidx.Synchronize(progidx.MustNew(vals, progidx.Options{Strategy: progidx.StrategyFullScan}))
 	}
 
@@ -137,7 +169,17 @@ func main() {
 			local := make([]time.Duration, 0, *queries)
 			errs := 0
 			for q := 0; q < *queries; q++ {
-				req, wire := randomQuery(rng, int64(*n), writerMode)
+				var (
+					req    progidx.Request
+					preds  []mcPred
+					target int
+					wire   server.QueryRequest
+				)
+				if mc {
+					preds, target, wire = mcRandomQuery(rng, int64(*n), k)
+				} else {
+					req, wire = randomQuery(rng, int64(*n), writerMode)
+				}
 				qs := time.Now()
 				var resp server.QueryResponse
 				err := postJSON(client, queryURL, wire, &resp, http.StatusOK)
@@ -149,7 +191,12 @@ func main() {
 					continue
 				}
 				batchSum.Add(uint64(resp.BatchSize))
-				if oracle != nil && !matches(oracle, req, resp) {
+				switch {
+				case mc && *check && !mcMatches(flat, k, preds, target, resp):
+					mismatches.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: session %d query %d: composite answer mismatch (%d predicates, target c%d)\n",
+						session, q, len(preds), target)
+				case !mc && oracle != nil && !matches(oracle, req, resp):
 					mismatches.Add(1)
 					fmt.Fprintf(os.Stderr, "loadgen: session %d query %d: answer mismatch for %v\n",
 						session, q, req.Pred)
@@ -188,8 +235,7 @@ func main() {
 				lo, hi := wbase, wbase+span-1
 				var resp server.QueryResponse
 				err := postJSON(client, base+"/tables/"+*table+"/query",
-					server.QueryRequest{Pred: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi},
-						Aggs: []string{"sum", "count", "min", "max"}}, &resp, http.StatusOK)
+					writerRangeQuery(mc, k, lo, hi), &resp, http.StatusOK)
 				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "loadgen: writer %d verify: %v\n", writer, err)
@@ -214,9 +260,24 @@ func main() {
 				for i := range batch {
 					batch[i] = wbase + written + int64(i)
 				}
+				// Multi-column tables ingest whole tuples: the writer's
+				// value replicated across every column, so the closed-form
+				// checks hold for any target column.
+				areq := server.AppendRequest{Values: batch}
+				if mc {
+					rows := make([][]int64, len(batch))
+					for i, v := range batch {
+						row := make([]int64, k)
+						for c := range row {
+							row[c] = v
+						}
+						rows[i] = row
+					}
+					areq = server.AppendRequest{Rows: rows, Values: nil}
+				}
 				var ar server.AppendResponse
 				if err := postJSON(client, base+"/tables/"+*table+"/append",
-					server.AppendRequest{Values: batch}, &ar, http.StatusOK); err != nil {
+					areq, &ar, http.StatusOK); err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "loadgen: writer %d append %d: %v\n", writer, a, err)
 					continue
@@ -231,8 +292,7 @@ func main() {
 				lo, hi := wbase, wbase+written-1
 				var resp server.QueryResponse
 				err := postJSON(client, base+"/tables/"+*table+"/query",
-					server.QueryRequest{Pred: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi},
-						Aggs: []string{"sum", "count", "min", "max"}}, &resp, http.StatusOK)
+					writerRangeQuery(mc, k, lo, hi), &resp, http.StatusOK)
 				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "loadgen: writer %d check %d: %v\n", writer, a, err)
@@ -376,6 +436,132 @@ func randomQuery(rng *rand.Rand, n int64, bounded bool) (progidx.Request, server
 		aggs, names = progidx.AllAggregates, []string{"sum", "count", "min", "max", "avg"}
 	}
 	return progidx.Request{Pred: pred, Aggs: aggs}, server.QueryRequest{Pred: spec, Aggs: names}
+}
+
+// colNames is the schema used for multi-column runs: c0..c{k-1},
+// matching what -verify-only must reconstruct after a restart.
+func colNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	return names
+}
+
+// mcPred is one column predicate in local (oracle) form: an inclusive
+// value window on one column, with open ends at the int64 extremes.
+type mcPred struct {
+	col    int
+	lo, hi int64
+}
+
+// mcRandomQuery builds a composite query in both oracle and wire
+// forms: always a bounded range on the clustered c0 — which keeps the
+// conjunction disjoint from writer tuples (all above 2n) even while
+// the table grows — plus a coin-flipped extra predicate per remaining
+// column, aggregated over a random target column.
+func mcRandomQuery(rng *rand.Rand, n int64, k int) ([]mcPred, int, server.QueryRequest) {
+	lo := rng.Int63n(n)
+	hi := lo + rng.Int63n(n/8+1)
+	preds := []mcPred{{col: 0, lo: lo, hi: hi}}
+	wire := server.QueryRequest{
+		Predicates: []server.ColPredSpec{
+			{Col: "c0", PredSpec: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi}},
+		},
+		Aggs: []string{"sum", "count", "min", "max"},
+	}
+	for c := 1; c < k; c++ {
+		if rng.Intn(2) != 0 {
+			continue
+		}
+		name := fmt.Sprintf("c%d", c)
+		v := rng.Int63n(n)
+		switch rng.Intn(3) {
+		case 0:
+			w := v + rng.Int63n(n/2+1)
+			preds = append(preds, mcPred{col: c, lo: v, hi: w})
+			wire.Predicates = append(wire.Predicates, server.ColPredSpec{
+				Col: name, PredSpec: server.PredSpec{Kind: "range", Lo: &v, Hi: &w}})
+		case 1:
+			preds = append(preds, mcPred{col: c, lo: v, hi: int64(1)<<62 - 1})
+			wire.Predicates = append(wire.Predicates, server.ColPredSpec{
+				Col: name, PredSpec: server.PredSpec{Kind: "atleast", Value: &v}})
+		default:
+			preds = append(preds, mcPred{col: c, lo: -(int64(1) << 62), hi: v})
+			wire.Predicates = append(wire.Predicates, server.ColPredSpec{
+				Col: name, PredSpec: server.PredSpec{Kind: "atmost", Value: &v}})
+		}
+	}
+	target := rng.Intn(k)
+	wire.Target = fmt.Sprintf("c%d", target)
+	return preds, target, wire
+}
+
+// mcMatches verifies a composite answer against a brute-force scan of
+// the locally regenerated rows: a row matches when every predicate
+// accepts its column value, and the target column's values of the
+// matches feed count/sum/min/max.
+func mcMatches(flat []int64, k int, preds []mcPred, target int, resp server.QueryResponse) bool {
+	var (
+		count, sum int64
+		mn         = int64(math.MaxInt64)
+		mx         = int64(math.MinInt64)
+	)
+	rows := len(flat) / k
+	for i := 0; i < rows; i++ {
+		ok := true
+		for _, p := range preds {
+			v := flat[i*k+p.col]
+			if v < p.lo || v > p.hi {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		tv := flat[i*k+target]
+		count++
+		sum += tv
+		if tv < mn {
+			mn = tv
+		}
+		if tv > mx {
+			mx = tv
+		}
+	}
+	if resp.Count != count {
+		return false
+	}
+	if resp.Sum == nil || *resp.Sum != sum {
+		return false
+	}
+	if count > 0 {
+		if resp.Min == nil || *resp.Min != mn {
+			return false
+		}
+		if resp.Max == nil || *resp.Max != mx {
+			return false
+		}
+	}
+	return true
+}
+
+// writerRangeQuery is the writers' closed-form check in wire form: the
+// legacy single-predicate query on one-column tables, and the same
+// range as a composite query (predicate on c0, aggregate over the last
+// column) on multi-column tables, so the planner path serves it.
+func writerRangeQuery(mc bool, k int, lo, hi int64) server.QueryRequest {
+	qr := server.QueryRequest{Aggs: []string{"sum", "count", "min", "max"}}
+	if mc {
+		qr.Predicates = []server.ColPredSpec{
+			{Col: "c0", PredSpec: server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi}},
+		}
+		qr.Target = fmt.Sprintf("c%d", k-1)
+	} else {
+		qr.Pred = server.PredSpec{Kind: "range", Lo: &lo, Hi: &hi}
+	}
+	return qr
 }
 
 // matches replays req on the local oracle index and compares every

@@ -81,3 +81,33 @@ func HintsFromRequests(reqs []Request) WorkloadHints {
 	}
 	return h
 }
+
+// HintsFromConjunctions derives per-column workload hints from a
+// sample of composite queries: each column's hint set is computed from
+// the predicates the conjunction stream actually placed on it, so a
+// column that only ever carries equality residuals (`b = v` riding
+// alongside another column's range) gets the point-query hint — and
+// with it the Radix LSD recommendation — while a range-driven column
+// does not. Columns never touched by a predicate are absent from the
+// map; data-shape hints stay at their zero values, as in
+// HintsFromRequests. The empty column name is the caller's alias for
+// the table's first column, exactly as in ColPredicate.
+func HintsFromConjunctions(conjs []Conjunction) map[string]WorkloadHints {
+	hints := make(map[string]WorkloadHints)
+	seen := make(map[string]bool)
+	for _, c := range conjs {
+		for _, cp := range c.Preds {
+			point := cp.Pred.IsPoint()
+			if !seen[cp.Col] {
+				seen[cp.Col] = true
+				hints[cp.Col] = WorkloadHints{PointQueriesOnly: point}
+				continue
+			}
+			if h := hints[cp.Col]; h.PointQueriesOnly && !point {
+				h.PointQueriesOnly = false
+				hints[cp.Col] = h
+			}
+		}
+	}
+	return hints
+}

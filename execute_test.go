@@ -348,6 +348,52 @@ func TestHintsFromRequests(t *testing.T) {
 	}
 }
 
+// TestHintsFromConjunctions pins the per-column hint derivation from a
+// composite-query stream: the workload drives column a with ranges and
+// only ever places equality residuals on column b, so b — and only b —
+// gets the point-query hint and the Radix LSD recommendation.
+func TestHintsFromConjunctions(t *testing.T) {
+	session := []Conjunction{
+		Conj("a", 0, On("a", Range(100, 5000)), On("b", Point(7))),
+		Conj("a", 0, On("a", Range(200, 9000)), On("b", Range(3, 3))),
+		Conj("a", 0, On("a", AtLeast(50)), On("b", Point(9))),
+	}
+	hints := HintsFromConjunctions(session)
+	if h, ok := hints["a"]; !ok || h.PointQueriesOnly {
+		t.Fatalf("range-driven column a misdetected: %+v (present=%v)", h, ok)
+	}
+	if h, ok := hints["b"]; !ok || !h.PointQueriesOnly {
+		t.Fatalf("equality-residual column b not point-only: %+v (present=%v)", h, ok)
+	}
+	if s := Recommend(hints["b"]); s != StrategyRadixLSD {
+		t.Fatalf("point-residual column recommends %v, want PLSD", s)
+	}
+	if s := Recommend(hints["a"]); s != StrategyRadixMSD {
+		t.Fatalf("range-driven column recommends %v, want PMSD", s)
+	}
+
+	// A single wide range on b, however late, clears its point hint.
+	session = append(session, Conj("a", 0, On("b", Range(0, 1000))))
+	if h := HintsFromConjunctions(session)["b"]; h.PointQueriesOnly {
+		t.Fatal("wide range on b did not clear its point hint")
+	}
+
+	// Untouched columns are absent; an empty stream yields no hints.
+	if _, ok := hints["c"]; ok {
+		t.Fatal("never-predicated column has a hint entry")
+	}
+	if got := HintsFromConjunctions(nil); len(got) != 0 {
+		t.Fatalf("empty stream produced hints: %v", got)
+	}
+
+	// The empty column name (first-column alias) is tracked as its own
+	// key, matching ColPredicate semantics.
+	alias := []Conjunction{Conj("", 0, On("", Point(1)))}
+	if h, ok := HintsFromConjunctions(alias)[""]; !ok || !h.PointQueriesOnly {
+		t.Fatalf("first-column alias not tracked: %+v (present=%v)", h, ok)
+	}
+}
+
 // TestHintsFromRequestsDegenerateRanges pins that a session issuing
 // only degenerate Range(x, x) predicates — single-value BETWEENs, the
 // way some clients spell point probes — selects the point branch just

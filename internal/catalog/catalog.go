@@ -18,6 +18,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // Status is a table's lifecycle state.
@@ -77,6 +78,21 @@ type Options struct {
 	// claims them — and their snapshots persist compressed too. The zero
 	// value (raw) is the uncompressed default.
 	Encoding progidx.Encoding
+	// Columns names the table's schema. Empty or one name keeps the v1
+	// single-column layout; two or more switch the table to a plan.Table
+	// — one row-aligned store and one progressive index per column, fed
+	// by flat row-major tuples (len(Columns) values per row) and queried
+	// with conjunctions through the selectivity-driven planner.
+	Columns []string
+}
+
+// RowWidth is the number of values per logical row: len(Columns) for a
+// multi-column table, 1 otherwise.
+func (o Options) RowWidth() int {
+	if len(o.Columns) > 1 {
+		return len(o.Columns)
+	}
+	return 1
 }
 
 // IdleRefineEnabled resolves the tri-state IdleRefine switch.
@@ -154,8 +170,29 @@ func (t *Table) timeline() *obs.Timeline {
 // Name returns the table's catalog name.
 func (t *Table) Name() string { return t.name }
 
-// Len returns the logical row count, appended rows included.
+// Len returns the logical row count (tuples, not values), appended
+// rows included.
 func (t *Table) Len() int { return int(t.rows.Load()) }
+
+// RowWidth is the number of values per logical row (1 for a
+// single-column table).
+func (t *Table) RowWidth() int { return t.opts.RowWidth() }
+
+// Columns returns the table's schema: the configured column names for
+// a multi-column table, nil for a single-column one.
+func (t *Table) Columns() []string {
+	if t.opts.RowWidth() > 1 {
+		return t.opts.Columns
+	}
+	return nil
+}
+
+// Planned returns the table's multi-column planner handle (ok == false
+// for single-column tables).
+func (t *Table) Planned() (*plan.Table, bool) {
+	pt, ok := t.idx.(*plan.Table)
+	return pt, ok
+}
 
 // MinValue bounds the column's value domain from below. Once the table
 // is ready the bounds come from the index handle's zone statistics,
@@ -198,19 +235,25 @@ func (t *Table) Values() []int64 {
 // handle: the rows are visible to every query admitted after Append
 // returns, and the index absorbs them progressively under its normal
 // per-query budget (pending-tail scan + merge for unsharded tables,
-// growable tail shard for sharded ones). Appending to a table that is
-// not ready fails cleanly.
+// growable tail shard for sharded ones). On a multi-column table the
+// values are flat row-major tuples and their length must be a multiple
+// of the row width. Appending to a table that is not ready fails
+// cleanly.
 func (t *Table) Append(values []int64) error {
 	if t.Status() != StatusReady {
 		return fmt.Errorf("catalog: table %q not ready (%s)", t.name, t.Status())
+	}
+	k := t.RowWidth()
+	if len(values)%k != 0 {
+		return fmt.Errorf("catalog: append to %q: %d values not a multiple of row width %d", t.name, len(values), k)
 	}
 	if err := t.idx.Append(values); err != nil {
 		return fmt.Errorf("catalog: append to %q: %w", t.name, err)
 	}
 	if len(values) > 0 {
-		t.rows.Add(int64(len(values)))
+		t.rows.Add(int64(len(values) / k))
 		t.appends.Add(1)
-		t.appendRows.Add(uint64(len(values)))
+		t.appendRows.Add(uint64(len(values) / k))
 	}
 	if t.log != nil && len(values) > 0 {
 		// Write-ahead-log the batch after the in-memory ingest so the
@@ -266,7 +309,11 @@ type Info struct {
 	Strategy string `json:"strategy"`
 	Shards   int    `json:"shards"`
 	Encoding string `json:"encoding,omitempty"`
-	Status   string `json:"status"`
+	// Columns is the schema of a multi-column table (absent for the v1
+	// single-column layout); Rows counts logical tuples either way, and
+	// MinValue/MaxValue bound the first column.
+	Columns []string `json:"columns,omitempty"`
+	Status  string   `json:"status"`
 	// Appends counts Append calls absorbed; AppendedRows the rows they
 	// carried (Rows already includes them).
 	Appends      uint64  `json:"appends"`
@@ -288,6 +335,7 @@ func (t *Table) Info() Info {
 	info := Info{
 		Name:         t.name,
 		Rows:         t.Len(),
+		Columns:      t.Columns(),
 		Strategy:     t.opts.Strategy.String(),
 		Shards:       t.ShardCount(),
 		Status:       t.Status().String(),
@@ -363,20 +411,30 @@ func New() *Catalog {
 
 // Load registers a new table over values and builds its index handle.
 // The values slice is retained as the base column and must not be
-// mutated afterwards. Loading an existing name is an error (drop
-// first); so are an empty name and an empty column.
+// mutated afterwards. For a multi-column schema (opts.Columns with two
+// or more names) the values are flat row-major tuples — row width
+// values each — and the handle is a plan.Table. Loading an existing
+// name is an error (drop first); so are an empty name and an empty
+// column.
 func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty table name")
 	}
-	col, err := column.New(values)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+	k := opts.RowWidth()
+	var col *column.Column
+	if k == 1 {
+		var err error
+		col, err = column.New(values)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: load %q: %w", name, err)
+		}
+	} else if len(values) == 0 || len(values)%k != 0 {
+		return nil, fmt.Errorf("catalog: load %q: %d values not a non-empty multiple of row width %d", name, len(values), k)
 	}
 
 	t := &Table{name: name, opts: opts, created: time.Now()}
 	t.col.Store(col)
-	t.rows.Store(int64(col.Len()))
+	t.rows.Store(int64(len(values) / k))
 	t.status.Store(int32(StatusLoading))
 
 	// Reserve the name before building the index so two concurrent
@@ -400,7 +458,15 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 		return nil, err
 	}
 
-	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
+	var idx progidx.Handle
+	var err error
+	durableRows := values
+	if k > 1 {
+		idx, err = plan.New(name, opts.Columns, values, opts.progidxOptions())
+	} else {
+		idx, err = progidx.NewHandleFromColumn(col, opts.progidxOptions())
+		durableRows = col.Values()
+	}
 	if err != nil {
 		return fail(fmt.Errorf("catalog: load %q: %w", name, err))
 	}
@@ -410,7 +476,9 @@ func (c *Catalog) Load(name string, values []int64, opts Options) (*Table, error
 		// Establish the on-disk state — base snapshot with the load
 		// rows plus manifest, durable before the load is acked — so a
 		// created table survives a crash even before its first append.
-		log, err := c.store.Create(name, opts.meta(), t.created.UnixNano(), col.Values())
+		// Multi-column tables snapshot their flat row-major tuples; the
+		// byte format is the k=1 format, just k values per logical row.
+		log, err := c.store.Create(name, opts.meta(), t.created.UnixNano(), durableRows)
 		if err != nil {
 			return fail(fmt.Errorf("catalog: load %q: %w", name, err))
 		}

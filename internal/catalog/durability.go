@@ -9,6 +9,7 @@ import (
 	"repro/internal/column"
 	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // This file is the catalog half of the durability subsystem
@@ -38,6 +39,13 @@ func (o Options) meta() durable.TableMeta {
 	if o.Encoding.Compressed() {
 		m.Encoding = o.Encoding.String()
 	}
+	// Single-column tables keep Format 0 and no schema so their
+	// manifests stay byte-identical to the v1 layout; only a real
+	// multi-column schema marks the meta as format v2.
+	if len(o.Columns) > 1 {
+		m.Columns = append([]string(nil), o.Columns...)
+		m.Format = durable.FormatMultiColumn
+	}
 	return m
 }
 
@@ -51,6 +59,9 @@ func optionsFromMeta(m durable.TableMeta) (Options, error) {
 	if err != nil {
 		return Options{}, fmt.Errorf("catalog: recovered table meta: %w", err)
 	}
+	if err := m.Validate(); err != nil {
+		return Options{}, fmt.Errorf("catalog: recovered table meta: %w", err)
+	}
 	return Options{
 		Strategy:   strat,
 		Delta:      float64(m.DeltaPPM) / 1e6,
@@ -61,6 +72,7 @@ func optionsFromMeta(m durable.TableMeta) (Options, error) {
 		Shards:     m.Shards,
 		IdleRefine: m.IdleRefine,
 		Encoding:   enc,
+		Columns:    append([]string(nil), m.Columns...),
 	}, nil
 }
 
@@ -200,13 +212,19 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	col, err := column.New(rec.Base)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: recover %q: %w", rec.Name, err)
+	k := opts.RowWidth()
+	var col *column.Column
+	if k == 1 {
+		col, err = column.New(rec.Base)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: recover %q: %w", rec.Name, err)
+		}
+	} else if len(rec.Base) == 0 || len(rec.Base)%k != 0 {
+		return nil, fmt.Errorf("catalog: recover %q: snapshot holds %d values, not a non-empty multiple of row width %d", rec.Name, len(rec.Base), k)
 	}
 	t := &Table{name: rec.Name, opts: opts, created: time.Unix(0, rec.CreatedAt)}
 	t.col.Store(col)
-	t.rows.Store(int64(col.Len()))
+	t.rows.Store(int64(len(rec.Base) / k))
 	t.status.Store(int32(StatusLoading))
 
 	c.mu.Lock()
@@ -226,7 +244,12 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 		return nil, err
 	}
 
-	idx, err := progidx.NewHandleFromColumn(col, opts.progidxOptions())
+	var idx progidx.Handle
+	if k > 1 {
+		idx, err = plan.New(rec.Name, opts.Columns, rec.Base, opts.progidxOptions())
+	} else {
+		idx, err = progidx.NewHandleFromColumn(col, opts.progidxOptions())
+	}
 	if err != nil {
 		return fail(fmt.Errorf("catalog: recover %q: %w", rec.Name, err))
 	}
@@ -255,11 +278,14 @@ func (c *Catalog) LoadRecovered(rec durable.Recovered) (*Table, error) {
 	}
 	var tailRows uint64
 	for i, b := range rec.Batches {
+		if len(b)%k != 0 {
+			return fail(fmt.Errorf("catalog: recover %q: replay frame of %d values, not a multiple of row width %d", rec.Name, len(b), k))
+		}
 		if err := idx.Append(b); err != nil {
 			return fail(fmt.Errorf("catalog: recover %q: replay append: %w", rec.Name, err))
 		}
-		t.rows.Add(int64(len(b)))
-		tailRows += uint64(len(b))
+		t.rows.Add(int64(len(b) / k))
+		tailRows += uint64(len(b) / k)
 		tl.SetReplayProgress(uint64(i+1), total)
 	}
 	if total > 0 {

@@ -86,6 +86,43 @@ func SkyServer(n int, seed int64) []int64 {
 	return vals
 }
 
+// MultiColumn returns n k-column rows, flat row-major (k values per
+// tuple), shaped for composite-predicate workloads:
+//
+//   - column 0 is clustered: values track the row position with small
+//     noise, so block zone maps prune range predicates on it sharply;
+//   - column 1 (when k >= 2) is correlated with column 0 — the value is
+//     column 0's plus a skewed offset — so conjunctions over both
+//     columns have correlated, not independent, selectivities;
+//   - the remaining columns are uniform over [0, n), each from its own
+//     derived seed stream.
+//
+// Deterministic given (n, k, seed): clients regenerate the same rows
+// locally for oracle checks, exactly like the single-column
+// generators.
+func MultiColumn(n, k int, seed int64) []int64 {
+	if k < 1 {
+		k = 1
+	}
+	flat := make([]int64, n*k)
+	noise := int64(n/100) + 1
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		base := int64(i) + rng.Int63n(2*noise+1) - noise
+		flat[i*k] = base
+		if k >= 2 {
+			flat[i*k+1] = base + rng.Int63n(10*noise)
+		}
+	}
+	for c := 2; c < k; c++ {
+		crng := rand.New(rand.NewSource(seed + int64(c)*0x9e3779b9))
+		for i := 0; i < n; i++ {
+			flat[i*k+c] = crng.Int63n(int64(n))
+		}
+	}
+	return flat
+}
+
 func pickCluster(rng *rand.Rand) skyCluster {
 	r := rng.Float64()
 	acc := 0.0

@@ -31,6 +31,31 @@ type TableMeta struct {
 	// "forbp", "dict"); empty means raw. Compressed tables also get
 	// compressed snapshot payloads (see snapshotMeta.Payload).
 	Encoding string `json:"encoding,omitempty"`
+	// Columns is the table's schema for multi-column tables; absent (or
+	// one name) means the v1 single-column layout. Rows are stored flat
+	// row-major in WAL frames and snapshots — len(Columns) values per
+	// tuple — so the frame and snapshot byte formats are unchanged and a
+	// k=1 table's files stay byte-identical to v1.
+	Columns []string `json:"columns,omitempty"`
+	// Format versions the manifest/meta layout: 0 (absent) is the v1
+	// single-column format, FormatMultiColumn marks a schema-carrying
+	// table. Readers reject formats they do not know.
+	Format int `json:"format,omitempty"`
+}
+
+// FormatMultiColumn is the meta format written for tables created with
+// an explicit multi-column schema.
+const FormatMultiColumn = 2
+
+// Validate rejects meta this build cannot interpret.
+func (m TableMeta) Validate() error {
+	if m.Format > FormatMultiColumn {
+		return fmt.Errorf("durable: meta format %d newer than supported %d", m.Format, FormatMultiColumn)
+	}
+	if m.Format == FormatMultiColumn && len(m.Columns) == 0 {
+		return fmt.Errorf("durable: multi-column meta without a schema")
+	}
+	return nil
 }
 
 // manifest is the per-table manifest.json: identity plus the durable
@@ -362,6 +387,9 @@ func (s *Store) recoverTable(dir string) (Recovered, error) {
 	}
 	if man.Name == "" {
 		return rec, fmt.Errorf("manifest: empty table name")
+	}
+	if err := man.Meta.Validate(); err != nil {
+		return rec, fmt.Errorf("manifest: %w", err)
 	}
 	meta, base, ok, err := newestValidSnapshot(dir, s.fs)
 	if err != nil {

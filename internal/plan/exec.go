@@ -1,0 +1,311 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/column"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// execConj answers one conjunction under the table's read lock. The
+// caller handles the batch's δ; this path never spends indexing budget
+// except through the driver column's clamped index execution.
+//
+// Route selection:
+//   - no predicates, or one predicate on the aggregate target column:
+//     direct route through that column's own progressive index (full
+//     index acceleration, budget clamped);
+//   - everything else: planner picks the driving column, then a fused
+//     block scan prunes with every column's zone maps, evaluates the
+//     driver's predicate first and verifies residuals in estimated-
+//     selectivity order with the chunked parallel kernels.
+func (t *Table) execConj(c query.Conjunction, tr *obs.Trace, forced int) (query.Answer, Choice, error) {
+	if err := c.Validate(); err != nil {
+		return query.Answer{}, Choice{}, err
+	}
+	// Resolve target and predicate columns against the schema.
+	target := c.TargetCol()
+	if target == "" {
+		target = t.cols[0].name
+	}
+	tgt, ok := t.byName[target]
+	if !ok {
+		return query.Answer{}, Choice{}, fmt.Errorf("plan: unknown column %q in table %q", target, t.name)
+	}
+	aggs := c.Aggs.Normalize()
+	preds := make([]query.ColPredicate, len(c.Preds))
+	bounds := make([][2]int64, len(c.Preds))
+	emptyPred := false
+	for i, cp := range c.Preds {
+		if cp.Col == "" {
+			cp.Col = t.cols[0].name
+		}
+		ci, ok := t.byName[cp.Col]
+		if !ok {
+			return query.Answer{}, Choice{}, fmt.Errorf("plan: unknown column %q in table %q", cp.Col, t.name)
+		}
+		t.cols[ci].heat.Add(1)
+		preds[i] = cp
+		lo, hi, empty := cp.Pred.Bounds(t.cols[ci].store.mn, t.cols[ci].store.mx)
+		if empty {
+			emptyPred = true
+		}
+		bounds[i] = [2]int64{lo, hi}
+	}
+
+	// A predicate disjoint from its column's zone empties the whole
+	// conjunction without touching any store.
+	if emptyPred {
+		ch := Choice{Direct: false}
+		if len(preds) > 0 {
+			ch.Driver = preds[0].Col
+		}
+		if forced >= 0 && forced < len(preds) {
+			ch.Driver = preds[forced].Col
+			ch.Forced = true
+		}
+		ans := query.NewAnswer(column.NewAgg(), aggs, query.Stats{Workers: t.pool.Workers()})
+		t.tracePlan(tr, ch, aggs, true)
+		return ans, ch, nil
+	}
+
+	// Direct route: the conjunction is a single-column query on the
+	// aggregate target (or unconditional), which the column's own
+	// progressive index answers with full acceleration.
+	if forced < 0 && (len(preds) == 0 || (len(preds) == 1 && t.byName[preds[0].Col] == tgt)) {
+		req := query.Request{Pred: query.Range(t.cols[tgt].store.mn, t.cols[tgt].store.mx), Aggs: aggs}
+		if len(preds) == 1 {
+			req.Pred = preds[0].Pred
+		} else {
+			t.cols[tgt].heat.Add(1)
+		}
+		ch := Choice{Driver: t.cols[tgt].name, Direct: true}
+		ans, err := t.directExecute(tgt, req)
+		if err != nil {
+			return query.Answer{}, ch, err
+		}
+		ch.MatchedRows = ans.Count
+		ch.DriverRows = ans.Count
+		t.tracePlan(tr, ch, aggs, false)
+		return ans, ch, nil
+	}
+
+	driver, ch := t.choose(preds, bounds, forced)
+	ans := t.fusedScan(preds, bounds, driver, tgt, aggs, &ch)
+	t.tracePlan(tr, ch, aggs, false)
+	return ans, ch, nil
+}
+
+// directExecute runs a single-column request on column ci's index with
+// the budget clamped (the batch, not the query, owns the δ).
+func (t *Table) directExecute(ci int, req query.Request) (query.Answer, error) {
+	idx := t.cols[ci].idx
+	if bc, ok := idx.(progidx.BudgetClamper); ok {
+		answers, errs := bc.ExecuteBatchClamped([]query.Request{req})
+		return answers[0], errs[0]
+	}
+	return idx.Execute(req)
+}
+
+// tracePlan records the planner-choice span: driver, per-column
+// estimated vs actual selectivity, and residual verification volume.
+func (t *Table) tracePlan(tr *obs.Trace, ch Choice, aggs column.Aggregates, empty bool) {
+	if tr == nil {
+		return
+	}
+	sp := tr.Start(tr.AttachPoint(), "plan")
+	tr.Str(sp, "driver", ch.Driver)
+	tr.Bool(sp, "direct", ch.Direct)
+	if ch.Forced {
+		tr.Bool(sp, "forced", true)
+	}
+	if empty {
+		tr.Bool(sp, "zone_empty", true)
+	}
+	rows := float64(t.rows)
+	for _, cand := range ch.Candidates {
+		tr.Float(sp, "est_sel."+cand.Col, cand.EstSel)
+		tr.Float(sp, "cost."+cand.Col, cand.Cost)
+	}
+	tr.Int(sp, "scanned_blocks", int64(ch.ScannedBlocks))
+	tr.Int(sp, "pruned_blocks", int64(ch.PrunedBlocks))
+	tr.Int(sp, "driver_rows", int64(ch.DriverRows))
+	tr.Int(sp, "residual_rows", int64(ch.ResidualRows))
+	tr.Int(sp, "matched_rows", int64(ch.MatchedRows))
+	if rows > 0 {
+		tr.Float(sp, "actual_sel", float64(ch.MatchedRows)/rows)
+	}
+	tr.End(sp)
+}
+
+// fusedScan answers a multi-predicate conjunction in one pass over the
+// zone-pruned blocks: a block survives only if every predicate's zone
+// overlaps it (the maps are row-aligned, so the AND of zones is exact
+// pruning), then rows are tested driver-first with residuals in
+// estimated-selectivity order, and the target column's values of the
+// matching rows feed the aggregates. Chunk partials merge in block
+// order, so answers are bit-identical at every worker count and for
+// every driver choice.
+//
+// A forced driver (ExplainConj's worst-column baseline) instead prunes
+// with that column's zones alone — emulating an engine whose only
+// access path is the pinned column, which is exactly the per-candidate
+// cost the planner scores — while residual predicates are still
+// verified row by row, so the answer stays identical and only the work
+// differs.
+func (t *Table) fusedScan(preds []query.ColPredicate, bounds [][2]int64, driver, tgt int, aggs column.Aggregates, ch *Choice) query.Answer {
+	// Evaluation order: driver first, then residuals by ascending
+	// zone-map estimate (cheapest rejections first).
+	order := make([]int, 0, len(preds))
+	order = append(order, driver)
+	rest := make([]int, 0, len(preds)-1)
+	for i := range preds {
+		if i != driver {
+			rest = append(rest, i)
+		}
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		return ch.Candidates[rest[a]].EstRows < ch.Candidates[rest[b]].EstRows
+	})
+	order = append(order, rest...)
+
+	stores := make([]*colStore, len(preds))
+	colOf := make([]int, len(preds))
+	for i, cp := range preds {
+		colOf[i] = t.byName[cp.Col]
+		stores[i] = t.cols[colOf[i]].store
+	}
+	tgtStore := t.cols[tgt].store
+
+	// Survivors of the zone AND — or of the pinned driver's zones alone
+	// when the caller forced the access path.
+	nb := tgtStore.blocks()
+	surv := make([]int32, 0, nb)
+	for b := 0; b < nb; b++ {
+		live := true
+		if ch.Forced {
+			zlo, zhi := stores[driver].blockZone(b)
+			live = bounds[driver][1] >= zlo && bounds[driver][0] <= zhi
+		} else {
+			for i := range preds {
+				zlo, zhi := stores[i].blockZone(b)
+				if bounds[i][1] < zlo || bounds[i][0] > zhi {
+					live = false
+					break
+				}
+			}
+		}
+		if live {
+			surv = append(surv, int32(b))
+		}
+	}
+	ch.ScannedBlocks, ch.PrunedBlocks = len(surv), nb-len(surv)
+
+	needMinMax := aggs.NeedsMinMax()
+	nOrd := len(order)
+	chunks := t.pool.Chunks(len(surv), minBlocksPerChunk)
+	partials := make([]column.Agg, chunks)
+	for c := range partials {
+		// Keep the ±inf extrema sentinels in chunks Run never invokes
+		// (an all-pruned scan), so the merge below can stay branch-free.
+		partials[c] = column.NewAgg()
+	}
+	passCounts := make([][]int64, chunks)
+	scanned := make([]int64, chunks)
+
+	t.pool.Run(len(surv), minBlocksPerChunk, func(chunk, clo, chi int) {
+		agg := column.NewAgg()
+		pass := make([]int64, nOrd)
+		var rows int64
+		// Per-goroutine decode scratch, one per involved column plus
+		// the target; reused across the chunk's blocks.
+		scratch := make([][]int64, nOrd+1)
+		decoded := make([][]int64, nOrd+1)
+		for si := clo; si < chi; si++ {
+			b := int(surv[si])
+			blen := stores[order[0]].blockLen(b)
+			rows += int64(blen)
+			drows := stores[order[0]].blockRows(b, &scratch[0])
+			dlo, dhi := bounds[order[0]][0], bounds[order[0]][1]
+			restReady := false
+			for i := 0; i < blen; i++ {
+				v := drows[i]
+				if v < dlo || v > dhi {
+					continue
+				}
+				pass[0]++
+				if !restReady {
+					for r := 1; r < nOrd; r++ {
+						decoded[r] = stores[order[r]].blockRows(b, &scratch[r])
+					}
+					decoded[nOrd] = tgtStore.blockRows(b, &scratch[nOrd])
+					restReady = true
+				}
+				okRow := true
+				for r := 1; r < nOrd; r++ {
+					rb := bounds[order[r]]
+					rv := decoded[r][i]
+					if rv < rb[0] || rv > rb[1] {
+						okRow = false
+						break
+					}
+					pass[r]++
+				}
+				if !okRow {
+					continue
+				}
+				tv := decoded[nOrd][i]
+				agg.Sum += tv
+				agg.Count++
+				if needMinMax {
+					if tv < agg.Min {
+						agg.Min = tv
+					}
+					if tv > agg.Max {
+						agg.Max = tv
+					}
+				}
+			}
+		}
+		partials[chunk] = agg
+		passCounts[chunk] = pass
+		scanned[chunk] = rows
+	})
+
+	total := column.NewAgg()
+	var scannedRows int64
+	pass := make([]int64, nOrd)
+	for c := 0; c < chunks; c++ {
+		total.Merge(partials[c])
+		scannedRows += scanned[c]
+		if passCounts[c] != nil {
+			for r := 0; r < nOrd; r++ {
+				pass[r] += passCounts[c][r]
+			}
+		}
+	}
+	ch.DriverRows = pass[0]
+	if nOrd > 1 {
+		ch.ResidualRows = pass[0]
+	}
+	ch.MatchedRows = total.Count
+
+	stats := query.Stats{
+		Workers:       t.pool.Workers(),
+		AlphaElems:    int(scannedRows),
+		ShardsScanned: ch.ScannedBlocks,
+		ShardsPruned:  ch.PrunedBlocks,
+	}
+	if p, ok := t.cols[colOf[driver]].idx.Phase(); ok {
+		stats.Phase = p
+	}
+	return query.NewAnswer(total, aggs, stats)
+}
+
+// minBlocksPerChunk sizes the parallel fan-out over surviving blocks:
+// 16 blocks × 4096 rows = the 64Ki-row floor the column kernels use
+// before going parallel.
+const minBlocksPerChunk = 16

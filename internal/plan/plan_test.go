@@ -1,0 +1,398 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/column"
+	"repro/internal/query"
+)
+
+// genTable builds a k-column test table with planner-relevant shape:
+// column 0 is clustered (values correlate with row position, so zone
+// maps prune it well), the others are uniform over [0, n).
+func genTuples(n, k int, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]int64, k)
+	for c := range cols {
+		cols[c] = make([]int64, n)
+		for i := 0; i < n; i++ {
+			if c == 0 {
+				noise := int64(n/100) + 1
+				cols[c][i] = int64(i) + rng.Int63n(2*noise+1) - noise
+			} else {
+				cols[c][i] = rng.Int63n(int64(n))
+			}
+		}
+	}
+	return cols
+}
+
+func flatten(cols [][]int64, from, to int) []int64 {
+	k := len(cols)
+	flat := make([]int64, 0, (to-from)*k)
+	for r := from; r < to; r++ {
+		for c := 0; c < k; c++ {
+			flat = append(flat, cols[c][r])
+		}
+	}
+	return flat
+}
+
+// oracleConj is the branching full-scan oracle: evaluate every
+// predicate on every row, aggregate the target values of the rows that
+// pass all of them.
+func oracleConj(cols [][]int64, names []string, rows int, c query.Conjunction) query.Answer {
+	byName := map[string]int{}
+	for i, n := range names {
+		byName[n] = i
+	}
+	target := c.TargetCol()
+	if target == "" {
+		target = names[0]
+	}
+	aggs := c.Aggs.Normalize()
+	agg := column.NewAgg()
+	for r := 0; r < rows; r++ {
+		ok := true
+		for _, cp := range c.Preds {
+			col := cp.Col
+			if col == "" {
+				col = names[0]
+			}
+			if !cp.Pred.Matches(cols[byName[col]][r]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		v := cols[byName[target]][r]
+		agg.Sum += v
+		agg.Count++
+		if v < agg.Min {
+			agg.Min = v
+		}
+		if v > agg.Max {
+			agg.Max = v
+		}
+	}
+	return query.NewAnswer(agg, aggs, query.Stats{})
+}
+
+func sameAnswer(a, b query.Answer) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	if a.Aggs.Has(column.AggSum) && a.Sum != b.Sum {
+		return false
+	}
+	av, aok := a.MinOk()
+	bv, bok := b.MinOk()
+	if aok != bok || (aok && av != bv) {
+		return false
+	}
+	av, aok = a.MaxOk()
+	bv, bok = b.MaxOk()
+	if aok != bok || (aok && av != bv) {
+		return false
+	}
+	af, aok2 := a.AvgOk()
+	bf, bok2 := b.AvgOk()
+	if aok2 != bok2 || (aok2 && af != bf) {
+		return false
+	}
+	return true
+}
+
+// randomConj builds a random conjunction over 1..k distinct columns
+// with mixed predicate kinds, a random target, and a random aggregate
+// set.
+func randomConj(rng *rand.Rand, names []string, n int64) query.Conjunction {
+	perm := rng.Perm(len(names))
+	np := 1 + rng.Intn(len(names))
+	preds := make([]query.ColPredicate, 0, np)
+	for _, ci := range perm[:np] {
+		var p query.Predicate
+		switch rng.Intn(5) {
+		case 0:
+			p = query.Point(rng.Int63n(n))
+		case 1:
+			p = query.AtLeast(rng.Int63n(n))
+		case 2:
+			p = query.AtMost(rng.Int63n(n))
+		default:
+			lo := rng.Int63n(n)
+			p = query.Range(lo, lo+rng.Int63n(n/2+1))
+		}
+		preds = append(preds, query.ColPredicate{Col: names[ci], Pred: p})
+	}
+	aggsChoices := []column.Aggregates{
+		0, // defaults to SUM+COUNT
+		column.AggSum | column.AggCount,
+		column.AggAll,
+		column.AggMin | column.AggMax,
+		column.AggCount,
+	}
+	return query.Conjunction{
+		Preds:  preds,
+		Target: names[rng.Intn(len(names))],
+		Aggs:   aggsChoices[rng.Intn(len(aggsChoices))],
+	}
+}
+
+// TestConjunctionsMatchOracle is the planner property test:
+// conjunctions × aggregates × strategies × shard counts must answer
+// bit-identically to the branching full-scan oracle, with appends
+// interleaved mid-stream.
+func TestConjunctionsMatchOracle(t *testing.T) {
+	const (
+		n       = 30_000
+		k       = 3
+		queries = 60
+	)
+	names := []string{"a", "b", "c"}
+	strategies := []progidx.Strategy{
+		progidx.StrategyQuicksort,
+		progidx.StrategyRadixMSD,
+		progidx.StrategyRadixLSD,
+		progidx.StrategyFullScan,
+	}
+	for _, strat := range strategies {
+		for _, shards := range []int{1, 3, 8} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("%s/shards=%d/workers=%d", strat, shards, workers)
+				t.Run(name, func(t *testing.T) {
+					cols := genTuples(n, k, 11)
+					loaded := n / 2
+					tbl, err := New("t", names, flatten(cols, 0, loaded),
+						progidx.Options{Strategy: strat, Delta: 0.25, Shards: shards, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rng := rand.New(rand.NewSource(31))
+					rows := loaded
+					for q := 0; q < queries; q++ {
+						// Interleave appends: grow the table by a random slice
+						// every few queries until all rows are in.
+						if q%5 == 1 && rows < n {
+							grow := rows + 1 + rng.Intn(2000)
+							if grow > n {
+								grow = n
+							}
+							if err := tbl.Append(flatten(cols, rows, grow)); err != nil {
+								t.Fatal(err)
+							}
+							rows = grow
+						}
+						c := randomConj(rng, names, int64(n))
+						got, err := tbl.ExecuteConj(c)
+						if err != nil {
+							t.Fatalf("query %d (%s): %v", q, c, err)
+						}
+						want := oracleConj(cols, names, rows, c)
+						if !sameAnswer(got, want) {
+							t.Fatalf("query %d (%s) at %d rows:\n got %+v\nwant %+v", q, c, rows, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDriverChoiceIrrelevantToAnswer pins the bit-identity property:
+// for any conjunction, forcing any predicate column as the driver
+// yields exactly the planner's answer.
+func TestDriverChoiceIrrelevantToAnswer(t *testing.T) {
+	const n = 20_000
+	names := []string{"a", "b", "c"}
+	cols := genTuples(n, 3, 5)
+	tbl, err := New("t", names, flatten(cols, 0, n), progidx.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 40; q++ {
+		c := randomConj(rng, names, n)
+		want := oracleConj(cols, names, n, c)
+		planned, _, err := tbl.ExplainConj(c, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswer(planned, want) {
+			t.Fatalf("planned answer diverges for %s:\n got %+v\nwant %+v", c, planned, want)
+		}
+		for _, cp := range c.Preds {
+			forcedAns, ch, err := tbl.ExplainConj(c, cp.Col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch.Driver != cp.Col || !ch.Forced {
+				t.Fatalf("forced driver not honored: %+v", ch)
+			}
+			if !sameAnswer(forcedAns, want) {
+				t.Fatalf("driver %s diverges for %s:\n got %+v\nwant %+v", cp.Col, c, forcedAns, want)
+			}
+		}
+	}
+}
+
+// TestCompressedColumnsMatchOracle runs the oracle property over a
+// compressed table: sealed blocks are packed segments and the fused
+// scan decodes only survivors.
+func TestCompressedColumnsMatchOracle(t *testing.T) {
+	const n = 25_000
+	names := []string{"a", "b"}
+	cols := genTuples(n, 2, 13)
+	tbl, err := New("t", names, flatten(cols, 0, n),
+		progidx.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25, Shards: 2, Encoding: progidx.EncodingFORBP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb := tbl.cols[0].store.encodedBlocks(); eb == 0 {
+		t.Fatal("no encoded blocks on a compressed table")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 50; q++ {
+		c := randomConj(rng, names, n)
+		got, err := tbl.ExecuteConj(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracleConj(cols, names, n, c); !sameAnswer(got, want) {
+			t.Fatalf("%s:\n got %+v\nwant %+v", c, got, want)
+		}
+	}
+}
+
+// TestSingleColumnCompat drives the v1 Handle surface (Execute,
+// ExecuteBatch, Query) against a multi-column table: plain requests
+// address the first column.
+func TestSingleColumnCompat(t *testing.T) {
+	const n = 10_000
+	names := []string{"a", "b"}
+	cols := genTuples(n, 2, 23)
+	tbl, err := New("t", names, flatten(cols, 0, n), progidx.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for q := 0; q < 30; q++ {
+		lo := rng.Int63n(n)
+		hi := lo + rng.Int63n(n/3+1)
+		req := query.Request{Pred: query.Range(lo, hi), Aggs: column.AggAll}
+		got, err := tbl.Execute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleConj(cols, names, n, query.Conjunction{
+			Preds: []query.ColPredicate{{Col: "a", Pred: req.Pred}}, Target: "a", Aggs: req.Aggs,
+		})
+		if !sameAnswer(got, want) {
+			t.Fatalf("Execute diverges at [%d,%d]:\n got %+v\nwant %+v", lo, hi, got, want)
+		}
+	}
+	// Repeated execution must converge the first column (the only one
+	// touched) and Progress must rise.
+	for i := 0; i < 400 && !tbl.cols[0].idx.Converged(); i++ {
+		if _, err := tbl.Execute(query.Request{Pred: query.Range(0, n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tbl.cols[0].idx.Converged() {
+		t.Fatal("first column did not converge under repeated queries")
+	}
+	// Heat accounting: only the queried column accrued heat. (Cold
+	// columns may still converge from leftover δ once the hot one is
+	// done — that is the idle-refinement discipline, not a leak.)
+	if tbl.cols[0].heat.Load() == 0 {
+		t.Fatal("queried column accrued no heat")
+	}
+	if tbl.cols[1].heat.Load() != 0 {
+		t.Fatalf("untouched column accrued heat %d", tbl.cols[1].heat.Load())
+	}
+}
+
+// TestHeatSplitFavorsHotColumns: with all queries touching column b,
+// refinement slices must flow to b, not a.
+func TestHeatSplitFavorsHotColumns(t *testing.T) {
+	const n = 8_000
+	names := []string{"a", "b"}
+	cols := genTuples(n, 2, 29)
+	tbl, err := New("t", names, flatten(cols, 0, n), progidx.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 20; q++ {
+		c := query.Conjunction{
+			Preds:  []query.ColPredicate{{Col: "b", Pred: query.Range(0, n/4)}},
+			Target: "b",
+		}
+		if _, err := tbl.ExecuteConj(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := tbl.cols[0], tbl.cols[1]
+	if b.refines.Load() == 0 {
+		t.Fatal("hot column b received no refine slices")
+	}
+	if a.refines.Load() > b.refines.Load() {
+		t.Fatalf("cold column a out-refined hot column b: %d > %d", a.refines.Load(), b.refines.Load())
+	}
+}
+
+// TestPlannerPicksSelectiveDriver: on clustered column a (tight zone
+// maps) vs uniform column b, a narrow range on a must drive.
+func TestPlannerPicksSelectiveDriver(t *testing.T) {
+	const n = 50_000
+	names := []string{"a", "b"}
+	cols := genTuples(n, 2, 41)
+	tbl, err := New("t", names, flatten(cols, 0, n), progidx.Options{Strategy: progidx.StrategyQuicksort, Delta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := query.Conjunction{
+		Preds: []query.ColPredicate{
+			{Col: "b", Pred: query.Range(0, n/2)},           // ~50% of a uniform column
+			{Col: "a", Pred: query.Range(1000, 1000+n/200)}, // ~0.5%, zone-prunable
+		},
+		Target: "b",
+	}
+	_, ch, err := tbl.ExplainConj(c, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Driver != "a" {
+		t.Fatalf("planner chose %q as driver, want clustered selective column a; candidates %+v", ch.Driver, ch.Candidates)
+	}
+	if ch.PrunedBlocks == 0 {
+		t.Fatalf("no blocks pruned driving with a clustered column: %+v", ch)
+	}
+}
+
+// TestValidateRejectsDuplicates pins Conjunction.Validate.
+func TestValidateRejectsDuplicates(t *testing.T) {
+	c := query.Conjunction{Preds: []query.ColPredicate{
+		{Col: "a", Pred: query.Point(1)},
+		{Col: "a", Pred: query.Point(2)},
+	}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("duplicate column predicates not rejected")
+	}
+	tbl, err := New("t", []string{"a"}, []int64{1, 2, 3}, progidx.Options{Strategy: progidx.StrategyQuicksort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.ExecuteConj(c); err == nil {
+		t.Fatal("table accepted duplicate-column conjunction")
+	}
+	if _, err := tbl.ExecuteConj(query.Conjunction{
+		Preds: []query.ColPredicate{{Col: "zz", Pred: query.Point(1)}},
+	}); err == nil {
+		t.Fatal("table accepted unknown column")
+	}
+}

@@ -1,0 +1,445 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/column"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/query"
+)
+
+// colState is one column of a multi-column table: its row-aligned
+// store (zone maps + optionally compressed blocks) and its own
+// progressive index, which serves single-column conjunctions on this
+// column index-accelerated and converges under the heat-split budget.
+type colState struct {
+	name  string
+	store *colStore
+	idx   progidx.Handle
+
+	// heat counts predicate touches (driver or residual); refines the
+	// δ slices this column has been granted. Their ratio drives the
+	// budget split, exactly like shard heat-shares.
+	heat    atomic.Uint64
+	refines atomic.Uint64
+
+	// tl is the column's own convergence timeline: the per-column
+	// analogue of the table timeline, fed by the column handle's
+	// structural events and the planner's refine grants.
+	tl *obs.Timeline
+}
+
+// Table is an N-column table behind the progidx.Handle surface: plain
+// requests address the first column (the single-column compatibility
+// path), conjunctions go through the planner. One δ of indexing work
+// is spent per ExecuteConjBatch/ExecuteBatch call — never one per
+// query — and it goes to the column with the largest heat share
+// relative to the refinement it has already received.
+type Table struct {
+	// mu orders appends (which grow every column store) against the
+	// scans reading those stores; the per-column index handles carry
+	// their own locks.
+	mu     sync.RWMutex
+	name   string
+	cols   []*colState
+	byName map[string]int
+	opts   progidx.Options
+	pool   *parallel.Pool
+	rows   int
+
+	// convergent mirrors the strategy: non-convergent strategies (the
+	// scan/index baselines, cracking) never receive refine slices.
+	convergent bool
+
+	// sink is the table-level event timeline (EventSinkSetter); refine
+	// grants land there with the column index in the shard field.
+	sink atomic.Pointer[obs.Timeline]
+}
+
+// New builds a multi-column table named name over flat row-major
+// tuples: flat holds len(columns) values per row, row after row, and
+// every column gets its own store and progressive index built with
+// opts. Column names must be unique and non-empty.
+func New(name string, columns []string, flat []int64, opts progidx.Options) (*Table, error) {
+	k := len(columns)
+	if k == 0 {
+		return nil, fmt.Errorf("plan: table %q needs at least one column", name)
+	}
+	if len(flat) == 0 || len(flat)%k != 0 {
+		return nil, fmt.Errorf("plan: table %q: %d values do not fill %d-column rows", name, len(flat), k)
+	}
+	t := &Table{
+		name:       name,
+		byName:     make(map[string]int, k),
+		opts:       opts,
+		pool:       parallel.New(opts.Workers),
+		rows:       len(flat) / k,
+		convergent: opts.Strategy.Convergent(),
+	}
+	for i, col := range columns {
+		if col == "" {
+			return nil, fmt.Errorf("plan: table %q: empty column name", name)
+		}
+		if _, dup := t.byName[col]; dup {
+			return nil, fmt.Errorf("plan: table %q: duplicate column %q", name, col)
+		}
+		t.byName[col] = i
+		vals := make([]int64, t.rows)
+		for r := 0; r < t.rows; r++ {
+			vals[r] = flat[r*k+i]
+		}
+		cs := &colState{name: col, store: newColStore(col, opts.Encoding), tl: obs.NewTimeline(256)}
+		if err := cs.store.append(vals); err != nil {
+			return nil, err
+		}
+		idx, err := progidx.NewHandle(vals, opts)
+		if err != nil {
+			return nil, fmt.Errorf("plan: table %q column %q: %w", name, col, err)
+		}
+		if s, ok := idx.(progidx.EventSinkSetter); ok {
+			s.SetEventSink(cs.tl)
+		}
+		cs.idx = idx
+		t.cols = append(t.cols, cs)
+	}
+	return t, nil
+}
+
+// Columns returns the column names in schema order.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.cols))
+	for i, cs := range t.cols {
+		out[i] = cs.name
+	}
+	return out
+}
+
+// Width returns the tuple width (column count).
+func (t *Table) Width() int { return len(t.cols) }
+
+// Name implements Index.
+func (t *Table) Name() string {
+	return fmt.Sprintf("multicol(%d×%s)", len(t.cols), t.opts.Strategy)
+}
+
+// firstConj rewrites a single-column request onto the first column:
+// the compatibility path for every v1 caller.
+func (t *Table) firstConj(req query.Request) query.Conjunction {
+	first := t.cols[0].name
+	return query.Conjunction{
+		Preds:  []query.ColPredicate{{Col: first, Pred: req.Pred}},
+		Target: first,
+		Aggs:   req.Aggs,
+	}
+}
+
+// Execute implements Index: the request addresses the first column,
+// and — like the single-column handles — the call both answers and
+// spends one δ of indexing work.
+func (t *Table) Execute(req query.Request) (query.Answer, error) {
+	answers, errs := t.ExecuteConjBatch([]query.Conjunction{t.firstConj(req)}, nil, false)
+	return answers[0], errs[0]
+}
+
+// ExecuteConj answers one conjunction and spends one δ, the composite
+// analogue of Execute.
+func (t *Table) ExecuteConj(c query.Conjunction) (query.Answer, error) {
+	answers, errs := t.ExecuteConjBatch([]query.Conjunction{c}, nil, false)
+	return answers[0], errs[0]
+}
+
+// ExplainConj answers one conjunction with the indexing budget clamped
+// and returns the planner's choice alongside the answer. forceDriver
+// pins the driving column (the benchmark's worst-column baseline);
+// empty lets the planner choose.
+func (t *Table) ExplainConj(c query.Conjunction, forceDriver string) (query.Answer, Choice, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	forced := -1
+	if forceDriver != "" {
+		for i, cp := range c.Preds {
+			if cp.Col == forceDriver {
+				forced = i
+			}
+		}
+		if forced < 0 {
+			return query.Answer{}, Choice{}, fmt.Errorf("plan: forced driver %q has no predicate", forceDriver)
+		}
+	}
+	return t.execConj(c, nil, forced)
+}
+
+// Query implements Index.
+func (t *Table) Query(lo, hi int64) column.Result {
+	ans, err := t.Execute(query.Request{Pred: query.Range(lo, hi)})
+	if err != nil {
+		return column.Result{}
+	}
+	return ans.Result()
+}
+
+// Converged implements Index: every column's index has converged.
+func (t *Table) Converged() bool {
+	for _, cs := range t.cols {
+		if !cs.idx.Converged() {
+			return false
+		}
+	}
+	return true
+}
+
+// Progress implements Handle: the mean convergence across columns, so
+// the scheduler's checkpoint heuristics and /stats see the table-level
+// indexing debt.
+func (t *Table) Progress() float64 {
+	sum := 0.0
+	for _, cs := range t.cols {
+		sum += cs.idx.Progress()
+	}
+	return sum / float64(len(t.cols))
+}
+
+// Phase implements Handle: the least-advanced column's phase.
+func (t *Table) Phase() (query.Phase, bool) {
+	have := false
+	min := query.PhaseDone
+	for _, cs := range t.cols {
+		if p, ok := cs.idx.Phase(); ok {
+			have = true
+			if p < min {
+				min = p
+			}
+		}
+	}
+	return min, have
+}
+
+// ValueBounds implements progidx.ValueBounded for the first column,
+// the domain v1 surfaces (Info min/max, loadgen predicates) address.
+func (t *Table) ValueBounds() (int64, int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[0].store.mn, t.cols[0].store.mx
+}
+
+// PendingRows reports rows appended but not yet absorbed by the first
+// column's index (all columns ingest in lockstep).
+func (t *Table) PendingRows() int {
+	if p, ok := t.cols[0].idx.(interface{ PendingRows() int }); ok {
+		return p.PendingRows()
+	}
+	return 0
+}
+
+// MaterializeRows implements progidx.Materializer: the table's rows as
+// flat row-major tuples, freshly allocated — the shape checkpoints
+// persist and Values exposes.
+func (t *Table) MaterializeRows() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	k := len(t.cols)
+	cols := make([][]int64, k)
+	for i, cs := range t.cols {
+		cols[i] = cs.store.materialize(make([]int64, 0, t.rows))
+	}
+	flat := make([]int64, 0, t.rows*k)
+	for r := 0; r < t.rows; r++ {
+		for c := 0; c < k; c++ {
+			flat = append(flat, cols[c][r])
+		}
+	}
+	return flat
+}
+
+// Append implements Handle: values are flat row-major tuples, one
+// Width() group per row. Every column's store and index ingest the
+// row's slice in lockstep, so queries admitted after Append returns
+// see the new rows on every column.
+func (t *Table) Append(flat []int64) error {
+	k := len(t.cols)
+	if len(flat)%k != 0 {
+		return fmt.Errorf("plan: append of %d values does not fill %d-column rows", len(flat), k)
+	}
+	if len(flat) == 0 {
+		return nil
+	}
+	rows := len(flat) / k
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, cs := range t.cols {
+		vals := make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			vals[r] = flat[r*k+i]
+		}
+		if err := cs.store.append(vals); err != nil {
+			return err
+		}
+		if err := cs.idx.Append(vals); err != nil {
+			return fmt.Errorf("plan: append to column %q: %w", cs.name, err)
+		}
+	}
+	t.rows += rows
+	return nil
+}
+
+// TryExecute implements Handle. The table's read lock is never held
+// across another query, so the call simply executes.
+func (t *Table) TryExecute(req query.Request) (query.Answer, bool, error) {
+	ans, err := t.Execute(req)
+	return ans, true, err
+}
+
+// ExecuteBatch implements Handle: first-column requests under one δ.
+func (t *Table) ExecuteBatch(reqs []query.Request) ([]query.Answer, []error) {
+	return t.executeReqBatch(reqs, nil, false)
+}
+
+// ExecuteBatchTraced implements progidx.BatchTracer.
+func (t *Table) ExecuteBatchTraced(reqs []query.Request, traces []*obs.Trace) ([]query.Answer, []error) {
+	return t.executeReqBatch(reqs, traces, false)
+}
+
+// ExecuteBatchClamped implements progidx.BudgetClamper: answers only,
+// no δ spent.
+func (t *Table) ExecuteBatchClamped(reqs []query.Request) ([]query.Answer, []error) {
+	return t.executeReqBatch(reqs, nil, true)
+}
+
+func (t *Table) executeReqBatch(reqs []query.Request, traces []*obs.Trace, clamp bool) ([]query.Answer, []error) {
+	conjs := make([]query.Conjunction, len(reqs))
+	for i, req := range reqs {
+		conjs[i] = t.firstConj(req)
+	}
+	return t.ExecuteConjBatch(conjs, traces, clamp)
+}
+
+// ExecuteConjBatch answers a batch of conjunctions under one indexing
+// budget: every query runs with the per-column indexes clamped, then —
+// unless clamp is set (deadline pressure) — one δ slice goes to the
+// hottest under-refined column. traces aligns positionally with conjs;
+// nil entries are untraced.
+func (t *Table) ExecuteConjBatch(conjs []query.Conjunction, traces []*obs.Trace, clamp bool) ([]query.Answer, []error) {
+	answers := make([]query.Answer, len(conjs))
+	errs := make([]error, len(conjs))
+	t.mu.RLock()
+	for i, c := range conjs {
+		var tr *obs.Trace
+		if i < len(traces) {
+			tr = traces[i]
+		}
+		answers[i], _, errs[i] = t.execConj(c, tr, -1)
+	}
+	t.mu.RUnlock()
+	if !clamp {
+		if st, _ := t.refineOnce(); len(answers) > 0 {
+			// The leader carries the batch's indexing work, like the
+			// single-column handles' batch contract.
+			answers[0].Stats.Delta += st.Delta
+			answers[0].Stats.WorkSeconds += st.WorkSeconds
+		}
+	}
+	return answers, errs
+}
+
+// RefineStep implements Handle: one idle-time δ slice to the hottest
+// under-refined column.
+func (t *Table) RefineStep() (query.Stats, bool) {
+	return t.refineOnce()
+}
+
+// refineOnce grants one δ slice to the column with the largest heat
+// share relative to the refinement it has already received — the
+// cross-column version of the shard layer's heat-proportional budget
+// split. Columns the workload never touches do no indexing work.
+func (t *Table) refineOnce() (query.Stats, bool) {
+	if !t.convergent {
+		return query.Stats{}, false
+	}
+	var best *colState
+	bestIdx := -1
+	bestScore := -1.0
+	for i, cs := range t.cols {
+		if cs.idx.Converged() {
+			continue
+		}
+		score := float64(cs.heat.Load()+1) / float64(cs.refines.Load()+1)
+		if score > bestScore {
+			best, bestIdx, bestScore = cs, i, score
+		}
+	}
+	if best == nil {
+		return query.Stats{}, true
+	}
+	st, _ := best.idx.RefineStep()
+	best.refines.Add(1)
+	p := best.idx.Progress()
+	best.tl.Record(obs.EvProgress, -1, p, 0)
+	t.sink.Load().Record(obs.EvProgress, int32(bestIdx), p, 0)
+	return st, t.Converged()
+}
+
+// SetEventSink implements progidx.EventSinkSetter for the table-level
+// timeline; per-column timelines are built in and exposed through
+// ColumnStates.
+func (t *Table) SetEventSink(tl *obs.Timeline) { t.sink.Store(tl) }
+
+// ColumnState is the per-column half of the debug surface: index
+// convergence, heat/refine accounting, store shape, and the column's
+// own convergence timeline.
+type ColumnState struct {
+	Name          string          `json:"name"`
+	Rows          int             `json:"rows"`
+	MinValue      int64           `json:"min_value"`
+	MaxValue      int64           `json:"max_value"`
+	Heat          uint64          `json:"heat"`
+	Refines       uint64          `json:"refine_slices"`
+	Progress      float64         `json:"convergence"`
+	Converged     bool            `json:"converged"`
+	Phase         string          `json:"phase,omitempty"`
+	Blocks        int             `json:"blocks"`
+	EncodedBlocks int             `json:"encoded_blocks,omitempty"`
+	Events        []obs.EventJSON `json:"events,omitempty"`
+}
+
+// ColumnStates snapshots every column for /tables/{name}/debug.
+func (t *Table) ColumnStates() []ColumnState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ColumnState, len(t.cols))
+	for i, cs := range t.cols {
+		st := ColumnState{
+			Name:          cs.name,
+			Rows:          cs.store.n,
+			MinValue:      cs.store.mn,
+			MaxValue:      cs.store.mx,
+			Heat:          cs.heat.Load(),
+			Refines:       cs.refines.Load(),
+			Progress:      cs.idx.Progress(),
+			Converged:     cs.idx.Converged(),
+			Blocks:        cs.store.blocks(),
+			EncodedBlocks: cs.store.encodedBlocks(),
+		}
+		if p, ok := cs.idx.Phase(); ok {
+			st.Phase = p.String()
+		}
+		for _, e := range cs.tl.Snapshot() {
+			st.Events = append(st.Events, e.JSON())
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Handle surface checks.
+var (
+	_ progidx.Handle          = (*Table)(nil)
+	_ progidx.BatchTracer     = (*Table)(nil)
+	_ progidx.BudgetClamper   = (*Table)(nil)
+	_ progidx.EventSinkSetter = (*Table)(nil)
+	_ progidx.ValueBounded    = (*Table)(nil)
+	_ progidx.Materializer    = (*Table)(nil)
+)

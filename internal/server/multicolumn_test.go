@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/data"
+)
+
+// mcOracle answers a conjunction over flat row-major tuples by brute
+// force: row i matches when every predicate accepts its column value,
+// and the target column's value of each match feeds sum/count.
+func mcOracle(flat []int64, k int, preds map[int][2]int64, target int) (count, sum int64) {
+	n := len(flat) / k
+	for i := 0; i < n; i++ {
+		ok := true
+		for c, b := range preds {
+			v := flat[i*k+c]
+			if v < b[0] || v > b[1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+			sum += flat[i*k+target]
+		}
+	}
+	return count, sum
+}
+
+// TestHTTPMultiColumn drives the whole multi-column wire surface: load
+// with a schema and the correlated generator, composite queries checked
+// against a client-side oracle on the regenerated rows, tuple appends,
+// planner trace spans, per-column debug state, and the validation
+// errors for malformed composite requests.
+func TestHTTPMultiColumn(t *testing.T) {
+	_, ts := newTestServer(t)
+	const (
+		n    = 20_000
+		k    = 3
+		seed = 7
+	)
+
+	do(t, http.MethodPost, ts.URL+"/tables", LoadRequest{
+		Name:     "mc",
+		Generate: &GenerateSpec{Kind: "correlated", N: n, Seed: seed},
+		Options:  &OptionsSpec{Strategy: "PMSD", Delta: 0.3, Columns: []string{"a", "b", "c"}},
+	}, http.StatusCreated, nil)
+
+	var info catalog.Info
+	do(t, http.MethodGet, ts.URL+"/tables/mc", nil, http.StatusOK, &info)
+	if info.Rows != n {
+		t.Fatalf("info.Rows = %d, want %d tuples", info.Rows, n)
+	}
+	if fmt.Sprint(info.Columns) != "[a b c]" {
+		t.Fatalf("info.Columns = %v, want [a b c]", info.Columns)
+	}
+
+	// The client regenerates the same rows locally, exactly like the
+	// single-column generators, and checks every composite answer.
+	flat := data.MultiColumn(n, k, seed)
+	for q := 0; q < 25; q++ {
+		lo := int64(q * 731 % n)
+		hi := lo + 2_000
+		blo := lo + int64(q%5)*997
+		wantCount, wantSum := mcOracle(flat, k, map[int][2]int64{
+			0: {lo, hi},
+			1: {blo, 1 << 62},
+		}, 2)
+
+		var resp QueryResponse
+		do(t, http.MethodPost, ts.URL+"/tables/mc/query", QueryRequest{
+			Predicates: []ColPredSpec{
+				{Col: "a", PredSpec: PredSpec{Kind: "range", Lo: &lo, Hi: &hi}},
+				{Col: "b", PredSpec: PredSpec{Kind: "atleast", Value: &blo}},
+			},
+			Target: "c",
+			Aggs:   []string{"sum", "count"},
+		}, http.StatusOK, &resp)
+		if resp.Count != wantCount || resp.Sum == nil || *resp.Sum != wantSum {
+			t.Fatalf("query %d: got count=%d sum=%v, want count=%d sum=%d",
+				q, resp.Count, resp.Sum, wantCount, wantSum)
+		}
+	}
+
+	// ?trace=1 surfaces the planner's choice: the driving column, the
+	// per-column selectivity estimates, and the verification volume.
+	lo, hi := int64(100), int64(400)
+	blo := int64(0)
+	var traced QueryResponse
+	do(t, http.MethodPost, ts.URL+"/tables/mc/query?trace=1", QueryRequest{
+		Predicates: []ColPredSpec{
+			{Col: "a", PredSpec: PredSpec{Kind: "range", Lo: &lo, Hi: &hi}},
+			{Col: "b", PredSpec: PredSpec{Kind: "atleast", Value: &blo}},
+		},
+		Target: "c",
+		Aggs:   []string{"count"},
+	}, http.StatusOK, &traced)
+	if traced.Trace == nil {
+		t.Fatal("?trace=1 composite query returned no trace")
+	}
+	planSpans := jsonSpans(traced.Trace.Root, "plan")
+	if len(planSpans) != 1 {
+		t.Fatalf("trace has %d plan spans, want 1", len(planSpans))
+	}
+	attrs := planSpans[0].Attrs
+	if d, _ := attrs["driver"].(string); d != "a" {
+		t.Errorf("planner chose driver %v for a narrow range on the clustered column, want a", attrs["driver"])
+	}
+	for _, key := range []string{"est_sel.a", "est_sel.b", "actual_sel", "scanned_blocks", "pruned_blocks", "residual_rows", "matched_rows"} {
+		if _, ok := attrs[key]; !ok {
+			t.Errorf("plan span missing attr %q: %v", key, attrs)
+		}
+	}
+	if pb, _ := attrs["pruned_blocks"].(float64); pb == 0 {
+		t.Error("narrow range on the clustered column pruned no blocks")
+	}
+
+	// Tuple appends thread through: counters count logical tuples and
+	// the new rows are served immediately.
+	var ar AppendResponse
+	do(t, http.MethodPost, ts.URL+"/tables/mc/append", AppendRequest{
+		Rows: [][]int64{{9_000_001, 9_000_002, 11}, {9_000_004, 9_000_005, 22}},
+	}, http.StatusOK, &ar)
+	if ar.Appended != 2 || ar.Rows != n+2 {
+		t.Fatalf("append response = %+v, want 2 appended / %d rows", ar, n+2)
+	}
+	alo := int64(9_000_000)
+	ahi := int64(9_100_000)
+	var aq QueryResponse
+	do(t, http.MethodPost, ts.URL+"/tables/mc/query", QueryRequest{
+		Predicates: []ColPredSpec{{Col: "a", PredSpec: PredSpec{Kind: "range", Lo: &alo, Hi: &ahi}}},
+		Target:     "c",
+		Aggs:       []string{"sum", "count"},
+	}, http.StatusOK, &aq)
+	if aq.Count != 2 || aq.Sum == nil || *aq.Sum != 33 {
+		t.Fatalf("appended tuples not served: %+v", aq)
+	}
+
+	// The debug endpoint exposes per-column index state.
+	var dbg TableDebug
+	do(t, http.MethodGet, ts.URL+"/tables/mc/debug", nil, http.StatusOK, &dbg)
+	if len(dbg.ColumnState) != k {
+		t.Fatalf("debug column_state has %d entries, want %d", len(dbg.ColumnState), k)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if dbg.ColumnState[i].Name != want {
+			t.Errorf("column_state[%d].name = %q, want %q", i, dbg.ColumnState[i].Name, want)
+		}
+	}
+	if dbg.ColumnState[0].Heat == 0 {
+		t.Error("column a carried every predicate but shows no heat")
+	}
+
+	// /metrics reports the schema width.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(`progidx_table_columns{table="mc"} 3`)) {
+		t.Fatalf("/metrics missing progidx_table_columns:\n%s", body)
+	}
+
+	// Validation: ragged rows, mixed pred forms, and unknown predicate
+	// columns are 400s.
+	do(t, http.MethodPost, ts.URL+"/tables/mc/append",
+		AppendRequest{Rows: [][]int64{{1, 2}}}, http.StatusBadRequest, nil)
+	do(t, http.MethodPost, ts.URL+"/tables/mc/query", QueryRequest{
+		Pred:       PredSpec{Kind: "range", Lo: &lo, Hi: &hi},
+		Predicates: []ColPredSpec{{Col: "a", PredSpec: PredSpec{Kind: "point", Value: &lo}}},
+	}, http.StatusBadRequest, nil)
+	do(t, http.MethodPost, ts.URL+"/tables/mc/query", QueryRequest{
+		Predicates: []ColPredSpec{{Col: "zz", PredSpec: PredSpec{Kind: "point", Value: &lo}}},
+		Aggs:       []string{"count"},
+	}, http.StatusBadRequest, nil)
+}
+
+// TestHTTPSingleColumnConjunction pins that the composite form also
+// works against a plain single-column table when it reduces to one
+// predicate, and errors clearly when it cannot.
+func TestHTTPSingleColumnConjunction(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, http.MethodPost, ts.URL+"/tables", LoadRequest{
+		Name:     "single",
+		Generate: &GenerateSpec{Kind: "uniform", N: 8_192, Seed: 3},
+		Options:  &OptionsSpec{Strategy: "PQ", Delta: 0.3},
+	}, http.StatusCreated, nil)
+
+	lo, hi := int64(10), int64(500)
+	var resp QueryResponse
+	do(t, http.MethodPost, ts.URL+"/tables/single/query", QueryRequest{
+		Predicates: []ColPredSpec{{PredSpec: PredSpec{Kind: "range", Lo: &lo, Hi: &hi}}},
+		Aggs:       []string{"count"},
+	}, http.StatusOK, &resp)
+	if resp.Count != 491 {
+		t.Fatalf("reduced conjunction count = %d, want 491", resp.Count)
+	}
+
+	// Two distinct predicate columns cannot reduce on a one-column table.
+	do(t, http.MethodPost, ts.URL+"/tables/single/query", QueryRequest{
+		Predicates: []ColPredSpec{
+			{Col: "a", PredSpec: PredSpec{Kind: "range", Lo: &lo, Hi: &hi}},
+			{Col: "b", PredSpec: PredSpec{Kind: "point", Value: &lo}},
+		},
+		Aggs: []string{"count"},
+	}, http.StatusBadRequest, nil)
+}

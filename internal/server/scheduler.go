@@ -33,7 +33,15 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/query"
 )
+
+// conjExecutor is the multi-column handle surface (plan.Table): a
+// whole batch of conjunctions under one indexing budget, with optional
+// per-request traces and the clamped (no-δ) variant.
+type conjExecutor interface {
+	ExecuteConjBatch(conjs []query.Conjunction, traces []*obs.Trace, clamp bool) ([]query.Answer, []error)
+}
 
 // ErrStopped is returned for requests admitted to (or waiting on) a
 // scheduler that has been stopped, e.g. because its table was dropped.
@@ -116,7 +124,11 @@ type result struct {
 // task is one admitted request — a query, an append, or a checkpoint
 // capture — waiting for execution.
 type task struct {
-	req      progidx.Request
+	req progidx.Request
+	// conj, when non-nil, makes this a composite query against a
+	// multi-column table; req is ignored. Conjunction tasks share their
+	// batch's single δ with every other query in it.
+	conj     *query.Conjunction
 	append   []int64 // ingest payload; meaningful when isAppend
 	isAppend bool
 	// checkpoint asks the loop to capture the table's durable state
@@ -290,6 +302,27 @@ func (s *Scheduler) ExecuteTraced(ctx context.Context, req progidx.Request, dead
 		return progidx.Answer{}, ExecInfo{}, nil, err
 	}
 	return r.ans, r.info, t.trace, r.err
+}
+
+// ExecuteConj admits a composite (multi-predicate) query on the same
+// queue as plain requests and blocks until its batch answered it. With
+// forceTrace the finished trace is returned inline (the ?trace=1
+// path); otherwise the usual sampling applies and the returned trace
+// is nil.
+func (s *Scheduler) ExecuteConj(ctx context.Context, c query.Conjunction, deadline time.Time, forceTrace bool) (progidx.Answer, ExecInfo, *obs.Trace, error) {
+	t := &task{conj: &c, deadline: deadline, reply: make(chan result, 1), enqueued: time.Now()}
+	if forceTrace || s.reg.Sample() {
+		t.trace = obs.NewTrace("query", s.table.Name())
+	}
+	r, err := s.admit(ctx, t)
+	if err != nil {
+		return progidx.Answer{}, ExecInfo{}, nil, err
+	}
+	var tr *obs.Trace
+	if forceTrace {
+		tr = t.trace
+	}
+	return r.ans, r.info, tr, r.err
 }
 
 // Append admits an ingest task on the same queue as queries and blocks
@@ -932,6 +965,11 @@ func (s *Scheduler) syncLogWithRetry() (attempts int, err error) {
 // Handles without BudgetClamper degrade to normal execution: answers
 // stay exact, the clamp is best-effort.
 func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch []*task, traced, clamp bool) ([]progidx.Answer, []error) {
+	for _, i := range reqIdx {
+		if batch[i].conj != nil {
+			return s.executeConjBatch(reqs, reqIdx, batch, traced, clamp)
+		}
+	}
 	if clamp {
 		if bc, ok := s.idx.(progidx.BudgetClamper); ok {
 			return bc.ExecuteBatchClamped(reqs)
@@ -941,8 +979,18 @@ func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch [
 	if !traced || !ok {
 		return s.idx.ExecuteBatch(reqs)
 	}
-	traces := make([]*obs.Trace, len(reqs))
-	spans := make([]obs.SpanID, len(reqs))
+	traces, spans := s.openExecuteSpans(reqIdx, batch)
+	answers, errs := bt.ExecuteBatchTraced(reqs, traces)
+	closeExecuteSpans(traces, spans)
+	return answers, errs
+}
+
+// openExecuteSpans starts one "execute" span per traced request and
+// sets it as the trace's attach point, so handle-internal children
+// (per-shard fan-out, the planner's plan span) nest under it.
+func (s *Scheduler) openExecuteSpans(reqIdx []int, batch []*task) ([]*obs.Trace, []obs.SpanID) {
+	traces := make([]*obs.Trace, len(reqIdx))
+	spans := make([]obs.SpanID, len(reqIdx))
 	for k, i := range reqIdx {
 		tr := batch[i].trace
 		traces[k] = tr
@@ -954,10 +1002,79 @@ func (s *Scheduler) executeQueries(reqs []progidx.Request, reqIdx []int, batch [
 		tr.SetAttach(sp)
 		spans[k] = sp
 	}
-	answers, errs := bt.ExecuteBatchTraced(reqs, traces)
+	return traces, spans
+}
+
+func closeExecuteSpans(traces []*obs.Trace, spans []obs.SpanID) {
 	for k, tr := range traces {
 		if tr != nil {
 			tr.End(spans[k])
+		}
+	}
+}
+
+// executeConjBatch dispatches a batch that contains at least one
+// conjunction. On a multi-column handle the whole batch — plain
+// requests wrapped as first-column conjunctions — goes through one
+// ExecuteConjBatch call, so the one-δ-per-batch discipline holds for
+// mixed plain/composite traffic. On a single-column handle each
+// conjunction that reduces to one plain request executes as such;
+// wider ones are rejected per-task without failing their batchmates.
+func (s *Scheduler) executeConjBatch(reqs []progidx.Request, reqIdx []int, batch []*task, traced, clamp bool) ([]progidx.Answer, []error) {
+	if ce, ok := s.idx.(conjExecutor); ok {
+		conjs := make([]query.Conjunction, len(reqIdx))
+		for k, i := range reqIdx {
+			if c := batch[i].conj; c != nil {
+				conjs[k] = *c
+			} else {
+				conjs[k] = query.Conjunction{
+					Preds: []query.ColPredicate{{Pred: reqs[k].Pred}},
+					Aggs:  reqs[k].Aggs,
+				}
+			}
+		}
+		var traces []*obs.Trace
+		var spans []obs.SpanID
+		if traced {
+			traces, spans = s.openExecuteSpans(reqIdx, batch)
+		}
+		answers, errs := ce.ExecuteConjBatch(conjs, traces, clamp)
+		closeExecuteSpans(traces, spans)
+		return answers, errs
+	}
+
+	// Single-column fallback: reduce what reduces, reject the rest.
+	answers := make([]progidx.Answer, len(reqIdx))
+	errs := make([]error, len(reqIdx))
+	sub := make([]progidx.Request, 0, len(reqIdx))
+	subPos := make([]int, 0, len(reqIdx))
+	for k, i := range reqIdx {
+		c := batch[i].conj
+		if c == nil {
+			sub = append(sub, reqs[k])
+			subPos = append(subPos, k)
+			continue
+		}
+		if req, single := c.Single(); single {
+			sub = append(sub, req)
+			subPos = append(subPos, k)
+			continue
+		}
+		errs[k] = fmt.Errorf("server: table %q has a single column; %s needs a multi-column table", s.table.Name(), c)
+	}
+	if len(sub) > 0 {
+		var subAns []progidx.Answer
+		var subErrs []error
+		if clamp {
+			if bc, ok := s.idx.(progidx.BudgetClamper); ok {
+				subAns, subErrs = bc.ExecuteBatchClamped(sub)
+			}
+		}
+		if subAns == nil {
+			subAns, subErrs = s.idx.ExecuteBatch(sub)
+		}
+		for j, k := range subPos {
+			answers[k], errs[k] = subAns[j], subErrs[j]
 		}
 	}
 	return answers, errs
@@ -994,10 +1111,17 @@ func (s *Scheduler) observeTask(t *task, r *result, started, finished time.Time,
 		tr.FinishAt(finished)
 		s.reg.Traces.Add(tr)
 	}
+	pred, predKind := t.req.Pred.String(), t.req.Pred.Kind.String()
+	if t.conj != nil {
+		// Composite queries log the whole conjunction: the driving-column
+		// choice is in the trace, but the predicate list alone usually
+		// explains a slow multi-column scan.
+		pred, predKind = t.conj.String(), "conjunction"
+	}
 	s.reg.Logger().Warn("slow query",
 		slog.String("table", s.table.Name()),
-		slog.String("pred", t.req.Pred.String()),
-		slog.String("pred_kind", t.req.Pred.Kind.String()),
+		slog.String("pred", pred),
+		slog.String("pred_kind", predKind),
 		slog.String("phase", r.ans.Stats.Phase.String()),
 		slog.Int("shards_scanned", r.ans.Stats.ShardsScanned),
 		slog.Int("shards_pruned", r.ans.Stats.ShardsPruned),

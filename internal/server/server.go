@@ -39,6 +39,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/durable"
 	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/query"
 )
 
 // Config tunes the server; the zero value is fully usable.
@@ -285,6 +287,12 @@ type OptionsSpec struct {
 	// "dict", or "raw"/empty for the uncompressed default (see
 	// catalog.Options.Encoding).
 	Encoding string `json:"encoding,omitempty"`
+	// Columns names a multi-column schema: values (inline or generated)
+	// become flat row-major tuples of len(Columns) values each, queries
+	// may carry a predicate list, and the planner picks the driving
+	// column (see catalog.Options.Columns). Empty or one name keeps the
+	// single-column layout.
+	Columns []string `json:"columns,omitempty"`
 }
 
 func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
@@ -309,6 +317,9 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 	if o.Shards < 0 || o.Shards > maxShards {
 		return opts, fmt.Errorf("shards %d outside [0, %d]", o.Shards, maxShards)
 	}
+	if len(o.Columns) > maxColumns {
+		return opts, fmt.Errorf("%d columns exceed the %d-column cap", len(o.Columns), maxColumns)
+	}
 	opts.Strategy = strat
 	opts.Delta = o.Delta
 	opts.Budget = time.Duration(o.BudgetMs * float64(time.Millisecond))
@@ -317,6 +328,7 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 	opts.Shards = o.Shards
 	opts.IdleRefine = o.IdleRefine
 	opts.Encoding = enc
+	opts.Columns = o.Columns
 	return opts, nil
 }
 
@@ -324,6 +336,10 @@ func (o *OptionsSpec) catalogOptions() (catalog.Options, error) {
 // thousand shards the per-shard fixed costs dominate any pruning win,
 // and an unbounded count is a memory-amplification vector.
 const maxShards = 4096
+
+// maxColumns caps a table's schema width: each column carries its own
+// progressive index, so width multiplies memory.
+const maxColumns = 64
 
 // LoadRequest is the POST /tables body: a name plus either inline
 // values or a generator spec.
@@ -393,15 +409,32 @@ func parseAggs(names []string) (progidx.Aggregates, error) {
 	return aggs, nil
 }
 
-// QueryRequest is the POST /tables/{name}/query body.
-type QueryRequest struct {
-	Pred PredSpec `json:"pred"`
-	Aggs []string `json:"aggs,omitempty"`
+// ColPredSpec binds a predicate to a named column for composite
+// queries.
+type ColPredSpec struct {
+	Col string `json:"col"`
+	PredSpec
 }
 
-// AppendRequest is the POST /tables/{name}/append body.
+// QueryRequest is the POST /tables/{name}/query body. Pred is the v1
+// single-predicate form; Predicates (with the optional aggregate
+// Target column) is the composite form for multi-column tables —
+// every predicate must hold (AND), and the planner picks the driving
+// column. Exactly one of the two forms may be used.
+type QueryRequest struct {
+	Pred       PredSpec      `json:"pred"`
+	Aggs       []string      `json:"aggs,omitempty"`
+	Predicates []ColPredSpec `json:"predicates,omitempty"`
+	Target     string        `json:"target,omitempty"`
+}
+
+// AppendRequest is the POST /tables/{name}/append body: Values for
+// single-column tables (or pre-flattened tuples), Rows as explicit
+// tuples for multi-column tables — each row must have exactly the
+// table's column count.
 type AppendRequest struct {
-	Values []int64 `json:"values"`
+	Values []int64   `json:"values,omitempty"`
+	Rows   [][]int64 `json:"rows,omitempty"`
 }
 
 // AppendResponse acknowledges an ingest: how many rows were appended,
@@ -565,7 +598,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	values, err := s.loadValues(req)
+	values, err := s.loadValues(req, opts.RowWidth())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -582,12 +615,16 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, t.Info())
 }
 
-func (s *Server) loadValues(req LoadRequest) ([]int64, error) {
+// loadValues resolves the table's rows: inline values or a generator
+// spec. k is the row width — a multi-column table's inline values are
+// flat row-major tuples (k values per row, cap counted in rows), and
+// its generator is the correlated MultiColumn set.
+func (s *Server) loadValues(req LoadRequest, k int) ([]int64, error) {
 	switch {
 	case len(req.Values) > 0 && req.Generate != nil:
 		return nil, fmt.Errorf("provide either values or generate, not both")
 	case len(req.Values) > 0:
-		if len(req.Values) > s.cfg.MaxLoadRows {
+		if len(req.Values) > s.cfg.MaxLoadRows*k {
 			return nil, fmt.Errorf("%d inline values exceed the %d-row load cap", len(req.Values), s.cfg.MaxLoadRows)
 		}
 		return req.Values, nil
@@ -595,6 +632,14 @@ func (s *Server) loadValues(req LoadRequest) ([]int64, error) {
 		g := req.Generate
 		if g.N <= 0 || g.N > s.cfg.MaxLoadRows {
 			return nil, fmt.Errorf("generate.n %d outside (0, %d]", g.N, s.cfg.MaxLoadRows)
+		}
+		if k > 1 {
+			switch strings.ToLower(g.Kind) {
+			case "", "multicol", "correlated":
+				return data.MultiColumn(g.N, k, g.Seed), nil
+			default:
+				return nil, fmt.Errorf("generator kind %q does not produce %d-column rows (use multicol)", g.Kind, k)
+			}
 		}
 		switch strings.ToLower(g.Kind) {
 		case "", "uniform":
@@ -649,15 +694,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
 		return
 	}
-	pred, err := qreq.Pred.predicate()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	aggs, err := parseAggs(qreq.Aggs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+
+	// Composite form: a predicate list (possibly empty, aggregating the
+	// whole Target column). The legacy single-predicate form and the
+	// composite one are mutually exclusive.
+	var conj *query.Conjunction
+	if len(qreq.Predicates) > 0 || qreq.Target != "" {
+		if qreq.Pred.Kind != "" || qreq.Pred.Lo != nil || qreq.Pred.Hi != nil || qreq.Pred.Value != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("provide pred or predicates, not both"))
+			return
+		}
+		c := query.Conjunction{Target: qreq.Target, Aggs: aggs}
+		for _, ps := range qreq.Predicates {
+			p, perr := ps.predicate()
+			if perr != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("predicate on column %q: %w", ps.Col, perr))
+				return
+			}
+			c.Preds = append(c.Preds, query.ColPredicate{Col: ps.Col, Pred: p})
+		}
+		if err := c.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		conj = &c
 	}
 
 	deadline, derr := s.queryDeadline(r)
@@ -667,14 +732,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		ans   progidx.Answer
-		info  ExecInfo
-		trace *obs.Trace
+		ans     progidx.Answer
+		info    ExecInfo
+		trace   *obs.Trace
+		traceOn = r.URL.Query().Get("trace") == "1"
 	)
-	if r.URL.Query().Get("trace") == "1" {
-		ans, info, trace, err = sched.ExecuteTraced(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
-	} else {
-		ans, info, err = sched.ExecuteWithDeadline(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
+	switch {
+	case conj != nil:
+		ans, info, trace, err = sched.ExecuteConj(r.Context(), *conj, deadline, traceOn)
+	default:
+		var pred progidx.Predicate
+		pred, err = qreq.Pred.predicate()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if traceOn {
+			ans, info, trace, err = sched.ExecuteTraced(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
+		} else {
+			ans, info, err = sched.ExecuteWithDeadline(r.Context(), progidx.Request{Pred: pred, Aggs: aggs}, deadline)
+		}
 	}
 	if err != nil {
 		s.writeSchedError(w, r, sched, name, err)
@@ -738,22 +815,45 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
 		return
 	}
-	if len(areq.Values) == 0 {
+	k := 1
+	if t, ok := s.catalog.Get(name); ok {
+		k = t.RowWidth()
+	}
+	values := areq.Values
+	if len(areq.Rows) > 0 {
+		if len(areq.Values) > 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("provide values or rows, not both"))
+			return
+		}
+		values = make([]int64, 0, len(areq.Rows)*k)
+		for ri, row := range areq.Rows {
+			if len(row) != k {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("row %d has %d values, table expects %d", ri, len(row), k))
+				return
+			}
+			values = append(values, row...)
+		}
+	}
+	if len(values) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("append needs at least one value"))
 		return
 	}
-	if len(areq.Values) > s.cfg.MaxLoadRows {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%d values exceed the %d-row append cap", len(areq.Values), s.cfg.MaxLoadRows))
+	if len(values)%k != 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d values are not a multiple of the table's row width %d", len(values), k))
+		return
+	}
+	if len(values) > s.cfg.MaxLoadRows*k {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%d rows exceed the %d-row append cap", len(values)/k, s.cfg.MaxLoadRows))
 		return
 	}
 
-	rows, info, err := sched.Append(r.Context(), areq.Values)
+	rows, info, err := sched.Append(r.Context(), values)
 	if err != nil {
 		s.writeSchedError(w, r, sched, name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{
-		Appended:    len(areq.Values),
+		Appended:    len(values) / k,
 		Rows:        rows,
 		BatchSize:   info.Batch,
 		QueueMicros: info.QueueWait.Microseconds(),
@@ -804,10 +904,14 @@ type ShardDebug struct {
 // ring, and (when relevant) boot-time replay progress.
 type TableDebug struct {
 	catalog.Info
-	Scheduler Metrics         `json:"scheduler"`
-	ShardInfo []ShardDebug    `json:"shard_state,omitempty"`
-	Events    []obs.EventJSON `json:"events"`
-	Replay    *ReplayProgress `json:"replay,omitempty"`
+	Scheduler Metrics      `json:"scheduler"`
+	ShardInfo []ShardDebug `json:"shard_state,omitempty"`
+	// ColumnState is the per-column index state of a multi-column
+	// table: heat, refinement slices, convergence, block/encoding
+	// counts, and each column's own convergence-timeline events.
+	ColumnState []plan.ColumnState `json:"column_state,omitempty"`
+	Events      []obs.EventJSON    `json:"events"`
+	Replay      *ReplayProgress    `json:"replay,omitempty"`
 }
 
 // handleTableDebug is the deep-inspection surface for one table.
@@ -835,6 +939,9 @@ func (s *Server) handleTableDebug(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.ShardInfo[i] = sd
 		}
+	}
+	if pt, ok := t.Planned(); ok {
+		resp.ColumnState = pt.ColumnStates()
 	}
 	if tobs := t.Obs(); tobs != nil {
 		events := tobs.Timeline.Snapshot()
@@ -876,6 +983,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(ts TableStats) (float64, bool) { return float64(ts.Rows), true })
 	writeFamily("progidx_table_shards", "gauge", "Index shards backing the table (1 = unsharded).",
 		func(ts TableStats) (float64, bool) { return float64(ts.Shards), true })
+	writeFamily("progidx_table_columns", "gauge", "Columns in the table's schema (1 = single-column).",
+		func(ts TableStats) (float64, bool) {
+			if len(ts.Columns) > 1 {
+				return float64(len(ts.Columns)), true
+			}
+			return 1, true
+		})
 	writeFamily("progidx_table_convergence", "gauge", "Index convergence fraction in [0,1].",
 		func(ts TableStats) (float64, bool) { return ts.Progress, true })
 	writeFamily("progidx_table_converged", "gauge", "1 once the index reached its terminal state.",

@@ -91,6 +91,23 @@ func AtLeast(v int64) Predicate { return query.AtLeast(v) }
 // AtMost matches every value <= v (open-ended lower bound).
 func AtMost(v int64) Predicate { return query.AtMost(v) }
 
+// Conjunction is one composite query against a multi-column table:
+// per-column predicates ANDed together, aggregating the Target
+// column's matching values. See internal/query.Conjunction.
+type Conjunction = query.Conjunction
+
+// ColPredicate binds a Predicate to a named column of a multi-column
+// table.
+type ColPredicate = query.ColPredicate
+
+// Conj builds a conjunction over preds aggregating target.
+func Conj(target string, aggs Aggregates, preds ...ColPredicate) Conjunction {
+	return query.Conj(target, aggs, preds...)
+}
+
+// On binds a predicate to a column, for building conjunctions inline.
+func On(col string, p Predicate) ColPredicate { return query.On(col, p) }
+
 // Aggregates is a bitmask of aggregate functions a Request computes.
 type Aggregates = column.Aggregates
 
